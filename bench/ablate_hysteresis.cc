@@ -1,0 +1,84 @@
+// Ablation of the hysteresis design (Section 5.1.3): what each element of
+// the adaptation strategy buys.  Removing the variable margin, the constant
+// margin, the 15-second upgrade cap, or the degrade spacing each trades
+// stability (adaptation count) against residue and goal attainment.
+
+#include <cstdio>
+
+#include "src/apps/goal_scenario.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace odapps;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  odenergy::GoalDirectorConfig config;
+};
+
+}  // namespace
+
+int main() {
+  odenergy::GoalDirectorConfig standard;
+
+  odenergy::GoalDirectorConfig no_variable = standard;
+  no_variable.hysteresis.variable_fraction = 0.0;
+
+  odenergy::GoalDirectorConfig no_constant = standard;
+  no_constant.hysteresis.constant_fraction = 0.0;
+
+  odenergy::GoalDirectorConfig no_upgrade_cap = standard;
+  no_upgrade_cap.hysteresis.upgrade_interval = odsim::SimDuration::Millis(500);
+
+  odenergy::GoalDirectorConfig no_degrade_spacing = standard;
+  no_degrade_spacing.degrade_interval = odsim::SimDuration::Millis(500);
+
+  odenergy::GoalDirectorConfig no_hysteresis = standard;
+  no_hysteresis.hysteresis.variable_fraction = 0.0;
+  no_hysteresis.hysteresis.constant_fraction = 0.0;
+  no_hysteresis.hysteresis.upgrade_interval = odsim::SimDuration::Millis(500);
+  no_hysteresis.degrade_interval = odsim::SimDuration::Millis(500);
+
+  const Variant variants[] = {
+      {"Standard (5% var + 1% const + 15 s cap)", standard},
+      {"No variable margin", no_variable},
+      {"No constant margin", no_constant},
+      {"No upgrade rate cap", no_upgrade_cap},
+      {"No degrade spacing", no_degrade_spacing},
+      {"No hysteresis at all", no_hysteresis},
+  };
+
+  odutil::Table table(
+      "Ablation: hysteresis strategy (1320 s goal, 13,500 J; 5 trials; "
+      "mean (stddev))");
+  table.SetHeader({"Variant", "Goal Met", "Residual (J)", "Adaptations"});
+
+  for (const Variant& variant : variants) {
+    int met = 0;
+    odutil::RunningStats residual, adaptations;
+    for (uint64_t trial = 0; trial < 5; ++trial) {
+      GoalScenarioOptions options;
+      options.goal = odsim::SimDuration::Seconds(1320);
+      options.director = variant.config;
+      options.seed = 30000 + trial;
+      GoalScenarioResult result = RunGoalScenario(options);
+      if (result.goal_met) {
+        ++met;
+      }
+      residual.Add(result.residual_joules);
+      adaptations.Add(result.total_adaptations);
+    }
+    table.AddRow({variant.label, odutil::Table::Pct(met / 5.0, 0),
+                  odutil::Table::MeanStd(residual.mean(), residual.stddev(), 1),
+                  odutil::Table::MeanStd(adaptations.mean(),
+                                         adaptations.stddev(), 1)});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: dropping margins or caps meets the goal but jars the\n"
+      "user with many more adaptations; the standard configuration balances\n"
+      "residue against stability.\n");
+  return 0;
+}

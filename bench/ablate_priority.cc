@@ -1,0 +1,46 @@
+// Ablation of priority-ordered adaptation (Section 5.3): Odyssey degrades
+// the lowest-priority application first and upgrades the highest first.
+// Inverting the order sacrifices the user's most important application
+// (Web) while the background ones keep their quality.
+
+#include <cstdio>
+
+#include "src/apps/goal_scenario.h"
+#include "src/util/table.h"
+
+using namespace odapps;
+
+namespace {
+
+void Report(odutil::Table& table, const char* label, bool invert) {
+  GoalScenarioOptions options;
+  options.goal = odsim::SimDuration::Seconds(1200);
+  options.invert_priorities = invert;
+  options.seed = 31;
+  GoalScenarioResult result = RunGoalScenario(options);
+  table.AddRow({label, result.goal_met ? "Yes" : "No",
+                odutil::Table::Num(result.residual_joules, 0),
+                std::to_string(result.final_fidelity.at("Speech")) + "/1",
+                std::to_string(result.final_fidelity.at("Video")) + "/4",
+                std::to_string(result.final_fidelity.at("Map")) + "/4",
+                std::to_string(result.final_fidelity.at("Web")) + "/4"});
+}
+
+}  // namespace
+
+int main() {
+  odutil::Table table(
+      "Ablation: priority-ordered adaptation (1200 s goal, 13,500 J; final "
+      "fidelity level / ladder top)");
+  table.SetHeader({"Ordering", "Goal Met", "Residual (J)", "Speech", "Video",
+                   "Map", "Web"});
+  Report(table, "Paper order (Speech < Video < Map < Web)", false);
+  Report(table, "Inverted (Web degraded first)", true);
+  table.Print();
+  std::printf(
+      "Both orderings can meet the goal — adaptation policy does not change\n"
+      "the energy arithmetic — but the paper's ordering preserves the\n"
+      "highest-priority application's fidelity while the inverted one\n"
+      "sacrifices the Web browser first.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// The paper reports each value as the mean of five (Sections 3.3-3.4) or
+// ten (3.5-3.6) trials with a 90% confidence interval; RunTrials mirrors
+// that: it evaluates a measurement at `n` distinct seeds and summarizes.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace odbench {
+
+inline odutil::Summary RunTrials(int n, uint64_t base_seed,
+                                 const std::function<double(uint64_t)>& measure) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(measure(base_seed + static_cast<uint64_t>(i)));
+  }
+  return odutil::Summarize(samples);
+}
+
+// "mean ±ci" cell.
+inline std::string MeanCi(const odutil::Summary& s, int precision = 1) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, s.mean, precision,
+                s.ci90_halfwidth);
+  return buf;
+}
+
+}  // namespace odbench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,107 @@
+// Development aid: prints the key normalized ratios the paper reports so
+// that calibration constants can be tuned quickly.  Not a figure bench.
+#include <cstdio>
+
+#include "src/apps/experiments.h"
+
+using namespace odapps;
+
+int main() {
+  // Video 1, six bars.
+  const VideoClip& clip = StandardVideoClips()[0];
+  auto v_base = RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, false, 1);
+  auto v_pm = RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, true, 1);
+  auto v_b = RunVideoExperiment(clip, VideoTrack::kPremiereB, 1.0, true, 1);
+  auto v_c = RunVideoExperiment(clip, VideoTrack::kPremiereC, 1.0, true, 1);
+  auto v_w = RunVideoExperiment(clip, VideoTrack::kBaseline, 0.5, true, 1);
+  auto v_cw = RunVideoExperiment(clip, VideoTrack::kPremiereC, 0.5, true, 1);
+  std::printf("VIDEO  base=%.0fJ (%.2fW)  pm/base=%.3f (want .90-.91)\n",
+              v_base.joules, v_base.average_watts(), v_pm.joules / v_base.joules);
+  std::printf("  premB/pm=%.3f (want ~.91)  premC/pm=%.3f (want .83-.84)\n",
+              v_b.joules / v_pm.joules, v_c.joules / v_pm.joules);
+  std::printf("  window/pm=%.3f (want .80-.81)  comb/pm=%.3f (want .70-.72) comb/base=%.3f (~.65)\n",
+              v_w.joules / v_pm.joules, v_cw.joules / v_pm.joules,
+              v_cw.joules / v_base.joules);
+
+  // Speech, utterance 3.
+  const Utterance& utt = StandardUtterances()[2];
+  auto s_base = RunSpeechExperiment(utt, SpeechMode::kLocal, false, false, 1);
+  auto s_pm = RunSpeechExperiment(utt, SpeechMode::kLocal, false, true, 1);
+  auto s_red = RunSpeechExperiment(utt, SpeechMode::kLocal, true, true, 1);
+  auto s_rem = RunSpeechExperiment(utt, SpeechMode::kRemote, false, true, 1);
+  auto s_remr = RunSpeechExperiment(utt, SpeechMode::kRemote, true, true, 1);
+  auto s_hyb = RunSpeechExperiment(utt, SpeechMode::kHybrid, false, true, 1);
+  auto s_hybr = RunSpeechExperiment(utt, SpeechMode::kHybrid, true, true, 1);
+  std::printf("SPEECH base=%.1fJ (%.2fW)  pm/base=%.3f (want .66-.67)\n",
+              s_base.joules, s_base.average_watts(), s_pm.joules / s_base.joules);
+  std::printf("  red/pm=%.3f (want .54-.75)  rem/pm=%.3f (want .56-.67)  remred/pm=%.3f (want .35-.58)\n",
+              s_red.joules / s_pm.joules, s_rem.joules / s_pm.joules,
+              s_remr.joules / s_pm.joules);
+  std::printf("  hyb/pm=%.3f (want .45-.53)  hybred/pm=%.3f (want .30-.47)  hybred/base=%.3f (want .20-.31)\n",
+              s_hyb.joules / s_pm.joules, s_hybr.joules / s_pm.joules,
+              s_hybr.joules / s_base.joules);
+
+  // Map, San Jose, think 5.
+  const MapObject& map = StandardMaps()[0];
+  auto m_base = RunMapExperiment(map, MapFidelity::kFull, 5, false, 1);
+  auto m_pm = RunMapExperiment(map, MapFidelity::kFull, 5, true, 1);
+  auto m_min = RunMapExperiment(map, MapFidelity::kMinorFilter, 5, true, 1);
+  auto m_sec = RunMapExperiment(map, MapFidelity::kSecondaryFilter, 5, true, 1);
+  auto m_crop = RunMapExperiment(map, MapFidelity::kCropped, 5, true, 1);
+  auto m_cs = RunMapExperiment(map, MapFidelity::kCroppedSecondary, 5, true, 1);
+  std::printf("MAP    base=%.1fJ (%.2fW)  pm/base=%.3f (want .81-.91)\n",
+              m_base.joules, m_base.average_watts(), m_pm.joules / m_base.joules);
+  std::printf("  minor/pm=%.3f (want .49-.94)  sec/pm=%.3f (want .45-.77)  crop/pm=%.3f (want .51-.86)  cs/pm=%.3f (want .34-.64)\n",
+              m_min.joules / m_pm.joules, m_sec.joules / m_pm.joules,
+              m_crop.joules / m_pm.joules, m_cs.joules / m_pm.joules);
+
+  // Web, image 1, think 5.
+  const WebImage& img = StandardWebImages()[0];
+  auto w_base = RunWebExperiment(img, WebFidelity::kOriginal, 5, false, 1);
+  auto w_pm = RunWebExperiment(img, WebFidelity::kOriginal, 5, true, 1);
+  auto w_75 = RunWebExperiment(img, WebFidelity::kJpeg75, 5, true, 1);
+  auto w_5 = RunWebExperiment(img, WebFidelity::kJpeg5, 5, true, 1);
+  std::printf("WEB    base=%.1fJ (%.2fW)  pm/base=%.3f (want .74-.78)\n",
+              w_base.joules, w_base.average_watts(), w_pm.joules / w_base.joules);
+  std::printf("  jpeg75/pm=%.3f  jpeg5/pm=%.3f (want .86-.96)\n",
+              w_75.joules / w_pm.joules, w_5.joules / w_pm.joules);
+
+  // Concurrency.
+  auto c_alone = RunCompositeExperiment(6, false, false, false, 1);
+  auto c_video = RunCompositeExperiment(6, false, false, true, 1);
+  auto cp_alone = RunCompositeExperiment(6, false, true, false, 1);
+  auto cp_video = RunCompositeExperiment(6, false, true, true, 1);
+  auto cl_alone = RunCompositeExperiment(6, true, true, false, 1);
+  auto cl_video = RunCompositeExperiment(6, true, true, true, 1);
+  std::printf("CONC   base alone=%.0fJ dur=%.0fs, +video=%.0fJ dur=%.0fs (+%.0f%%, want ~+53%%)\n",
+              c_alone.joules, c_alone.seconds, c_video.joules, c_video.seconds,
+              100.0 * (c_video.joules / c_alone.joules - 1.0));
+  std::printf("  pm alone=%.0fJ +video=%.0fJ (+%.0f%%, want ~+64%%)\n",
+              cp_alone.joules, cp_video.joules,
+              100.0 * (cp_video.joules / cp_alone.joules - 1.0));
+  std::printf("  low alone=%.0fJ dur=%.0fs +video=%.0fJ dur=%.0fs (+%.0f%%, want ~+18%%)  lowcomb/pm(video) ratio=%.2f (want ~.65)\n",
+              cl_alone.joules, cl_alone.seconds, cl_video.joules, cl_video.seconds,
+              100.0 * (cl_video.joules / cl_alone.joules - 1.0),
+              cl_video.joules / cp_video.joules);
+
+  // Zoned.
+  auto zv0 = RunZonedVideoExperiment(clip, VideoTrack::kBaseline, 1.0, 0, 1);
+  auto zv4 = RunZonedVideoExperiment(clip, VideoTrack::kBaseline, 1.0, 4, 1);
+  auto zv8 = RunZonedVideoExperiment(clip, VideoTrack::kBaseline, 1.0, 8, 1);
+  auto zv4l = RunZonedVideoExperiment(clip, VideoTrack::kPremiereC, 0.5, 4, 1);
+  auto zv8l = RunZonedVideoExperiment(clip, VideoTrack::kPremiereC, 0.5, 8, 1);
+  auto zv0l = RunZonedVideoExperiment(clip, VideoTrack::kPremiereC, 0.5, 0, 1);
+  std::printf("ZONED-V 4/none=%.3f 8/none=%.3f (want .82-.83)  low4/low=%.3f (want ~.76) low8/low=%.3f (want ~.71)\n",
+              zv4.joules / zv0.joules, zv8.joules / zv0.joules,
+              zv4l.joules / zv0l.joules, zv8l.joules / zv0l.joules);
+  auto zm0 = RunZonedMapExperiment(map, MapFidelity::kFull, 5, 0, 1);
+  auto zm4 = RunZonedMapExperiment(map, MapFidelity::kFull, 5, 4, 1);
+  auto zm8 = RunZonedMapExperiment(map, MapFidelity::kFull, 5, 8, 1);
+  auto zm0l = RunZonedMapExperiment(map, MapFidelity::kCroppedSecondary, 5, 0, 1);
+  auto zm4l = RunZonedMapExperiment(map, MapFidelity::kCroppedSecondary, 5, 4, 1);
+  auto zm8l = RunZonedMapExperiment(map, MapFidelity::kCroppedSecondary, 5, 8, 1);
+  std::printf("ZONED-M 4/none=%.3f (want 1.00) 8/none=%.3f (want ~.92)  low4/low=%.3f (want ~.76) low8/low=%.3f (want ~.71-.72)\n",
+              zm4.joules / zm0.joules, zm8.joules / zm0.joules,
+              zm4l.joules / zm0l.joules, zm8l.joules / zm0l.joules);
+  return 0;
+}

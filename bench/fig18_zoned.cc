@@ -1,0 +1,61 @@
+// Regenerates Figure 18: projected energy impact of zoned backlighting for
+// the video and map applications, normalized to their baselines, for
+// no-zoning, 4-zone, and 8-zone displays at full and lowest fidelity.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/experiments.h"
+
+using namespace odapps;
+
+int main() {
+  odutil::Table table(
+      "Figure 18: Energy impact of zoned backlighting (normalized to each "
+      "application's baseline)");
+  table.SetHeader({"App", "Think (s)", "HW-PM no zones", "HW-PM 4 zones",
+                   "HW-PM 8 zones", "Lowest no zones", "Lowest 4 zones",
+                   "Lowest 8 zones"});
+
+  {
+    const VideoClip& clip = StandardVideoClips()[0];
+    double base =
+        RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, false, 9000).joules;
+    auto at = [&](VideoTrack track, double window, int zones) {
+      return RunZonedVideoExperiment(clip, track, window, zones, 9000).joules /
+             base;
+    };
+    table.AddRow({"Video", "N/A",
+                  odutil::Table::Num(at(VideoTrack::kBaseline, 1.0, 0), 2),
+                  odutil::Table::Num(at(VideoTrack::kBaseline, 1.0, 4), 2),
+                  odutil::Table::Num(at(VideoTrack::kBaseline, 1.0, 8), 2),
+                  odutil::Table::Num(at(VideoTrack::kPremiereC, 0.5, 0), 2),
+                  odutil::Table::Num(at(VideoTrack::kPremiereC, 0.5, 4), 2),
+                  odutil::Table::Num(at(VideoTrack::kPremiereC, 0.5, 8), 2)});
+  }
+
+  const MapObject& map = StandardMaps()[0];
+  for (double think : {0.0, 5.0, 10.0, 20.0}) {
+    double base =
+        RunMapExperiment(map, MapFidelity::kFull, think, false, 9100).joules;
+    auto at = [&](MapFidelity fidelity, int zones) {
+      return RunZonedMapExperiment(map, fidelity, think, zones, 9100).joules / base;
+    };
+    table.AddRow({"Map", odutil::Table::Num(think, 0),
+                  odutil::Table::Num(at(MapFidelity::kFull, 0), 2),
+                  odutil::Table::Num(at(MapFidelity::kFull, 4), 2),
+                  odutil::Table::Num(at(MapFidelity::kFull, 8), 2),
+                  odutil::Table::Num(at(MapFidelity::kCroppedSecondary, 0), 2),
+                  odutil::Table::Num(at(MapFidelity::kCroppedSecondary, 4), 2),
+                  odutil::Table::Num(at(MapFidelity::kCroppedSecondary, 8), 2)});
+  }
+  table.Print();
+
+  std::printf(
+      "Paper: video saves 17-18%% at full fidelity (one of four zones lit, or\n"
+      "two of eight — same lit area), 24%% / 28-29%% at lowest fidelity; the\n"
+      "full map shows no 4-zone benefit (all zones lit) and 7-8%% with eight\n"
+      "zones; lowering fidelity enhances zoned savings (cropped maps span two\n"
+      "of four / three of eight zones).  Savings rise with think time.\n");
+  return 0;
+}

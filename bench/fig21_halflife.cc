@@ -1,0 +1,48 @@
+// Regenerates Figure 21: sensitivity of goal-directed adaptation to the
+// smoothing half-life (1%, 5%, 10%, 15% of time remaining), on a 13,000 J
+// supply: goal-met percentage, residual energy, and adaptation count.
+
+#include <cstdio>
+
+#include "src/apps/goal_scenario.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace odapps;
+
+int main() {
+  odutil::Table table(
+      "Figure 21: Sensitivity to half-life (13,000 J supply, 1320 s goal; "
+      "5 trials per row; mean (stddev))");
+  table.SetHeader({"Half-Life", "Goal Met", "Residual (J)", "Adaptations"});
+
+  for (double fraction : {0.01, 0.05, 0.10, 0.15}) {
+    int met = 0;
+    odutil::RunningStats residual, adaptations;
+    for (uint64_t trial = 0; trial < 5; ++trial) {
+      GoalScenarioOptions options;
+      options.initial_joules = 13000.0;
+      options.goal = odsim::SimDuration::Seconds(1320);
+      options.director.half_life_fraction = fraction;
+      options.seed = 21000 + trial;
+      GoalScenarioResult result = RunGoalScenario(options);
+      if (result.goal_met) {
+        ++met;
+      }
+      residual.Add(result.residual_joules);
+      adaptations.Add(result.total_adaptations);
+    }
+    table.AddRow({odutil::Table::Num(fraction, 2), odutil::Table::Pct(met / 5.0, 0),
+                  odutil::Table::MeanStd(residual.mean(), residual.stddev(), 1),
+                  odutil::Table::MeanStd(adaptations.mean(),
+                                         adaptations.stddev(), 1)});
+  }
+  table.Print();
+  std::printf(
+      "Paper: a 1%% half-life is clearly too unstable — the system produces\n"
+      "the largest residue and adapts excessively; as the half-life grows the\n"
+      "system becomes more stable, at the risk of insufficient agility (the\n"
+      "paper's 15%% row missed its goal in one trial).  10%% is the chosen\n"
+      "operating point.\n");
+  return 0;
+}

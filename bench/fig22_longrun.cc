@@ -1,0 +1,43 @@
+// Regenerates Figure 22: longer-duration goal-directed adaptation — a
+// 90,000 J supply, an initial goal of 2:45 hours extended by 30 minutes at
+// the end of the first hour, and a stochastic bursty workload (Section 5.4);
+// five trials with different random seeds.
+
+#include <cstdio>
+
+#include "src/apps/goal_scenario.h"
+#include "src/util/table.h"
+
+using namespace odapps;
+
+int main() {
+  odutil::Table table(
+      "Figure 22: Longer-duration goal-directed adaptation (90,000 J; goal "
+      "2:45 h, +30 min at the end of the first hour; bursty workload)");
+  table.SetHeader({"Trial", "Goal Met", "Residual (J)", "Adapt Speech",
+                   "Adapt Video", "Adapt Map", "Adapt Web"});
+
+  for (uint64_t trial = 1; trial <= 5; ++trial) {
+    GoalScenarioOptions options;
+    options.bursty = true;
+    options.initial_joules = 90000.0;
+    options.goal = odsim::SimDuration::Seconds(9900);  // 2:45 hours.
+    options.extend_at = odsim::SimDuration::Seconds(3600);
+    options.extend_by = odsim::SimDuration::Seconds(1800);
+    options.seed = 22000 + trial;
+    GoalScenarioResult result = RunGoalScenario(options);
+    table.AddRow({std::to_string(trial), result.goal_met ? "Yes" : "No",
+                  odutil::Table::Num(result.residual_joules, 0),
+                  std::to_string(result.adaptations.at("Speech")),
+                  std::to_string(result.adaptations.at("Video")),
+                  std::to_string(result.adaptations.at("Map")),
+                  std::to_string(result.adaptations.at("Web"))});
+  }
+  table.Print();
+  std::printf(
+      "Paper: the goal was met in all five trials despite the bursty\n"
+      "workload; four of five trials ended with residual energy below 1%% of\n"
+      "the supply (the fifth at 2.8%%), and the longer horizon plus larger\n"
+      "hysteresis zone yields fewer adaptations than Figure 20.\n");
+  return 0;
+}

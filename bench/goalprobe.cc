@@ -1,0 +1,21 @@
+// Development aid: probes goal-directed dynamics.
+#include <cstdio>
+#include "src/apps/goal_scenario.h"
+using namespace odapps;
+int main() {
+  double full = MeasurePinnedLifetime(13500, false, 1);
+  double low = MeasurePinnedLifetime(13500, true, 1);
+  std::printf("pinned lifetime: full=%.0fs (%.1f min, %.2fW) low=%.0fs (%.1f min, %.2fW)\n",
+              full, full / 60, 13500 / full, low, low / 60, 13500 / low);
+  for (double goal_s : {1200.0, 1320.0, 1440.0, 1560.0}) {
+    GoalScenarioOptions opt;
+    opt.goal = odsim::SimDuration::Seconds(goal_s);
+    GoalScenarioResult r = RunGoalScenario(opt);
+    std::printf("goal=%4.0fs met=%d residual=%.0fJ elapsed=%.0fs adapts: S=%d V=%d M=%d W=%d final: S=%d V=%d M=%d W=%d\n",
+                goal_s, r.goal_met, r.residual_joules, r.elapsed_seconds,
+                r.adaptations["Speech"], r.adaptations["Video"], r.adaptations["Map"],
+                r.adaptations["Web"], r.final_fidelity["Speech"], r.final_fidelity["Video"],
+                r.final_fidelity["Map"], r.final_fidelity["Web"]);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the adaptation machinery (Section 5.1.4).
+//
+// The paper measures its prediction overhead at 4 mW on a 233 MHz Pentium
+// and projects under 14 mW total with a SmartBattery-based monitor.  These
+// google-benchmark measurements show the per-operation CPU cost of our
+// implementation's hot paths: the exponential smoother, demand predictor,
+// hysteresis decision, multimeter sample, and event-queue operations.
+
+#include <benchmark/benchmark.h>
+
+#include "src/energy/hysteresis.h"
+#include "src/energy/predictor.h"
+#include "src/energy/smoothing.h"
+#include "src/power/thinkpad560x.h"
+#include "src/powerscope/multimeter.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace {
+
+void BM_SmootherUpdate(benchmark::State& state) {
+  odenergy::ExponentialSmoother smoother;
+  smoother.set_half_life(120.0);
+  double x = 10.0;
+  for (auto _ : state) {
+    smoother.Update(x, 0.1);
+    benchmark::DoNotOptimize(smoother.value());
+    x += 0.001;
+  }
+}
+BENCHMARK(BM_SmootherUpdate);
+
+void BM_PredictorSample(benchmark::State& state) {
+  odenergy::DemandPredictor predictor(0.10);
+  double remaining = 1200.0;
+  for (auto _ : state) {
+    predictor.AddSample(10.0, 0.1, remaining);
+    benchmark::DoNotOptimize(predictor.PredictedDemandJoules(remaining));
+    remaining -= 0.1;
+    if (remaining < 1.0) {
+      remaining = 1200.0;
+    }
+  }
+}
+BENCHMARK(BM_PredictorSample);
+
+void BM_HysteresisDecide(benchmark::State& state) {
+  odenergy::HysteresisPolicy policy;
+  double demand = 9000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy.Decide(demand, 10000.0, 13500.0, odsim::SimTime::Seconds(1)));
+    demand += 1.0;
+    if (demand > 11000.0) {
+      demand = 9000.0;
+    }
+  }
+}
+BENCHMARK(BM_HysteresisDecide);
+
+void BM_MachineTotalPower(benchmark::State& state) {
+  odsim::Simulator sim;
+  auto laptop = odpower::MakeThinkPad560X(&sim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(laptop->machine().TotalPower());
+  }
+}
+BENCHMARK(BM_MachineTotalPower);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  odsim::EventQueue queue;
+  int64_t t = 0;
+  for (auto _ : state) {
+    queue.Push(odsim::SimTime::Micros(t++), [] {});
+    if (queue.size_for_testing() > 64) {
+      while (!queue.empty()) {
+        queue.Pop();
+      }
+    }
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_RngNormal(benchmark::State& state) {
+  odutil::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Normal(10.0, 0.02));
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_SimulatedSecondOfOnlineMonitoring(benchmark::State& state) {
+  // Full cost of one simulated second of Section 5 monitoring: ten 100 ms
+  // power samples plus two supply/demand evaluations.
+  for (auto _ : state) {
+    state.PauseTiming();
+    odsim::Simulator sim;
+    auto laptop = odpower::MakeThinkPad560X(&sim);
+    odenergy::DemandPredictor predictor(0.10);
+    odenergy::HysteresisPolicy policy;
+    state.ResumeTiming();
+    for (int i = 0; i < 10; ++i) {
+      double watts = laptop->machine().TotalPower();
+      predictor.AddSample(watts, 0.1, 1200.0);
+    }
+    for (int i = 0; i < 2; ++i) {
+      benchmark::DoNotOptimize(policy.Decide(
+          predictor.PredictedDemandJoules(1200.0), 13000.0, 13500.0,
+          odsim::SimTime::Seconds(1)));
+    }
+  }
+}
+BENCHMARK(BM_SimulatedSecondOfOnlineMonitoring);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Writing your own adaptive application against the Odyssey API.
+//
+// A hypothetical "news ticker" registers a three-level fidelity ladder with
+// the viceroy, declares a resource expectation window on network bandwidth
+// (the original Odyssey API), and receives upcalls when the observed
+// bandwidth leaves the window.  The energy goal director uses exactly the
+// same ladder via priorities.
+//
+//   $ ./build/examples/custom_adaptive_app
+
+#include <cstdio>
+#include <string>
+
+#include "src/apps/testbed.h"
+#include "src/odyssey/application.h"
+#include "src/odyssey/viceroy.h"
+
+namespace {
+
+class NewsTicker : public odyssey::AdaptiveApplication {
+ public:
+  explicit NewsTicker(odyssey::Viceroy* viceroy)
+      : viceroy_(viceroy),
+        spec_({"headlines only", "headlines + summaries", "full articles"}),
+        fidelity_(spec_.highest()) {
+    viceroy_->RegisterApplication(this);
+  }
+  ~NewsTicker() override { viceroy_->UnregisterApplication(this); }
+
+  const std::string& name() const override { return name_; }
+  int priority() const override { return 1; }
+  const odyssey::FidelitySpec& fidelity_spec() const override { return spec_; }
+  int current_fidelity() const override { return fidelity_; }
+
+  // The upcall: Odyssey tells us to change fidelity; we adjust what we fetch
+  // from the next refresh onward.
+  void SetFidelity(int level) override {
+    std::printf("  [upcall] news ticker: %s -> %s\n",
+                spec_.name(fidelity_).c_str(), spec_.name(level).c_str());
+    fidelity_ = level;
+  }
+
+  // Refresh sizes per fidelity level.
+  size_t RefreshBytes() const {
+    switch (fidelity_) {
+      case 0:
+        return 2 * 1024;
+      case 1:
+        return 24 * 1024;
+      default:
+        return 200 * 1024;
+    }
+  }
+
+ private:
+  odyssey::Viceroy* viceroy_;
+  std::string name_ = "NewsTicker";
+  odyssey::FidelitySpec spec_;
+  int fidelity_;
+};
+
+}  // namespace
+
+int main() {
+  odapps::TestBed bed;
+  NewsTicker ticker(&bed.viceroy());
+
+  // Express expectations: stay at this fidelity while bandwidth is within
+  // [0.5, 1.5] Mb/s; outside the window, Odyssey issues an upcall.
+  bed.viceroy().RegisterExpectation(&ticker, odyssey::ResourceId::kNetworkBandwidth,
+                                    0.5e6, 1.5e6);
+
+  std::printf("Bandwidth drops as the user walks away from the base station:\n");
+  for (double bw : {1.2e6, 0.8e6, 0.4e6, 0.2e6}) {
+    std::printf("observed bandwidth %.1f Mb/s:\n", bw / 1e6);
+    bed.viceroy().NotifyResourceLevel(odyssey::ResourceId::kNetworkBandwidth, bw);
+    std::printf("  ticker now fetches %zu bytes per refresh (%s)\n",
+                ticker.RefreshBytes(),
+                ticker.fidelity_spec().name(ticker.current_fidelity()).c_str());
+  }
+
+  std::printf("...and recovers on the walk back:\n");
+  for (double bw : {0.9e6, 2.0e6, 2.5e6}) {
+    std::printf("observed bandwidth %.1f Mb/s:\n", bw / 1e6);
+    bed.viceroy().NotifyResourceLevel(odyssey::ResourceId::kNetworkBandwidth, bw);
+    std::printf("  ticker now fetches %zu bytes per refresh (%s)\n",
+                ticker.RefreshBytes(),
+                ticker.fidelity_spec().name(ticker.current_fidelity()).c_str());
+  }
+
+  std::printf("\nTotal upcalls delivered: %d\n",
+              bed.viceroy().AdaptationCount(&ticker));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: build a simulated mobile client, play a video at two fidelity
+// levels, and compare the energy bills.
+//
+//   $ cmake -B build -G Ninja && cmake --build build
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/apps/testbed.h"
+
+int main() {
+  // A TestBed wires up the whole client: a ThinkPad 560X power model, a
+  // 2 Mb/s WaveLAN link, the Odyssey viceroy, and the four adaptive
+  // applications (video, speech, map, web).
+  odapps::TestBed bed;
+  bed.SetHardwarePm(true);  // Disk spin-down, network standby, display off
+                            // when idle.
+
+  const odapps::VideoClip& clip = odapps::StandardVideoClips()[0];
+
+  // Play the first 60 seconds at the highest fidelity...
+  auto high = bed.Measure([&](odsim::EventFn done) {
+    bed.video().PlaySegment(clip, odsim::SimDuration::Seconds(60),
+                            std::move(done));
+  });
+
+  // ...then again at the lowest fidelity on the goal-directed ladder
+  // (Premiere-C compression, quarter window, half frame rate, dim display).
+  bed.video().SetFidelity(0);
+  auto low = bed.Measure([&](odsim::EventFn done) {
+    bed.video().PlaySegment(clip, odsim::SimDuration::Seconds(60),
+                            std::move(done));
+  });
+
+  std::printf("60 s of %s:\n", clip.name.c_str());
+  std::printf("  highest fidelity: %6.1f J (%.2f W average)\n", high.joules,
+              high.average_watts());
+  std::printf("  lowest fidelity:  %6.1f J (%.2f W average)\n", low.joules,
+              low.average_watts());
+  std::printf("  energy saved by adaptation: %.0f%%\n",
+              100.0 * (1.0 - low.joules / high.joules));
+
+  std::printf("\nWhere the high-fidelity energy went (hardware view):\n");
+  for (const auto& [component, joules] : high.by_component) {
+    std::printf("  %-10s %7.1f J\n", component.c_str(), joules);
+  }
+  std::printf("\nAnd by software component (PowerScope view):\n");
+  for (const auto& [process, joules] : high.by_process) {
+    std::printf("  %-20s %7.1f J  (%.1f s CPU)\n", process.c_str(), joules,
+                high.cpu_seconds.at(process));
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Calibration constants for the simulated applications.
+//
+// Every tunable in the application models lives here.  Values were chosen so
+// that the reproduction falls inside (or near) the bands the paper reports
+// in Figures 6-16; tests/repro asserts those bands.  When adjusting a value,
+// re-run bench/fig16_summary to see the whole matrix.
+
+#ifndef SRC_APPS_CALIBRATION_H_
+#define SRC_APPS_CALIBRATION_H_
+
+#include <cstddef>
+
+namespace odapps {
+
+// ---------------------------------------------------------------------------
+// Video player (Section 3.3)
+// ---------------------------------------------------------------------------
+struct VideoCalibration {
+  // Playback chunk used for paced streaming.
+  double chunk_seconds = 0.5;
+  // CPU busy fraction for the X server at a full-size window; scales with
+  // window area (the paper: X energy proportional to window area).
+  double xserver_busy_full_window = 0.52;
+  // Odyssey/warden CPU overhead per chunk, as a busy fraction.
+  double odyssey_busy = 0.015;
+  // Fraction of baseline window linear dimension in the reduced-window
+  // fidelity (the paper halves height and width).
+  double reduced_window_scale = 0.5;
+};
+
+// ---------------------------------------------------------------------------
+// Speech recognizer (Section 3.4)
+// ---------------------------------------------------------------------------
+struct SpeechCalibration {
+  // Waveform data rate (16-bit, 8 kHz capture).
+  double waveform_bytes_per_second = 16000.0;
+  // Front-end CPU work to produce the waveform, per utterance second.
+  double frontend_rtf = 0.20;
+  // Local recognition real-time factors (CPU seconds per utterance second).
+  double local_rtf_full = 1.3;
+  double local_rtf_reduced = 0.70;
+  // Remote server processing real-time factors (client waits idle; the
+  // servers are 200 MHz Pentium Pro desktops, slower than real time on the
+  // full model).
+  double server_rtf_full = 1.5;
+  double server_rtf_reduced = 0.70;
+  // Hybrid: first recognition phase runs locally...
+  double hybrid_local_rtf_full = 0.22;
+  double hybrid_local_rtf_reduced = 0.18;
+  // ...compressing the waveform by this factor before shipping...
+  double hybrid_compression = 5.0;
+  // ...and the server finishes faster on the compact representation.
+  double hybrid_server_rtf_full = 0.75;
+  double hybrid_server_rtf_reduced = 0.40;
+  // Remote reply size (recognized text plus alignment data).
+  size_t reply_bytes = 1024;
+  // With vocabulary paging enabled ("more complex recognition tasks may
+  // trigger disk activity", Section 3.4), full-model local recognition
+  // touches the disk for this fraction of its CPU time; the reduced model
+  // fits entirely in physical memory.
+  double full_vocab_disk_fraction = 0.15;
+};
+
+// ---------------------------------------------------------------------------
+// Map viewer (Section 3.5)
+// ---------------------------------------------------------------------------
+struct MapCalibration {
+  // Seconds the server spends filtering/cropping before transmission.
+  double server_seconds = 0.35;
+  size_t request_bytes = 512;
+  // Client render cost: CPU seconds per megabyte of map data.
+  double render_cpu_seconds_per_mb = 1.6;
+  // Default user think time (sensitivity analysis uses 0/5/10/20 s).
+  double think_seconds = 5.0;
+};
+
+// ---------------------------------------------------------------------------
+// Web browser (Section 3.6)
+// ---------------------------------------------------------------------------
+struct WebCalibration {
+  // Distillation server transcode time per original megabyte.
+  double distill_seconds_per_mb = 1.2;
+  size_t request_bytes = 640;
+  size_t html_bytes = 2048;
+  // Render cost: CPU seconds per megabyte of image data.
+  double render_cpu_seconds_per_mb = 1.2;
+  double think_seconds = 5.0;
+  // JPEG distillation size factors relative to the original GIF.
+  double jpeg75_scale = 0.55;
+  double jpeg50_scale = 0.42;
+  double jpeg25_scale = 0.30;
+  double jpeg5_scale = 0.22;
+};
+
+inline constexpr VideoCalibration kVideoCal{};
+inline constexpr SpeechCalibration kSpeechCal{};
+inline constexpr MapCalibration kMapCal{};
+inline constexpr WebCalibration kWebCal{};
+
+}  // namespace odapps
+
+#endif  // SRC_APPS_CALIBRATION_H_

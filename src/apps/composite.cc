@@ -1,0 +1,111 @@
+#include "src/apps/composite.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odapps {
+
+CompositeApp::CompositeApp(odsim::Simulator* sim, SpeechRecognizer* speech,
+                           WebBrowser* web, MapViewer* map, DisplayArbiter* arbiter)
+    : sim_(sim), speech_(speech), web_(web), map_(map), arbiter_(arbiter) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(speech != nullptr);
+  OD_CHECK(web != nullptr);
+  OD_CHECK(map != nullptr);
+}
+
+void CompositeApp::RunIterations(int count, odsim::EventFn on_done) {
+  OD_CHECK(count >= 0);
+  OD_CHECK(!running_);
+  if (arbiter_ != nullptr && !holding_display_) {
+    holding_display_ = true;
+    arbiter_->Acquire();
+  }
+  if (count == 0) {
+    if (holding_display_) {
+      holding_display_ = false;
+      arbiter_->Release();
+    }
+    if (on_done) {
+      on_done();
+    }
+    return;
+  }
+  running_ = true;
+  RunIteration([this, count, on_done = std::move(on_done)]() mutable {
+    running_ = false;
+    RunIterations(count - 1, std::move(on_done));
+  });
+}
+
+void CompositeApp::StartPeriodic(odsim::SimDuration period) {
+  OD_CHECK(!periodic_);
+  OD_CHECK(!running_);
+  OD_CHECK(period > odsim::SimDuration::Zero());
+  periodic_ = true;
+  period_ = period;
+  if (arbiter_ != nullptr && !holding_display_) {
+    holding_display_ = true;
+    arbiter_->Acquire();
+  }
+  StartPeriodicIteration();
+}
+
+void CompositeApp::StartPeriodicIteration() {
+  if (!periodic_) {
+    return;
+  }
+  running_ = true;
+  iteration_start_ = sim_->Now();
+  RunIteration([this] {
+    running_ = false;
+    if (!periodic_) {
+      return;
+    }
+    odsim::SimTime next = iteration_start_ + period_;
+    if (next <= sim_->Now()) {
+      StartPeriodicIteration();
+    } else {
+      next_start_ = sim_->ScheduleAt(next, [this] { StartPeriodicIteration(); });
+    }
+  });
+}
+
+void CompositeApp::Stop() {
+  periodic_ = false;
+  next_start_.Cancel();
+  if (holding_display_) {
+    holding_display_ = false;
+    arbiter_->Release();
+  }
+}
+
+void CompositeApp::RunIteration(odsim::EventFn on_done) {
+  const auto& utterances = StandardUtterances();
+  const auto& images = StandardWebImages();
+  const auto& maps = StandardMaps();
+  int i = completed_;
+
+  const Utterance& first = utterances[static_cast<size_t>((2 * i) % 4)];
+  const Utterance& second = utterances[static_cast<size_t>((2 * i + 1) % 4)];
+  const WebImage& image = images[static_cast<size_t>(i % 4)];
+  const MapObject& map = maps[static_cast<size_t>(i % 4)];
+
+  speech_->Recognize(first, [this, &second, &image, &map,
+                             on_done = std::move(on_done)]() mutable {
+    speech_->Recognize(second, [this, &image, &map,
+                                on_done = std::move(on_done)]() mutable {
+      web_->BrowsePage(image, [this, &map, on_done = std::move(on_done)]() mutable {
+        map_->ViewMap(map, [this, on_done = std::move(on_done)]() mutable {
+          ++completed_;
+          if (on_done) {
+            on_done();
+          }
+        });
+      });
+    });
+  });
+}
+
+}  // namespace odapps

@@ -1,0 +1,65 @@
+// The composite application of Section 3.7: a user searching for Web and
+// map information using speech commands.  One iteration is: local
+// recognition of two speech utterances, access of a Web page, access of a
+// map, with five seconds of think time after each access (think time is
+// part of BrowsePage/ViewMap).
+//
+// Section 5 runs the same loop continuously, starting an iteration every
+// 25 seconds, concurrently with a background video.
+
+#ifndef SRC_APPS_COMPOSITE_H_
+#define SRC_APPS_COMPOSITE_H_
+
+#include "src/apps/data_objects.h"
+#include "src/apps/display_arbiter.h"
+#include "src/apps/map_viewer.h"
+#include "src/apps/speech_recognizer.h"
+#include "src/apps/web_browser.h"
+#include "src/sim/simulator.h"
+
+namespace odapps {
+
+class CompositeApp {
+ public:
+  // The composite user is continuously at the screen, so the display is
+  // held bright for the whole run when `arbiter` is given (pass null to let
+  // the per-application policy govern instead).
+  CompositeApp(odsim::Simulator* sim, SpeechRecognizer* speech, WebBrowser* web,
+               MapViewer* map, DisplayArbiter* arbiter = nullptr);
+
+  CompositeApp(const CompositeApp&) = delete;
+  CompositeApp& operator=(const CompositeApp&) = delete;
+
+  // Runs `count` iterations back to back; `on_done` fires after the last.
+  void RunIterations(int count, odsim::EventFn on_done);
+
+  // Starts one iteration every `period` (Section 5's continuous workload).
+  // If an iteration overruns the period, the next starts immediately after.
+  void StartPeriodic(odsim::SimDuration period);
+  void Stop();
+
+  int completed_iterations() const { return completed_; }
+  bool running() const { return running_; }
+
+ private:
+  void RunIteration(odsim::EventFn on_done);
+  void StartPeriodicIteration();
+
+  odsim::Simulator* sim_;
+  SpeechRecognizer* speech_;
+  WebBrowser* web_;
+  MapViewer* map_;
+  DisplayArbiter* arbiter_;
+  bool holding_display_ = false;
+
+  int completed_ = 0;
+  bool running_ = false;
+  bool periodic_ = false;
+  odsim::SimDuration period_;
+  odsim::SimTime iteration_start_;
+  odsim::EventHandle next_start_;
+};
+
+}  // namespace odapps
+
+#endif  // SRC_APPS_COMPOSITE_H_

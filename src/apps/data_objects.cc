@@ -1,0 +1,81 @@
+#include "src/apps/data_objects.h"
+
+#include "src/util/check.h"
+
+namespace odapps {
+
+const VideoTrackSpec& VideoClip::track(VideoTrack t) const {
+  switch (t) {
+    case VideoTrack::kBaseline:
+      return baseline;
+    case VideoTrack::kPremiereB:
+      return premiere_b;
+    case VideoTrack::kPremiereC:
+      return premiere_c;
+  }
+  OD_CHECK(false);
+  return baseline;
+}
+
+const std::array<VideoClip, 4>& StandardVideoClips() {
+  // Bitrate and decode cost fall with lossy compression; per-clip variation
+  // reflects content complexity.
+  static const std::array<VideoClip, 4> kClips = {{
+      {"Video 1", 127.0, {1.70e6, 0.39}, {1.20e6, 0.27}, {0.85e6, 0.16}},
+      {"Video 2", 165.0, {1.60e6, 0.37}, {1.12e6, 0.26}, {0.80e6, 0.15}},
+      {"Video 3", 198.0, {1.75e6, 0.40}, {1.25e6, 0.28}, {0.88e6, 0.17}},
+      {"Video 4", 226.0, {1.55e6, 0.36}, {1.08e6, 0.25}, {0.78e6, 0.15}},
+  }};
+  return kClips;
+}
+
+oddisplay::Rect VideoWindow(double scale) {
+  OD_CHECK(scale > 0.0 && scale <= 1.0);
+  // Baseline window: 0.40 x 0.40 of the screen, near the top-left corner —
+  // inside one zone of the 4-zone display, two zones of the 8-zone display.
+  return oddisplay::Rect{0.05, 0.05, 0.40 * scale, 0.40 * scale};
+}
+
+const std::array<Utterance, 4>& StandardUtterances() {
+  static const std::array<Utterance, 4> kUtterances = {{
+      {"Utterance 1", 1.2},
+      {"Utterance 2", 2.8},
+      {"Utterance 3", 4.5},
+      {"Utterance 4", 6.8},
+  }};
+  return kUtterances;
+}
+
+const std::array<MapObject, 4>& StandardMaps() {
+  // Filter effectiveness varies with how much of a city's data is minor or
+  // secondary roads — hence the wide per-object savings spread in Figure 10.
+  static const std::array<MapObject, 4> kMaps = {{
+      {"San Jose", 1500000, 825000, 450000, 495000, 150000},
+      {"Allentown", 450000, 383000, 195000, 203000, 75000},
+      {"Boston", 1200000, 540000, 264000, 360000, 108000},
+      {"Pittsburgh", 800000, 480000, 280000, 320000, 120000},
+  }};
+  return kMaps;
+}
+
+oddisplay::Rect MapWindowFull() {
+  // Spans all four zones of the 4-zone display and six of the eight.
+  return oddisplay::Rect{0.0, 0.0, 0.74, 1.0};
+}
+
+oddisplay::Rect MapWindowCropped() {
+  // Spans two zones of the 4-zone display and three of the eight.
+  return oddisplay::Rect{0.0, 0.0, 0.60, 0.48};
+}
+
+const std::array<WebImage, 4>& StandardWebImages() {
+  static const std::array<WebImage, 4> kImages = {{
+      {"Image 1", 175000},
+      {"Image 2", 70000},
+      {"Image 3", 12000},
+      {"Image 4", 110},
+  }};
+  return kImages;
+}
+
+}  // namespace odapps

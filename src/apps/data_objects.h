@@ -1,0 +1,87 @@
+// The data objects of Section 3.2: four video clips, four speech
+// utterances, four maps, and four Web images.  Parameters (durations,
+// bitrates, sizes) match the ranges the paper states; per-object variation
+// drives the min-max spread in Figure 16.
+
+#ifndef SRC_APPS_DATA_OBJECTS_H_
+#define SRC_APPS_DATA_OBJECTS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "src/display/geometry.h"
+
+namespace odapps {
+
+// -- Video -------------------------------------------------------------------
+
+enum class VideoTrack {
+  kBaseline,    // Full-quality QuickTime/Cinepak encoding.
+  kPremiereB,   // Moderate lossy compression (Adobe Premiere preset B).
+  kPremiereC,   // Aggressive lossy compression (preset C).
+};
+
+struct VideoTrackSpec {
+  double bitrate_bps;
+  // Decoder (xanim) CPU busy fraction during playback.
+  double decode_busy;
+};
+
+struct VideoClip {
+  std::string name;
+  double duration_seconds;
+  VideoTrackSpec baseline;
+  VideoTrackSpec premiere_b;
+  VideoTrackSpec premiere_c;
+
+  const VideoTrackSpec& track(VideoTrack t) const;
+};
+
+// The paper's clips run 127-226 seconds.
+const std::array<VideoClip, 4>& StandardVideoClips();
+
+// Normalized screen rectangle of the playback window at the given linear
+// scale (1.0 = baseline window), used by the zoned-backlight projection.
+oddisplay::Rect VideoWindow(double scale);
+
+// -- Speech ------------------------------------------------------------------
+
+struct Utterance {
+  std::string name;
+  double duration_seconds;  // The paper's utterances run 1-7 seconds.
+};
+
+const std::array<Utterance, 4>& StandardUtterances();
+
+// -- Maps --------------------------------------------------------------------
+
+struct MapObject {
+  std::string name;  // City name.
+  // Transfer sizes in bytes at each fidelity.
+  size_t full_bytes;
+  size_t minor_filter_bytes;      // Minor roads omitted.
+  size_t secondary_filter_bytes;  // Minor and secondary roads omitted.
+  size_t cropped_bytes;           // Cropped to half height and width.
+  size_t cropped_secondary_bytes;
+};
+
+const std::array<MapObject, 4>& StandardMaps();
+
+// Window rectangles used for the zoned-backlight projection (Figure 18):
+// the full map view spans six of eight zones; the cropped view three.
+oddisplay::Rect MapWindowFull();
+oddisplay::Rect MapWindowCropped();
+
+// -- Web images --------------------------------------------------------------
+
+struct WebImage {
+  std::string name;
+  size_t gif_bytes;  // The paper's images run 110 B to 175 KB.
+};
+
+const std::array<WebImage, 4>& StandardWebImages();
+
+}  // namespace odapps
+
+#endif  // SRC_APPS_DATA_OBJECTS_H_

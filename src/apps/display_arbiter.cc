@@ -1,0 +1,47 @@
+#include "src/apps/display_arbiter.h"
+
+#include "src/util/check.h"
+
+namespace odapps {
+
+DisplayArbiter::DisplayArbiter(odpower::PowerManager* pm) : pm_(pm) {
+  OD_CHECK(pm != nullptr);
+}
+
+void DisplayArbiter::Acquire(DisplayNeed need) {
+  if (need == DisplayNeed::kBright) {
+    ++bright_holders_;
+  } else {
+    ++dim_holders_;
+  }
+  Apply();
+}
+
+void DisplayArbiter::Release(DisplayNeed need) {
+  if (need == DisplayNeed::kBright) {
+    OD_CHECK(bright_holders_ > 0);
+    --bright_holders_;
+  } else {
+    OD_CHECK(dim_holders_ > 0);
+    --dim_holders_;
+  }
+  Apply();
+}
+
+void DisplayArbiter::set_off_when_idle(bool off) {
+  off_when_idle_ = off;
+  Apply();
+}
+
+void DisplayArbiter::Apply() {
+  if (bright_holders_ > 0) {
+    pm_->SetDisplay(odpower::DisplayState::kBright);
+  } else if (dim_holders_ > 0) {
+    pm_->SetDisplay(odpower::DisplayState::kDim);
+  } else {
+    pm_->SetDisplay(off_when_idle_ ? odpower::DisplayState::kOff
+                                   : odpower::DisplayState::kBright);
+  }
+}
+
+}  // namespace odapps

@@ -1,0 +1,53 @@
+// Display arbitration between concurrent applications.
+//
+// Applications that present visual output hold the display while active,
+// including user think time.  A holder states how much light it needs:
+// kBright for foreground interaction (maps, web pages, full-fidelity
+// video), kDim for ambient output (the video player's lowest fidelity level
+// dims the backlight).  The display is bright if any holder needs bright,
+// dim if the remaining holders accept dim, and otherwise follows the idle
+// policy: off under hardware power management (the paper turns the display
+// off during the speech experiments), bright without it.
+
+#ifndef SRC_APPS_DISPLAY_ARBITER_H_
+#define SRC_APPS_DISPLAY_ARBITER_H_
+
+#include "src/power/power_manager.h"
+
+namespace odapps {
+
+enum class DisplayNeed {
+  kBright,
+  kDim,
+};
+
+class DisplayArbiter {
+ public:
+  explicit DisplayArbiter(odpower::PowerManager* pm);
+
+  DisplayArbiter(const DisplayArbiter&) = delete;
+  DisplayArbiter& operator=(const DisplayArbiter&) = delete;
+
+  // Visual applications bracket their activity with Acquire/Release; the
+  // need passed to Release must match the corresponding Acquire.
+  void Acquire(DisplayNeed need = DisplayNeed::kBright);
+  void Release(DisplayNeed need = DisplayNeed::kBright);
+
+  // When true (hardware power management), the display turns off while no
+  // application holds it.
+  void set_off_when_idle(bool off);
+
+  int holders() const { return bright_holders_ + dim_holders_; }
+
+ private:
+  void Apply();
+
+  odpower::PowerManager* pm_;
+  int bright_holders_ = 0;
+  int dim_holders_ = 0;
+  bool off_when_idle_ = false;
+};
+
+}  // namespace odapps
+
+#endif  // SRC_APPS_DISPLAY_ARBITER_H_

@@ -1,0 +1,72 @@
+// Canonical experiment runners for the paper's evaluation (Sections 3-4).
+//
+// Each runner builds a fresh TestBed (so runs are independent, like the
+// paper's separate trials), lets the hardware settle into its resting state,
+// executes one workload, and returns the measurement.  Both the bench
+// binaries and the reproduction tests drive these, so the numbers in
+// EXPERIMENTS.md and the asserted bands come from identical code paths.
+
+#ifndef SRC_APPS_EXPERIMENTS_H_
+#define SRC_APPS_EXPERIMENTS_H_
+
+#include "src/apps/data_objects.h"
+#include "src/apps/map_viewer.h"
+#include "src/apps/speech_recognizer.h"
+#include "src/apps/testbed.h"
+#include "src/apps/video_player.h"
+#include "src/apps/web_browser.h"
+
+namespace odapps {
+
+// Lets power-managed devices reach their resting states (disk spin-down
+// takes 10 s) before measurement begins.
+void Settle(TestBed& bed);
+
+// -- Section 3.3: video ------------------------------------------------------
+
+TestBed::Measurement RunVideoExperiment(const VideoClip& clip, VideoTrack track,
+                                        double window_scale, bool hw_pm,
+                                        uint64_t seed);
+
+// -- Section 3.4: speech -----------------------------------------------------
+
+TestBed::Measurement RunSpeechExperiment(const Utterance& utterance,
+                                         SpeechMode mode, bool reduced_model,
+                                         bool hw_pm, uint64_t seed);
+
+// -- Section 3.5: maps -------------------------------------------------------
+
+TestBed::Measurement RunMapExperiment(const MapObject& map, MapFidelity fidelity,
+                                      double think_seconds, bool hw_pm,
+                                      uint64_t seed);
+
+// -- Section 3.6: web --------------------------------------------------------
+
+TestBed::Measurement RunWebExperiment(const WebImage& image, WebFidelity fidelity,
+                                      double think_seconds, bool hw_pm,
+                                      uint64_t seed);
+
+// -- Section 3.7: concurrency ------------------------------------------------
+
+// Runs `iterations` of the composite application, optionally with the
+// background video player looping Video 1.  `lowest_fidelity` pins every
+// application to its lowest level.
+TestBed::Measurement RunCompositeExperiment(int iterations, bool lowest_fidelity,
+                                            bool hw_pm, bool with_video,
+                                            uint64_t seed);
+
+// -- Section 4: zoned backlighting -------------------------------------------
+
+// Zone layouts for the projection: 0 = no zoning, 4, or 8 zones.
+TestBed::Measurement RunZonedVideoExperiment(const VideoClip& clip,
+                                             VideoTrack track, double window_scale,
+                                             int zones, uint64_t seed);
+
+TestBed::Measurement RunZonedMapExperiment(const MapObject& map,
+                                           MapFidelity fidelity,
+                                           double think_seconds, int zones,
+                                           uint64_t seed);
+
+}  // namespace odapps
+
+#endif  // SRC_APPS_EXPERIMENTS_H_

@@ -1,0 +1,130 @@
+#include "src/apps/goal_scenario.h"
+
+#include <memory>
+
+#include "src/apps/bursty.h"
+#include "src/apps/composite.h"
+#include "src/apps/experiments.h"
+#include "src/powerscope/online_monitor.h"
+#include "src/powerscope/smart_battery.h"
+#include "src/util/check.h"
+
+namespace odapps {
+
+GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
+  TestBed bed(TestBed::Options{.seed = options.seed, .hw_pm = true, .link = {}});
+  if (options.invert_priorities) {
+    bed.speech().set_priority(3);
+    bed.video().set_priority(2);
+    bed.map().set_priority(1);
+    bed.web().set_priority(0);
+  }
+  if (options.rpc_loss_probability > 0.0) {
+    odnet::RpcConfig rpc;
+    rpc.loss_probability = options.rpc_loss_probability;
+    bed.viceroy().rpc().set_config(rpc);
+  }
+  Settle(bed);
+
+  odsim::SimTime start = bed.sim().Now();
+  bed.laptop().accounting().Reset(start);
+  odpower::EnergySupply supply(&bed.laptop().accounting(), options.initial_joules);
+  std::unique_ptr<odscope::PowerMonitor> monitor;
+  odenergy::GoalDirectorConfig director_config = options.director;
+  if (options.use_smart_battery) {
+    monitor = std::make_unique<odscope::SmartBattery>(
+        &bed.sim(), &bed.laptop().machine(), odscope::SmartBatteryConfig{},
+        options.seed ^ 0xf00dULL);
+    // A coarse, quantized gauge warrants a small safety margin.
+    if (director_config.residual_safety_fraction == 0.0) {
+      director_config.residual_safety_fraction = 0.04;
+    }
+  } else {
+    monitor = std::make_unique<odscope::OnlineMonitor>(
+        &bed.sim(), &bed.laptop().machine(), odscope::OnlineMonitorConfig{},
+        options.seed ^ 0xf00dULL);
+  }
+  odenergy::GoalDirector director(&bed.viceroy(), &supply, monitor.get(),
+                                  start + options.goal, director_config);
+
+  // Workload.
+  CompositeApp composite(&bed.sim(), &bed.speech(), &bed.web(), &bed.map());
+  std::unique_ptr<BurstyWorkload> bursty;
+  if (options.bursty) {
+    bursty = std::make_unique<BurstyWorkload>(&bed.sim(), &bed.video(),
+                                              &bed.speech(), &bed.web(),
+                                              &bed.map(), &bed.rng());
+    bursty->Start();
+  } else {
+    composite.StartPeriodic(options.composite_period);
+    bed.video().PlayLooping(StandardVideoClips()[0]);
+  }
+
+  if (options.extend_at.has_value()) {
+    bed.sim().Schedule(*options.extend_at, [&director, &options] {
+      director.ExtendGoal(director.goal() + options.extend_by);
+    });
+  }
+
+  director.Start(/*stop_sim_on_completion=*/true);
+  // Safety valve: infeasible configurations should end, not hang.
+  odsim::SimTime hard_stop =
+      start + options.goal + options.extend_by + options.max_overrun;
+  bed.sim().RunUntil(hard_stop);
+
+  odsim::SimTime end = bed.sim().Now();
+  director.Stop();
+  composite.Stop();
+  bed.video().StopLooping();
+  if (bursty != nullptr) {
+    bursty->Stop();
+  }
+
+  GoalScenarioResult result;
+  result.goal_met = director.outcome() == odenergy::GoalOutcome::kGoalMet;
+  result.residual_joules = supply.ResidualJoules(end);
+  result.elapsed_seconds = (end - start).seconds();
+  result.timeline = director.timeline();
+  for (odyssey::AdaptiveApplication* app : bed.viceroy().applications()) {
+    result.adaptations[app->name()] = bed.viceroy().AdaptationCount(app);
+    result.fidelity_traces[app->name()] = director.FidelityLog(app);
+    result.final_fidelity[app->name()] = app->current_fidelity();
+  }
+  result.total_adaptations = bed.viceroy().TotalAdaptations();
+  if (director.infeasibility_detected().has_value()) {
+    result.infeasibility_detected_seconds =
+        (*director.infeasibility_detected() - start).seconds();
+  }
+  return result;
+}
+
+double MeasurePinnedLifetime(double initial_joules, bool lowest_fidelity,
+                             uint64_t seed) {
+  TestBed bed(TestBed::Options{.seed = seed, .hw_pm = true, .link = {}});
+  if (lowest_fidelity) {
+    bed.speech().SetFidelity(0);
+    bed.video().SetFidelity(0);
+    bed.map().SetFidelity(0);
+    bed.web().SetFidelity(0);
+  }
+  Settle(bed);
+
+  odsim::SimTime start = bed.sim().Now();
+  bed.laptop().accounting().Reset(start);
+  odpower::EnergySupply supply(&bed.laptop().accounting(), initial_joules);
+
+  CompositeApp composite(&bed.sim(), &bed.speech(), &bed.web(), &bed.map());
+  composite.StartPeriodic(odsim::SimDuration::Seconds(25));
+  bed.video().PlayLooping(StandardVideoClips()[0]);
+
+  // Poll for exhaustion at one-second granularity.
+  while (!supply.Exhausted(bed.sim().Now())) {
+    bed.sim().RunUntil(bed.sim().Now() + odsim::SimDuration::Seconds(1));
+  }
+  double lifetime = (bed.sim().Now() - start).seconds();
+  composite.Stop();
+  bed.video().StopLooping();
+  return lifetime;
+}
+
+}  // namespace odapps

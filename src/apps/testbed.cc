@@ -1,0 +1,90 @@
+#include "src/apps/testbed.h"
+
+#include "src/util/check.h"
+
+namespace odapps {
+
+TestBed::TestBed(const Options& options) : rng_(options.seed) {
+  laptop_ = odpower::MakeThinkPad560X(&sim_);
+  link_ = std::make_unique<odnet::Link>(&sim_, &laptop_->power_manager(),
+                                        options.link);
+  viceroy_ = std::make_unique<odyssey::Viceroy>(&sim_, link_.get(),
+                                                &laptop_->power_manager());
+  arbiter_ = std::make_unique<DisplayArbiter>(&laptop_->power_manager());
+
+  // Priorities follow Section 5.2: Speech lowest, then Video, Map, Web.
+  speech_ = std::make_unique<SpeechRecognizer>(viceroy_.get(), &rng_, 0);
+  video_ = std::make_unique<VideoPlayer>(viceroy_.get(), arbiter_.get(), &rng_, 1);
+  map_ = std::make_unique<MapViewer>(viceroy_.get(), arbiter_.get(), &rng_, 2);
+  web_ = std::make_unique<WebBrowser>(viceroy_.get(), arbiter_.get(), &rng_, 3);
+
+  SetHardwarePm(options.hw_pm);
+}
+
+TestBed::~TestBed() = default;
+
+void TestBed::SetHardwarePm(bool enabled) {
+  laptop_->power_manager().SetHardwarePmEnabled(enabled);
+  arbiter_->set_off_when_idle(enabled);
+}
+
+bool TestBed::hardware_pm() const {
+  return laptop_->power_manager().hardware_pm_enabled();
+}
+
+double TestBed::Measurement::Component(const std::string& name) const {
+  auto it = by_component.find(name);
+  return it == by_component.end() ? 0.0 : it->second;
+}
+
+double TestBed::Measurement::Process(const std::string& name) const {
+  auto it = by_process.find(name);
+  return it == by_process.end() ? 0.0 : it->second;
+}
+
+TestBed::Measurement TestBed::Measure(
+    const std::function<void(odsim::EventFn done)>& body) {
+  odsim::SimTime start = sim_.Now();
+  laptop_->accounting().Reset(start);
+
+  bool finished = false;
+  body([this, &finished] {
+    finished = true;
+    sim_.Stop();
+  });
+  sim_.Run();
+  OD_CHECK_MSG(finished, "workload did not signal completion");
+  return Collect(start);
+}
+
+TestBed::Measurement TestBed::MeasureFor(odsim::SimDuration duration) {
+  odsim::SimTime start = sim_.Now();
+  laptop_->accounting().Reset(start);
+  sim_.RunUntil(start + duration);
+  return Collect(start);
+}
+
+TestBed::Measurement TestBed::Collect(odsim::SimTime start) {
+  odsim::SimTime now = sim_.Now();
+  odpower::EnergyAccounting& accounting = laptop_->accounting();
+
+  Measurement m;
+  m.joules = accounting.TotalJoules(now);
+  m.seconds = (now - start).seconds();
+
+  odpower::Machine& machine = laptop_->machine();
+  for (int i = 0; i < machine.component_count(); ++i) {
+    m.by_component[machine.component(i).name()] = accounting.ComponentJoules(i, now);
+  }
+  m.by_component["Synergy"] = accounting.SynergyJoules(now);
+
+  for (odsim::ProcessId pid : accounting.Processes(now)) {
+    odpower::ContextUsage usage = accounting.ProcessUsage(pid, now);
+    const std::string& name = sim_.processes().ProcessName(pid);
+    m.by_process[name] = usage.joules;
+    m.cpu_seconds[name] = usage.cpu_seconds;
+  }
+  return m;
+}
+
+}  // namespace odapps

@@ -1,0 +1,33 @@
+// Screen geometry for zoned backlighting.
+//
+// Windows and zones are axis-aligned rectangles in normalized screen
+// coordinates: (0,0) is the top-left corner and the full screen is the unit
+// square.
+
+#ifndef SRC_DISPLAY_GEOMETRY_H_
+#define SRC_DISPLAY_GEOMETRY_H_
+
+namespace oddisplay {
+
+struct Rect {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  bool empty() const { return w <= 0.0 || h <= 0.0; }
+
+  // True if the interiors overlap (shared edges do not count, so a window
+  // that exactly abuts a zone boundary does not light the neighbouring
+  // zone — the "snap-to" placement the paper envisions).
+  bool Intersects(const Rect& other) const {
+    return x < other.x + other.w && other.x < x + w && y < other.y + other.h &&
+           other.y < y + h;
+  }
+
+  static Rect FullScreen() { return Rect{0.0, 0.0, 1.0, 1.0}; }
+};
+
+}  // namespace oddisplay
+
+#endif  // SRC_DISPLAY_GEOMETRY_H_

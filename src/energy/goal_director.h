@@ -1,0 +1,157 @@
+// Goal-directed energy adaptation (Section 5).
+//
+// The user specifies how long the battery must last.  Twice a second the
+// director compares residual energy (tracked from on-line power samples
+// against a known initial value) with predicted future demand (smoothed
+// power times time remaining).  When demand exceeds supply it degrades the
+// lowest-priority application one fidelity step; when supply exceeds demand
+// by the hysteresis margin it upgrades the highest-priority application,
+// at most once per 15 seconds.  The run ends when the goal is reached or
+// the supply is exhausted.
+
+#ifndef SRC_ENERGY_GOAL_DIRECTOR_H_
+#define SRC_ENERGY_GOAL_DIRECTOR_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/energy/hysteresis.h"
+#include "src/energy/predictor.h"
+#include "src/odyssey/viceroy.h"
+#include "src/power/supply.h"
+#include "src/powerscope/power_monitor.h"
+
+namespace odenergy {
+
+struct GoalDirectorConfig {
+  // How often supply and demand are compared (the paper: twice a second).
+  odsim::SimDuration evaluation_period = odsim::SimDuration::Millis(500);
+  // Smoothing half-life as a fraction of time remaining (Section 5.3's
+  // sensitivity analysis chose 10%).
+  double half_life_fraction = 0.10;
+  HysteresisConfig hysteresis;
+  // Minimum spacing between degradations, giving the smoothed estimate time
+  // to reflect one step before taking the next.
+  odsim::SimDuration degrade_interval = odsim::SimDuration::Seconds(5);
+  // Safety margin on the measured residual: adaptation decisions treat the
+  // supply as (1 - f) of the estimate.  Zero for the prototype's accurate
+  // multimeter; a coarse gas gauge warrants a few percent.
+  double residual_safety_fraction = 0.0;
+  // Record a supply/demand timeline point at every evaluation (Figure 19).
+  bool record_timeline = true;
+  // An infeasible goal (Section 5.1.1: demand exceeds supply even with
+  // every application at lowest fidelity) is reported once the state has
+  // persisted for a full smoothing half-life (so the estimate reflects
+  // lowest-fidelity operation, not the pre-degradation transient), but at
+  // least this long — early, not at exhaustion.
+  double infeasibility_min_seconds = 10.0;
+  // ...and only when the deficit is material: a feasible run skirts the
+  // supply/demand boundary by design, so small transients must not alert.
+  double infeasibility_deficit_fraction = 0.05;
+};
+
+struct TimelinePoint {
+  odsim::SimTime time;
+  double residual_joules;
+  double demand_joules;
+};
+
+struct FidelityChange {
+  odsim::SimTime time;
+  int level;
+};
+
+enum class GoalOutcome {
+  kRunning,
+  kGoalMet,       // The supply lasted until the specified time.
+  kExhausted,     // Residual energy reached zero before the goal.
+};
+
+class GoalDirector {
+ public:
+  // `monitor` is any power source implementing PowerMonitor: the
+  // prototype's on-line multimeter or a SmartBattery gas gauge.
+  GoalDirector(odyssey::Viceroy* viceroy, odpower::EnergySupply* supply,
+               odscope::PowerMonitor* monitor, odsim::SimTime goal,
+               const GoalDirectorConfig& config = GoalDirectorConfig{});
+
+  GoalDirector(const GoalDirector&) = delete;
+  GoalDirector& operator=(const GoalDirector&) = delete;
+
+  // Begins monitoring and adaptation.  Stops the simulator when the run
+  // completes (goal met or supply exhausted) if `stop_sim_on_completion`.
+  void Start(bool stop_sim_on_completion = true);
+  void Stop();
+
+  // Revises the goal mid-run (the user re-estimating battery needs).
+  // Clears any pending infeasibility report: the user has respecified.
+  void ExtendGoal(odsim::SimTime new_goal);
+
+  // -- Infeasibility (Section 5.1.1) ----------------------------------------
+
+  // "An infeasible duration is one so large that the available energy is
+  // inadequate even if all applications run at lowest fidelity."  When the
+  // director detects this it alerts the user as early as possible.
+  using InfeasibilityFn = std::function<void(odsim::SimTime, double deficit_joules)>;
+  void set_infeasibility_callback(InfeasibilityFn callback) {
+    infeasibility_callback_ = std::move(callback);
+  }
+
+  // Time at which infeasibility was first reported, if it was.
+  std::optional<odsim::SimTime> infeasibility_detected() const {
+    return infeasibility_detected_;
+  }
+
+  odsim::SimTime goal() const { return goal_; }
+  GoalOutcome outcome() const { return outcome_; }
+
+  // Residual energy as the director believes it (initial minus measured).
+  double EstimatedResidualJoules() const;
+
+  // Residual energy, ground truth.
+  double TrueResidualJoules(odsim::SimTime now) { return supply_->ResidualJoules(now); }
+
+  const std::vector<TimelinePoint>& timeline() const { return timeline_; }
+  const std::vector<FidelityChange>& FidelityLog(
+      const odyssey::AdaptiveApplication* app) const;
+
+  const DemandPredictor& predictor() const { return predictor_; }
+
+ private:
+  void OnPowerSample(odsim::SimTime now, double watts);
+  void Evaluate();
+  void Complete(GoalOutcome outcome);
+
+  odyssey::AdaptiveApplication* PickDegradeTarget() const;
+  odyssey::AdaptiveApplication* PickUpgradeTarget() const;
+
+  odyssey::Viceroy* viceroy_;
+  odpower::EnergySupply* supply_;
+  odscope::PowerMonitor* monitor_;
+  odsim::SimTime goal_;
+  GoalDirectorConfig config_;
+
+  DemandPredictor predictor_;
+  HysteresisPolicy hysteresis_;
+
+  bool running_ = false;
+  bool stop_sim_on_completion_ = true;
+  GoalOutcome outcome_ = GoalOutcome::kRunning;
+  odsim::EventHandle next_eval_;
+  odsim::SimTime last_degrade_ = odsim::SimTime::Zero();
+  bool has_degraded_ = false;
+
+  std::vector<TimelinePoint> timeline_;
+  std::unordered_map<const odyssey::AdaptiveApplication*, std::vector<FidelityChange>>
+      fidelity_log_;
+
+  std::optional<odsim::SimTime> infeasible_since_;
+  std::optional<odsim::SimTime> infeasibility_detected_;
+  InfeasibilityFn infeasibility_callback_;
+};
+
+}  // namespace odenergy
+
+#endif  // SRC_ENERGY_GOAL_DIRECTOR_H_

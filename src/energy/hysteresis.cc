@@ -1,0 +1,37 @@
+#include "src/energy/hysteresis.h"
+
+#include "src/util/check.h"
+
+namespace odenergy {
+
+HysteresisPolicy::HysteresisPolicy(const HysteresisConfig& config) : config_(config) {
+  OD_CHECK(config.variable_fraction >= 0.0);
+  OD_CHECK(config.constant_fraction >= 0.0);
+}
+
+double HysteresisPolicy::UpgradeMarginJoules(double residual_joules,
+                                             double initial_joules) const {
+  return config_.variable_fraction * residual_joules +
+         config_.constant_fraction * initial_joules;
+}
+
+AdaptAction HysteresisPolicy::Decide(double demand_joules, double residual_joules,
+                                     double initial_joules, odsim::SimTime now) {
+  if (demand_joules > residual_joules) {
+    return AdaptAction::kDegrade;
+  }
+  double margin = UpgradeMarginJoules(residual_joules, initial_joules);
+  if (residual_joules - demand_joules > margin) {
+    if (!has_upgraded_ || now - last_upgrade_ >= config_.upgrade_interval) {
+      return AdaptAction::kUpgrade;
+    }
+  }
+  return AdaptAction::kNone;
+}
+
+void HysteresisPolicy::NoteUpgrade(odsim::SimTime now) {
+  last_upgrade_ = now;
+  has_upgraded_ = true;
+}
+
+}  // namespace odenergy

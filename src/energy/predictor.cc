@@ -1,0 +1,37 @@
+#include "src/energy/predictor.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace odenergy {
+
+namespace {
+// Below this remaining time the half-life is pinned so that smoothing never
+// degenerates to following raw samples exactly.
+constexpr double kMinHalfLifeSeconds = 1.0;
+}  // namespace
+
+DemandPredictor::DemandPredictor(double half_life_fraction)
+    : half_life_fraction_(half_life_fraction) {
+  OD_CHECK(half_life_fraction > 0.0 && half_life_fraction <= 1.0);
+}
+
+void DemandPredictor::AddSample(double watts, double dt_seconds,
+                                double remaining_seconds) {
+  double half_life =
+      std::max(kMinHalfLifeSeconds, half_life_fraction_ * remaining_seconds);
+  smoother_.set_half_life(half_life);
+  smoother_.Update(watts, dt_seconds);
+}
+
+double DemandPredictor::PredictedDemandJoules(double remaining_seconds) const {
+  if (remaining_seconds <= 0.0) {
+    return 0.0;
+  }
+  return smoother_.value() * remaining_seconds;
+}
+
+void DemandPredictor::Reset() { smoother_.Reset(); }
+
+}  // namespace odenergy

@@ -1,0 +1,30 @@
+#include "src/energy/smoothing.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace odenergy {
+
+void ExponentialSmoother::set_half_life(double seconds) {
+  OD_CHECK(seconds > 0.0);
+  half_life_seconds_ = seconds;
+}
+
+void ExponentialSmoother::Update(double sample, double dt_seconds) {
+  OD_CHECK(dt_seconds > 0.0);
+  if (!initialized_) {
+    value_ = sample;
+    initialized_ = true;
+    return;
+  }
+  double alpha = std::exp2(-dt_seconds / half_life_seconds_);
+  value_ = (1.0 - alpha) * sample + alpha * value_;
+}
+
+void ExponentialSmoother::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+}  // namespace odenergy

@@ -1,0 +1,67 @@
+#include "src/net/bandwidth_monitor.h"
+
+#include "src/util/check.h"
+
+namespace odnet {
+
+BandwidthMonitor::BandwidthMonitor(odsim::Simulator* sim, Link* link,
+                                   const BandwidthMonitorConfig& config)
+    : sim_(sim), link_(link), config_(config) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(link != nullptr);
+  OD_CHECK(config.period > odsim::SimDuration::Zero());
+  OD_CHECK(config.window >= config.period);
+}
+
+void BandwidthMonitor::Start() {
+  OD_CHECK(!running_);
+  running_ = true;
+  observations_.clear();
+  observations_.push_back(Observation{sim_->Now(), link_->total_bytes(),
+                                      link_->total_busy_seconds()});
+  next_ = sim_->Schedule(config_.period, [this] { Tick(); });
+}
+
+void BandwidthMonitor::Stop() {
+  running_ = false;
+  next_.Cancel();
+}
+
+void BandwidthMonitor::Prune(odsim::SimTime now) const {
+  // Keep one observation at or before the window start so diffs span it.
+  while (observations_.size() > 1 &&
+         observations_[1].time + config_.window <= now) {
+    observations_.pop_front();
+  }
+}
+
+double BandwidthMonitor::EstimatedBps() const {
+  if (observations_.size() < 2) {
+    return link_->bandwidth_bps();
+  }
+  const Observation& oldest = observations_.front();
+  const Observation& newest = observations_.back();
+  size_t bytes = newest.bytes - oldest.bytes;
+  double busy = newest.busy_seconds - oldest.busy_seconds;
+  if (bytes == 0 || busy <= 0.0) {
+    // An idle network is not a slow network: report channel capacity.
+    return link_->bandwidth_bps();
+  }
+  return static_cast<double>(bytes) * 8.0 / busy;
+}
+
+void BandwidthMonitor::Tick() {
+  if (!running_) {
+    return;
+  }
+  odsim::SimTime now = sim_->Now();
+  observations_.push_back(
+      Observation{now, link_->total_bytes(), link_->total_busy_seconds()});
+  Prune(now);
+  if (callback_) {
+    callback_(now, EstimatedBps());
+  }
+  next_ = sim_->Schedule(config_.period, [this] { Tick(); });
+}
+
+}  // namespace odnet

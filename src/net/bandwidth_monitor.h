@@ -1,0 +1,71 @@
+// Network bandwidth estimation.
+//
+// The initial Odyssey prototype adapted to network bandwidth; energy
+// adaptation was added on top (Section 2.2).  This monitor completes that
+// original path: it observes bytes moved by the link over a sliding window,
+// periodically estimates available bandwidth, and reports it to the viceroy
+// as ResourceId::kNetworkBandwidth so that registered application
+// expectation windows trigger fidelity upcalls.
+
+#ifndef SRC_NET_BANDWIDTH_MONITOR_H_
+#define SRC_NET_BANDWIDTH_MONITOR_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+
+namespace odnet {
+
+struct BandwidthMonitorConfig {
+  // Estimation period.
+  odsim::SimDuration period = odsim::SimDuration::Seconds(1);
+  // Sliding window over which throughput is averaged.
+  odsim::SimDuration window = odsim::SimDuration::Seconds(5);
+};
+
+class BandwidthMonitor {
+ public:
+  using EstimateFn = std::function<void(odsim::SimTime, double bps)>;
+
+  BandwidthMonitor(odsim::Simulator* sim, Link* link,
+                   const BandwidthMonitorConfig& config);
+
+  BandwidthMonitor(const BandwidthMonitor&) = delete;
+  BandwidthMonitor& operator=(const BandwidthMonitor&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Observed throughput over the sliding window, bits per second.  When the
+  // link was idle the estimate reports the link's configured capacity (an
+  // idle network is not a slow network).
+  double EstimatedBps() const;
+
+  // Called after every periodic estimate; wire this to
+  // Viceroy::NotifyResourceLevel(kNetworkBandwidth, bps).
+  void set_callback(EstimateFn callback) { callback_ = std::move(callback); }
+
+ private:
+  void Tick();
+  void Prune(odsim::SimTime now) const;
+
+  odsim::Simulator* sim_;
+  Link* link_;
+  BandwidthMonitorConfig config_;
+  bool running_ = false;
+  odsim::EventHandle next_;
+  EstimateFn callback_;
+
+  struct Observation {
+    odsim::SimTime time;
+    size_t bytes;
+    double busy_seconds;
+  };
+  mutable std::deque<Observation> observations_;
+};
+
+}  // namespace odnet
+
+#endif  // SRC_NET_BANDWIDTH_MONITOR_H_

@@ -1,0 +1,74 @@
+#include "src/net/link.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odnet {
+
+Link::Link(odsim::Simulator* sim, odpower::PowerManager* pm, const LinkConfig& config)
+    : sim_(sim), pm_(pm), config_(config) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(pm != nullptr);
+  OD_CHECK(config.bandwidth_bps > 0.0);
+  interrupt_pid_ = sim_->processes().RegisterProcess("Interrupts-WaveLAN");
+  interrupt_proc_ = sim_->processes().RegisterProcedure("_wavelan_intr");
+}
+
+void Link::set_bandwidth_bps(double bps) {
+  OD_CHECK(bps > 0.0);
+  config_.bandwidth_bps = bps;
+}
+
+odsim::SimDuration Link::TransferTime(size_t bytes) const {
+  double seconds = static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return config_.setup_latency + odsim::SimDuration::Seconds(seconds);
+}
+
+void Link::Transfer(Direction direction, size_t bytes, odsim::EventFn on_done) {
+  queue_.push_back(Pending{direction, bytes, std::move(on_done)});
+  if (!active_) {
+    StartNext();
+  }
+}
+
+void Link::StartNext() {
+  if (queue_.empty()) {
+    active_ = false;
+    return;
+  }
+  active_ = true;
+  Pending next = std::move(queue_.front());
+  queue_.pop_front();
+
+  pm_->BeginNetworkUse();
+  pm_->wavelan()->Set(next.direction == Direction::kSend
+                          ? odpower::WaveLanState::kTransmit
+                          : odpower::WaveLanState::kReceive);
+
+  // Interrupt-handler CPU load, spread across the transfer.
+  size_t batches = next.bytes / config_.interrupt_batch_bytes;
+  odsim::SimDuration duration = TransferTime(next.bytes);
+  for (size_t i = 0; i < batches; ++i) {
+    odsim::SimDuration at = duration * (static_cast<double>(i + 1) /
+                                        static_cast<double>(batches + 1));
+    sim_->Schedule(at, [this] {
+      sim_->SubmitWork(interrupt_pid_, interrupt_proc_,
+                       config_.interrupt_cpu_per_batch, nullptr);
+    });
+  }
+
+  sim_->Schedule(duration, [this, bytes = next.bytes, duration,
+                            on_done = std::move(next.on_done)]() mutable {
+    total_bytes_ += bytes;
+    total_busy_seconds_ += duration.seconds();
+    pm_->wavelan()->Set(odpower::WaveLanState::kIdle);
+    pm_->EndNetworkUse();
+    if (on_done) {
+      on_done();
+    }
+    StartNext();
+  });
+}
+
+}  // namespace odnet

@@ -1,0 +1,92 @@
+#include "src/net/rpc.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odnet {
+
+RpcClient::RpcClient(odsim::Simulator* sim, Link* link, odpower::PowerManager* pm,
+                     uint64_t loss_seed)
+    : sim_(sim), link_(link), pm_(pm), rng_(loss_seed) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(link != nullptr);
+  OD_CHECK(pm != nullptr);
+}
+
+void RpcClient::set_config(const RpcConfig& config) {
+  OD_CHECK(config.loss_probability >= 0.0 && config.loss_probability < 1.0);
+  OD_CHECK(config.max_attempts >= 1);
+  config_ = config;
+}
+
+void RpcClient::Call(size_t request_bytes, size_t reply_bytes,
+                     odsim::SimDuration server_time, odsim::EventFn on_reply) {
+  CallWithCompute(
+      request_bytes, reply_bytes,
+      [this, server_time](odsim::EventFn done) {
+        sim_->Schedule(server_time, std::move(done));
+      },
+      std::move(on_reply));
+}
+
+void RpcClient::CallWithCompute(size_t request_bytes, size_t reply_bytes,
+                                ComputeFn compute, odsim::EventFn on_reply) {
+  // Hold the interface out of standby across the whole exchange: the client
+  // must listen for the reply while the server computes.
+  pm_->BeginNetworkUse();
+  Attempt(request_bytes, reply_bytes, compute, 1, std::move(on_reply));
+}
+
+void RpcClient::Finish(odsim::EventFn on_reply) {
+  pm_->EndNetworkUse();
+  if (on_reply) {
+    on_reply();
+  }
+}
+
+void RpcClient::Attempt(size_t request_bytes, size_t reply_bytes,
+                        const ComputeFn& compute, int attempt,
+                        odsim::EventFn on_reply) {
+  // The completion continuation is shared between the success path and the
+  // timeout/retransmit path.
+  auto reply_fn = std::make_shared<odsim::EventFn>(std::move(on_reply));
+
+  auto retry = [this, request_bytes, reply_bytes, compute, attempt, reply_fn] {
+    if (attempt >= config_.max_attempts) {
+      Finish(std::move(*reply_fn));
+      return;
+    }
+    ++retransmissions_;
+    sim_->Schedule(config_.retry_timeout,
+                   [this, request_bytes, reply_bytes, compute, attempt, reply_fn] {
+                     Attempt(request_bytes, reply_bytes, compute, attempt + 1,
+                             std::move(*reply_fn));
+                   });
+  };
+
+  bool request_lost = rng_.Bernoulli(config_.loss_probability);
+  link_->Transfer(
+      Direction::kSend, request_bytes,
+      [this, reply_bytes, compute, request_lost, retry, reply_fn] {
+        if (request_lost) {
+          // The server never saw the request; the client times out.
+          retry();
+          return;
+        }
+        compute([this, reply_bytes, retry, reply_fn] {
+          bool reply_lost = rng_.Bernoulli(config_.loss_probability);
+          link_->Transfer(Direction::kReceive, reply_bytes,
+                          [this, reply_lost, retry, reply_fn] {
+                            if (reply_lost) {
+                              retry();
+                              return;
+                            }
+                            Finish(std::move(*reply_fn));
+                          });
+        });
+      });
+}
+
+}  // namespace odnet

@@ -1,0 +1,82 @@
+// Remote procedure calls over the WaveLAN link.
+//
+// A call transmits the request, waits for the remote server to compute (the
+// client CPU is idle but the interface stays awake listening), then receives
+// the reply.  This is the communication pattern of Odyssey's wardens and of
+// remote/hybrid speech recognition.
+//
+// Failure injection: wireless links lose packets.  With a nonzero loss
+// probability each message (request or reply) can be lost; the client times
+// out and retransmits, paying the full energy cost of every attempt.  The
+// energy impact of an unreliable channel is therefore measurable.
+
+#ifndef SRC_NET_RPC_H_
+#define SRC_NET_RPC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/net/link.h"
+#include "src/power/power_manager.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+
+struct RpcConfig {
+  // Probability that any one message (request or reply) is lost.
+  double loss_probability = 0.0;
+  // How long the client waits before retransmitting.
+  odsim::SimDuration retry_timeout = odsim::SimDuration::Seconds(2);
+  // Attempts before the client gives up and completes anyway (the warden
+  // falls back to whatever arrived; upper layers see completion).
+  int max_attempts = 8;
+};
+
+class RpcClient {
+ public:
+  RpcClient(odsim::Simulator* sim, Link* link, odpower::PowerManager* pm,
+            uint64_t loss_seed = 0x59c0ffeeULL);
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // The server-side computation between request and reply: invoked with a
+  // completion callback once the request has arrived.  Lets callers route
+  // the work through a queued server model instead of a fixed delay.
+  using ComputeFn = std::function<void(odsim::EventFn done)>;
+
+  // Issues a request/response exchange with a fixed server processing time.
+  // `on_reply` fires once the full reply has been received (or attempts are
+  // exhausted).
+  void Call(size_t request_bytes, size_t reply_bytes, odsim::SimDuration server_time,
+            odsim::EventFn on_reply);
+
+  // As Call, but the server-side work is performed by `compute` (e.g.
+  // submitted to a odyssey::RemoteServer queue).  If a reply is lost, the
+  // retransmitted request recomputes.
+  void CallWithCompute(size_t request_bytes, size_t reply_bytes, ComputeFn compute,
+                       odsim::EventFn on_reply);
+
+  void set_config(const RpcConfig& config);
+  const RpcConfig& config() const { return config_; }
+
+  // Total retransmitted messages so far (diagnostics and tests).
+  int retransmissions() const { return retransmissions_; }
+
+ private:
+  void Attempt(size_t request_bytes, size_t reply_bytes, const ComputeFn& compute,
+               int attempt, odsim::EventFn on_reply);
+  void Finish(odsim::EventFn on_reply);
+
+  odsim::Simulator* sim_;
+  Link* link_;
+  odpower::PowerManager* pm_;
+  RpcConfig config_;
+  odutil::Rng rng_;
+  int retransmissions_ = 0;
+};
+
+}  // namespace odnet
+
+#endif  // SRC_NET_RPC_H_

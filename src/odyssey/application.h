@@ -1,0 +1,43 @@
+// Interface adaptive applications present to Odyssey.
+//
+// Applications register with the viceroy, expose their fidelity ladder, and
+// receive upcalls directing them to a new level.  Priorities order
+// adaptation: Odyssey degrades the lowest-priority application first and
+// upgrades the highest-priority first (Section 5.3).
+
+#ifndef SRC_ODYSSEY_APPLICATION_H_
+#define SRC_ODYSSEY_APPLICATION_H_
+
+#include <string>
+
+#include "src/odyssey/fidelity.h"
+
+namespace odyssey {
+
+class AdaptiveApplication {
+ public:
+  virtual ~AdaptiveApplication() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Larger values are more important to the user.
+  virtual int priority() const = 0;
+
+  virtual const FidelitySpec& fidelity_spec() const = 0;
+  virtual int current_fidelity() const = 0;
+
+  // Upcall target: move to `level`.  Takes effect on the application's next
+  // unit of work (frame, utterance, fetch).
+  virtual void SetFidelity(int level) = 0;
+
+  bool AtLowestFidelity() const {
+    return current_fidelity() == fidelity_spec().lowest();
+  }
+  bool AtHighestFidelity() const {
+    return current_fidelity() == fidelity_spec().highest();
+  }
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ODYSSEY_APPLICATION_H_

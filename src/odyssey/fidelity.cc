@@ -1,0 +1,19 @@
+#include "src/odyssey/fidelity.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odyssey {
+
+FidelitySpec::FidelitySpec(std::vector<std::string> level_names)
+    : names_(std::move(level_names)) {
+  OD_CHECK(!names_.empty());
+}
+
+const std::string& FidelitySpec::name(int level) const {
+  OD_CHECK(valid(level));
+  return names_[static_cast<size_t>(level)];
+}
+
+}  // namespace odyssey

@@ -1,0 +1,38 @@
+// Fidelity: the degree to which data presented at the client matches the
+// reference copy at the server (Section 2.2).
+//
+// Fidelity is type-specific (video trades compression and window size,
+// speech trades vocabulary and execution site, ...), but the adaptation
+// machinery only needs a totally ordered ladder of levels per application.
+// FidelitySpec is that ladder: level 0 is the lowest acceptable fidelity and
+// level count()-1 the highest.  The type-specific meaning of each level
+// lives in the application and its warden.
+
+#ifndef SRC_ODYSSEY_FIDELITY_H_
+#define SRC_ODYSSEY_FIDELITY_H_
+
+#include <string>
+#include <vector>
+
+namespace odyssey {
+
+class FidelitySpec {
+ public:
+  // `level_names` is ordered lowest fidelity first.
+  explicit FidelitySpec(std::vector<std::string> level_names);
+
+  int count() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int level) const;
+
+  int lowest() const { return 0; }
+  int highest() const { return count() - 1; }
+
+  bool valid(int level) const { return level >= 0 && level < count(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ODYSSEY_FIDELITY_H_

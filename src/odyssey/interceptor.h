@@ -1,0 +1,55 @@
+// The interceptor (Figure 3).
+//
+// Odyssey is integrated into Linux as a VFS file system: applications that
+// are not modified to speak to Odyssey directly (the paper's Web browser
+// and map viewer use a proxy for this reason) have their data accesses
+// intercepted and routed to the warden for the accessed object's type.
+// This class models that routing layer: callers open a typed path and read
+// objects through it; the interceptor resolves the warden, annotates the
+// request with the caller's current fidelity, and forwards.
+
+#ifndef SRC_ODYSSEY_INTERCEPTOR_H_
+#define SRC_ODYSSEY_INTERCEPTOR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/odyssey/viceroy.h"
+#include "src/odyssey/warden.h"
+#include "src/sim/simulator.h"
+
+namespace odyssey {
+
+class Interceptor {
+ public:
+  explicit Interceptor(Viceroy* viceroy);
+
+  Interceptor(const Interceptor&) = delete;
+  Interceptor& operator=(const Interceptor&) = delete;
+
+  // True if `path` names an object inside the Odyssey mount
+  // ("/odyssey/<type>/<object>") whose type has a registered warden.
+  bool Resolves(const std::string& path) const;
+
+  // Intercepted read: parses the data type from `path`, resolves its
+  // warden, and forwards a fetch of `bytes` with `server_time` preparation.
+  // Returns false (and does not call `on_done`) if the path does not
+  // resolve.
+  bool Read(const std::string& path, size_t request_bytes, size_t bytes,
+            odsim::SimDuration server_time, odsim::EventFn on_done);
+
+  // Number of intercepted requests routed so far.
+  int intercepted_count() const { return intercepted_; }
+
+  // Parses "/odyssey/<type>/..." into "<type>"; empty if not an Odyssey
+  // path.  Exposed for testing.
+  static std::string DataTypeOf(const std::string& path);
+
+ private:
+  Viceroy* viceroy_;
+  int intercepted_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ODYSSEY_INTERCEPTOR_H_

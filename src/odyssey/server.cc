@@ -1,0 +1,43 @@
+#include "src/odyssey/server.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odyssey {
+
+RemoteServer::RemoteServer(odsim::Simulator* sim, std::string name,
+                           double speed_factor)
+    : sim_(sim), name_(std::move(name)), speed_factor_(speed_factor) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(speed_factor > 0.0);
+}
+
+void RemoteServer::Submit(odsim::SimDuration work, odsim::EventFn on_done) {
+  OD_CHECK(work >= odsim::SimDuration::Zero());
+  queue_.push_back(Request{work * (1.0 / speed_factor_), std::move(on_done)});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void RemoteServer::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request request = std::move(queue_.front());
+  queue_.pop_front();
+  total_busy_seconds_ += request.work.seconds();
+  sim_->Schedule(request.work,
+                 [this, on_done = std::move(request.on_done)]() mutable {
+                   ++completed_;
+                   if (on_done) {
+                     on_done();
+                   }
+                   StartNext();
+                 });
+}
+
+}  // namespace odyssey

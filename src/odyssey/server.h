@@ -1,0 +1,58 @@
+// Remote servers.
+//
+// The paper's servers are 200 MHz Pentium Pro desktops "likely to be
+// operating from a power outlet rather than a battery": their energy is
+// free from the client's perspective, but their compute time is not —
+// requests queue.  Each warden owns one server; concurrent client requests
+// to the same data type therefore serialize, which matters for concurrent
+// workloads.
+
+#ifndef SRC_ODYSSEY_SERVER_H_
+#define SRC_ODYSSEY_SERVER_H_
+
+#include <deque>
+#include <string>
+
+#include "src/sim/simulator.h"
+
+namespace odyssey {
+
+class RemoteServer {
+ public:
+  // `speed_factor` scales submitted work (a 2x-faster server halves it).
+  RemoteServer(odsim::Simulator* sim, std::string name, double speed_factor = 1.0);
+
+  RemoteServer(const RemoteServer&) = delete;
+  RemoteServer& operator=(const RemoteServer&) = delete;
+
+  // Queues `work` of server computation; FIFO service.  `on_done` fires
+  // when this request's work completes.
+  void Submit(odsim::SimDuration work, odsim::EventFn on_done);
+
+  const std::string& name() const { return name_; }
+  int queue_depth() const {
+    return static_cast<int>(queue_.size()) + (busy_ ? 1 : 0);
+  }
+  double total_busy_seconds() const { return total_busy_seconds_; }
+  int completed_requests() const { return completed_; }
+
+ private:
+  struct Request {
+    odsim::SimDuration work;
+    odsim::EventFn on_done;
+  };
+
+  void StartNext();
+
+  odsim::Simulator* sim_;
+  std::string name_;
+  double speed_factor_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  double total_busy_seconds_ = 0.0;
+  int completed_ = 0;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ODYSSEY_SERVER_H_

@@ -1,0 +1,111 @@
+#include "src/odyssey/viceroy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/odyssey/warden.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace odyssey {
+
+Viceroy::Viceroy(odsim::Simulator* sim, odnet::Link* link, odpower::PowerManager* pm)
+    : sim_(sim), link_(link), pm_(pm), rpc_(sim, link, pm) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(link != nullptr);
+  OD_CHECK(pm != nullptr);
+}
+
+Viceroy::~Viceroy() = default;
+
+void Viceroy::RegisterApplication(AdaptiveApplication* app) {
+  OD_CHECK(app != nullptr);
+  OD_CHECK(std::find(apps_.begin(), apps_.end(), app) == apps_.end());
+  apps_.push_back(app);
+}
+
+void Viceroy::UnregisterApplication(AdaptiveApplication* app) {
+  apps_.erase(std::remove(apps_.begin(), apps_.end(), app), apps_.end());
+  std::erase_if(expectations_,
+                [app](const Expectation& e) { return e.app == app; });
+}
+
+Warden* Viceroy::RegisterWarden(std::unique_ptr<Warden> warden) {
+  OD_CHECK(warden != nullptr);
+  OD_CHECK(FindWarden(warden->data_type()) == nullptr);
+  warden->viceroy_ = this;
+  warden->server_ =
+      std::make_unique<RemoteServer>(sim_, warden->data_type() + "-server");
+  wardens_.push_back(std::move(warden));
+  return wardens_.back().get();
+}
+
+Warden* Viceroy::FindWarden(const std::string& data_type) {
+  for (const auto& w : wardens_) {
+    if (w->data_type() == data_type) {
+      return w.get();
+    }
+  }
+  return nullptr;
+}
+
+void Viceroy::IssueUpcall(AdaptiveApplication* app, int level) {
+  OD_CHECK(app != nullptr);
+  OD_CHECK(app->fidelity_spec().valid(level));
+  if (app->current_fidelity() == level) {
+    return;
+  }
+  OD_LOG_DEBUG("upcall t=%.1fs %s -> %s", sim_->Now().seconds(),
+               app->name().c_str(), app->fidelity_spec().name(level).c_str());
+  app->SetFidelity(level);
+  ++adaptation_counts_[app];
+}
+
+int Viceroy::AdaptationCount(const AdaptiveApplication* app) const {
+  auto it = adaptation_counts_.find(app);
+  return it == adaptation_counts_.end() ? 0 : it->second;
+}
+
+int Viceroy::TotalAdaptations() const {
+  int total = 0;
+  for (const auto& [app, count] : adaptation_counts_) {
+    total += count;
+  }
+  return total;
+}
+
+void Viceroy::ResetAdaptationCounts() { adaptation_counts_.clear(); }
+
+void Viceroy::RegisterExpectation(AdaptiveApplication* app, ResourceId resource,
+                                  double low, double high) {
+  OD_CHECK(app != nullptr);
+  OD_CHECK(low <= high);
+  ClearExpectation(app, resource);
+  expectations_.push_back(Expectation{app, resource, low, high});
+}
+
+void Viceroy::ClearExpectation(AdaptiveApplication* app, ResourceId resource) {
+  std::erase_if(expectations_, [app, resource](const Expectation& e) {
+    return e.app == app && e.resource == resource;
+  });
+}
+
+void Viceroy::NotifyResourceLevel(ResourceId resource, double value) {
+  // Collect the violated expectations first: upcalls may re-register.
+  std::vector<std::pair<AdaptiveApplication*, int>> upcalls;
+  for (const Expectation& e : expectations_) {
+    if (e.resource != resource) {
+      continue;
+    }
+    if (value < e.low && !e.app->AtLowestFidelity()) {
+      upcalls.emplace_back(e.app, e.app->current_fidelity() - 1);
+    } else if (value > e.high && !e.app->AtHighestFidelity()) {
+      upcalls.emplace_back(e.app, e.app->current_fidelity() + 1);
+    }
+  }
+  for (auto& [app, level] : upcalls) {
+    IssueUpcall(app, level);
+  }
+}
+
+}  // namespace odyssey

@@ -1,0 +1,102 @@
+// The viceroy: Odyssey's central resource monitor and upcall dispatcher
+// (Figure 3).
+//
+// The viceroy tracks registered applications and wardens, carries the shared
+// RPC transport used by all wardens, maintains per-resource expectation
+// windows, and issues upcalls when resources stray outside an application's
+// expectations or when the energy layer directs a fidelity change.
+
+#ifndef SRC_ODYSSEY_VICEROY_H_
+#define SRC_ODYSSEY_VICEROY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/net/rpc.h"
+#include "src/odyssey/application.h"
+#include "src/power/power_manager.h"
+#include "src/sim/simulator.h"
+
+namespace odyssey {
+
+class Warden;
+
+// Identifies a monitored resource (network bandwidth, energy, ...).
+enum class ResourceId {
+  kNetworkBandwidth,
+  kEnergy,
+};
+
+class Viceroy {
+ public:
+  Viceroy(odsim::Simulator* sim, odnet::Link* link, odpower::PowerManager* pm);
+  ~Viceroy();
+
+  Viceroy(const Viceroy&) = delete;
+  Viceroy& operator=(const Viceroy&) = delete;
+
+  // -- Application registry --------------------------------------------------
+
+  void RegisterApplication(AdaptiveApplication* app);
+  void UnregisterApplication(AdaptiveApplication* app);
+  const std::vector<AdaptiveApplication*>& applications() const { return apps_; }
+
+  // -- Wardens ---------------------------------------------------------------
+
+  // The viceroy owns wardens; one per data type in the system.
+  Warden* RegisterWarden(std::unique_ptr<Warden> warden);
+  Warden* FindWarden(const std::string& data_type);
+
+  // -- Upcalls ---------------------------------------------------------------
+
+  // Directs `app` to the given fidelity level and records the adaptation.
+  // No-op (and not recorded) if the app is already there.
+  void IssueUpcall(AdaptiveApplication* app, int level);
+
+  int AdaptationCount(const AdaptiveApplication* app) const;
+  int TotalAdaptations() const;
+  void ResetAdaptationCounts();
+
+  // -- Resource expectations (the original Odyssey API) ----------------------
+
+  // Registers a tolerance window; when NotifyResourceLevel() reports a value
+  // outside [low, high], the app receives a fidelity upcall chosen by the
+  // caller-provided policy (here: one step down when below `low`, one step
+  // up when above `high`).
+  void RegisterExpectation(AdaptiveApplication* app, ResourceId resource, double low,
+                           double high);
+  void ClearExpectation(AdaptiveApplication* app, ResourceId resource);
+  void NotifyResourceLevel(ResourceId resource, double value);
+
+  // -- Shared plumbing -------------------------------------------------------
+
+  odsim::Simulator* sim() { return sim_; }
+  odnet::Link* link() { return link_; }
+  odnet::RpcClient& rpc() { return rpc_; }
+  odpower::PowerManager* power_manager() { return pm_; }
+
+ private:
+  struct Expectation {
+    AdaptiveApplication* app;
+    ResourceId resource;
+    double low;
+    double high;
+  };
+
+  odsim::Simulator* sim_;
+  odnet::Link* link_;
+  odpower::PowerManager* pm_;
+  odnet::RpcClient rpc_;
+
+  std::vector<AdaptiveApplication*> apps_;
+  std::vector<std::unique_ptr<Warden>> wardens_;
+  std::unordered_map<const AdaptiveApplication*, int> adaptation_counts_;
+  std::vector<Expectation> expectations_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ODYSSEY_VICEROY_H_

@@ -1,0 +1,26 @@
+#include "src/odyssey/warden.h"
+
+#include <utility>
+
+#include "src/odyssey/viceroy.h"
+#include "src/util/check.h"
+
+namespace odyssey {
+
+Warden::Warden(std::string data_type) : data_type_(std::move(data_type)) {}
+
+Warden::~Warden() = default;
+
+void Warden::Fetch(size_t request_bytes, size_t reply_bytes,
+                   odsim::SimDuration server_time, odsim::EventFn on_done) {
+  OD_CHECK_MSG(viceroy_ != nullptr, "warden used before registration");
+  RemoteServer* server = server_.get();
+  viceroy_->rpc().CallWithCompute(
+      request_bytes, reply_bytes,
+      [server, server_time](odsim::EventFn done) {
+        server->Submit(server_time, std::move(done));
+      },
+      std::move(on_done));
+}
+
+}  // namespace odyssey

@@ -1,0 +1,55 @@
+// Wardens: type-specific code components (Figure 3).
+//
+// A warden encapsulates everything Odyssey needs to know about one data
+// type: how to fetch objects from servers at a requested fidelity, and how
+// much data a given fidelity implies.  Type-specific wardens (video, speech,
+// map, web) subclass this and live next to their applications; the base
+// class provides the shared fetch-over-RPC path.
+
+#ifndef SRC_ODYSSEY_WARDEN_H_
+#define SRC_ODYSSEY_WARDEN_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "src/odyssey/server.h"
+#include "src/sim/simulator.h"
+
+namespace odyssey {
+
+class Viceroy;
+
+class Warden {
+ public:
+  explicit Warden(std::string data_type);
+  virtual ~Warden();
+
+  Warden(const Warden&) = delete;
+  Warden& operator=(const Warden&) = delete;
+
+  const std::string& data_type() const { return data_type_; }
+
+  // Fetches an object: sends a `request_bytes` annotated request, lets this
+  // type's server spend `server_time` producing the representation
+  // (filtering, transcoding, distillation), then receives `reply_bytes`.
+  // Concurrent fetches queue at the server.
+  void Fetch(size_t request_bytes, size_t reply_bytes, odsim::SimDuration server_time,
+             odsim::EventFn on_done);
+
+  Viceroy* viceroy() { return viceroy_; }
+
+  // This data type's server; created at registration.
+  RemoteServer* server() { return server_.get(); }
+
+ private:
+  friend class Viceroy;
+
+  std::string data_type_;
+  Viceroy* viceroy_ = nullptr;  // Set at registration.
+  std::unique_ptr<RemoteServer> server_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ODYSSEY_WARDEN_H_

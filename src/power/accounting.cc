@@ -1,0 +1,119 @@
+#include "src/power/accounting.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace odpower {
+
+EnergyAccounting::EnergyAccounting(Machine* machine)
+    : machine_(machine), last_time_(machine->sim()->Now()) {
+  OD_CHECK(machine != nullptr);
+  Resnapshot();
+  machine_->AddObserver(this);
+  machine_->sim()->AddCpuObserver(this);
+  snapshot_pid_ = machine_->sim()->current_pid();
+  snapshot_proc_ = machine_->sim()->current_proc();
+}
+
+void EnergyAccounting::Resnapshot() {
+  int n = machine_->component_count();
+  snapshot_component_watts_.resize(static_cast<size_t>(n));
+  component_joules_.resize(static_cast<size_t>(n), 0.0);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double p = machine_->component(i).power();
+    snapshot_component_watts_[static_cast<size_t>(i)] = p;
+    sum += p;
+  }
+  snapshot_synergy_watts_ = machine_->SynergyPower();
+  snapshot_total_watts_ = sum + snapshot_synergy_watts_;
+}
+
+void EnergyAccounting::AccrueTo(odsim::SimTime now) {
+  OD_CHECK(now >= last_time_);
+  if (now == last_time_) {
+    return;
+  }
+  double dt = (now - last_time_).seconds();
+  last_time_ = now;
+
+  total_joules_ += snapshot_total_watts_ * dt;
+  synergy_joules_ += snapshot_synergy_watts_ * dt;
+  for (size_t i = 0; i < snapshot_component_watts_.size(); ++i) {
+    component_joules_[i] += snapshot_component_watts_[i] * dt;
+  }
+  ContextUsage& process = by_process_[snapshot_pid_];
+  ContextUsage& context = by_context_[ContextKey(snapshot_pid_, snapshot_proc_)];
+  double joules = snapshot_total_watts_ * dt;
+  process.joules += joules;
+  context.joules += joules;
+  if (snapshot_pid_ != odsim::kIdlePid) {
+    process.cpu_seconds += dt;
+    context.cpu_seconds += dt;
+  }
+}
+
+double EnergyAccounting::TotalJoules(odsim::SimTime now) {
+  AccrueTo(now);
+  return total_joules_;
+}
+
+double EnergyAccounting::ComponentJoules(int index, odsim::SimTime now) {
+  AccrueTo(now);
+  OD_CHECK(index >= 0 && index < static_cast<int>(component_joules_.size()));
+  return component_joules_[static_cast<size_t>(index)];
+}
+
+double EnergyAccounting::SynergyJoules(odsim::SimTime now) {
+  AccrueTo(now);
+  return synergy_joules_;
+}
+
+ContextUsage EnergyAccounting::ProcessUsage(odsim::ProcessId pid, odsim::SimTime now) {
+  AccrueTo(now);
+  auto it = by_process_.find(pid);
+  return it == by_process_.end() ? ContextUsage{} : it->second;
+}
+
+ContextUsage EnergyAccounting::ProcedureUsage(odsim::ProcessId pid,
+                                              odsim::ProcedureId proc,
+                                              odsim::SimTime now) {
+  AccrueTo(now);
+  auto it = by_context_.find(ContextKey(pid, proc));
+  return it == by_context_.end() ? ContextUsage{} : it->second;
+}
+
+std::vector<odsim::ProcessId> EnergyAccounting::Processes(odsim::SimTime now) {
+  AccrueTo(now);
+  std::vector<odsim::ProcessId> pids;
+  pids.reserve(by_process_.size());
+  for (const auto& [pid, usage] : by_process_) {
+    pids.push_back(pid);
+  }
+  std::sort(pids.begin(), pids.end());
+  return pids;
+}
+
+void EnergyAccounting::Reset(odsim::SimTime now) {
+  AccrueTo(now);
+  total_joules_ = 0.0;
+  synergy_joules_ = 0.0;
+  std::fill(component_joules_.begin(), component_joules_.end(), 0.0);
+  by_process_.clear();
+  by_context_.clear();
+}
+
+void EnergyAccounting::OnMachinePowerChanged(odsim::SimTime now) {
+  AccrueTo(now);
+  Resnapshot();
+}
+
+void EnergyAccounting::OnCpuContextSwitch(odsim::SimTime now, odsim::ProcessId pid,
+                                          odsim::ProcedureId proc, bool /*busy*/) {
+  AccrueTo(now);
+  snapshot_pid_ = pid;
+  snapshot_proc_ = proc;
+}
+
+}  // namespace odpower

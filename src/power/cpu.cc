@@ -1,0 +1,6 @@
+#include "src/power/cpu.h"
+
+// Cpu and OtherComponent are header-only; this file exists so the library
+// has a translation unit anchoring their type info.
+
+namespace odpower {}  // namespace odpower

@@ -1,0 +1,5 @@
+#include "src/power/disk.h"
+
+// Disk is header-only; see cpu.cc.
+
+namespace odpower {}  // namespace odpower

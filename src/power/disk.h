@@ -1,0 +1,41 @@
+// Disk power states.
+//
+// kIdle is a spinning but inactive platter; kStandby is spun down (the state
+// the hardware power manager enters after 10 s of inactivity); kSpinup is
+// the expensive transition back.
+
+#ifndef SRC_POWER_DISK_H_
+#define SRC_POWER_DISK_H_
+
+#include "src/power/component.h"
+#include "src/sim/time.h"
+
+namespace odpower {
+
+enum class DiskState : int {
+  kAccess = 0,
+  kIdle = 1,
+  kStandby = 2,
+  kSpinup = 3,
+};
+
+class Disk : public Component {
+ public:
+  Disk(double access_watts, double idle_watts, double standby_watts,
+       double spinup_watts, odsim::SimDuration spinup_time)
+      : Component("Disk", {access_watts, idle_watts, standby_watts, spinup_watts},
+                  static_cast<int>(DiskState::kIdle)),
+        spinup_time_(spinup_time) {}
+
+  void Set(DiskState state) { SetState(static_cast<int>(state)); }
+  DiskState disk_state() const { return static_cast<DiskState>(state()); }
+
+  odsim::SimDuration spinup_time() const { return spinup_time_; }
+
+ private:
+  odsim::SimDuration spinup_time_;
+};
+
+}  // namespace odpower
+
+#endif  // SRC_POWER_DISK_H_

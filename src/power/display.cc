@@ -1,0 +1,39 @@
+#include "src/power/display.h"
+
+#include "src/util/check.h"
+
+namespace odpower {
+
+Display::Display(double bright_watts, double dim_watts)
+    : Component("Display", {bright_watts, dim_watts, 0.0},
+                static_cast<int>(DisplayState::kBright)) {
+  OD_CHECK(bright_watts >= dim_watts);
+  OD_CHECK(dim_watts >= 0.0);
+}
+
+void Display::SetZonedLitFraction(double lit_fraction) {
+  OD_CHECK(lit_fraction >= 0.0 && lit_fraction <= 1.0);
+  zoned_ = true;
+  lit_fraction_ = lit_fraction;
+  NotifyPowerChanged();
+}
+
+void Display::ClearZoning() {
+  if (!zoned_) {
+    return;
+  }
+  zoned_ = false;
+  lit_fraction_ = 1.0;
+  NotifyPowerChanged();
+}
+
+double Display::power() const {
+  if (zoned_ && display_state() == DisplayState::kBright) {
+    // Lit zones draw proportionally to their area; unlit zones are dark.
+    double bright = StatePower(static_cast<int>(DisplayState::kBright));
+    return bright * lit_fraction_;
+  }
+  return Component::power();
+}
+
+}  // namespace odpower

@@ -1,0 +1,61 @@
+#include "src/power/machine.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odpower {
+
+Machine::Machine(odsim::Simulator* sim, double synergy_watts_per_extra_active)
+    : sim_(sim), synergy_watts_(synergy_watts_per_extra_active) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(synergy_watts_ >= 0.0);
+}
+
+void Machine::Attach(std::unique_ptr<Component> component) {
+  OD_CHECK(component != nullptr);
+  OD_CHECK(component->machine_ == nullptr);
+  component->machine_ = this;
+  components_.push_back(std::move(component));
+  OnComponentPowerChanged();
+}
+
+double Machine::SynergyPower() const {
+  int active = 0;
+  for (const auto& c : components_) {
+    if (c->active()) {
+      ++active;
+    }
+  }
+  return active > 1 ? synergy_watts_ * static_cast<double>(active - 1) : 0.0;
+}
+
+double Machine::TotalPower() const {
+  double sum = 0.0;
+  for (const auto& c : components_) {
+    sum += c->power();
+  }
+  return sum + SynergyPower();
+}
+
+Component* Machine::FindComponent(const std::string& name) {
+  for (const auto& c : components_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+void Machine::AddObserver(MachineObserver* observer) {
+  OD_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void Machine::OnComponentPowerChanged() {
+  for (MachineObserver* observer : observers_) {
+    observer->OnMachinePowerChanged(sim_->Now());
+  }
+}
+
+}  // namespace odpower

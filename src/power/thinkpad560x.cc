@@ -1,0 +1,44 @@
+#include "src/power/thinkpad560x.h"
+
+#include <memory>
+
+namespace odpower {
+
+ThinkPad560XSpec DefaultSpec() { return ThinkPad560XSpec{}; }
+
+Laptop::Laptop(odsim::Simulator* sim, const ThinkPad560XSpec& spec)
+    : spec_(spec),
+      machine_(sim, spec.synergy_per_extra_active),
+      display_(machine_.AddComponent(
+          std::make_unique<Display>(spec.display_bright, spec.display_dim))),
+      wavelan_(machine_.AddComponent(std::make_unique<WaveLan>(
+          spec.wavelan_transmit, spec.wavelan_receive, spec.wavelan_idle,
+          spec.wavelan_standby))),
+      disk_(machine_.AddComponent(std::make_unique<Disk>(
+          spec.disk_access, spec.disk_idle, spec.disk_standby, spec.disk_spinup,
+          odsim::SimDuration::Seconds(spec.disk_spinup_seconds)))),
+      cpu_(machine_.AddComponent(std::make_unique<Cpu>(spec.cpu_busy))),
+      other_(machine_.AddComponent(std::make_unique<OtherComponent>(spec.other))),
+      accounting_(&machine_),
+      power_manager_(sim, display_, wavelan_, disk_) {
+  // The Cpu component mirrors the scheduler's busy/idle status.
+  sim->AddCpuObserver(cpu_);
+}
+
+double Laptop::BackgroundPowerWatts() const {
+  // Display dim + WaveLAN standby + disk standby + other, plus the synergy
+  // increment for the two active components (display, other).
+  return spec_.display_dim + spec_.wavelan_standby + spec_.disk_standby +
+         spec_.other + spec_.synergy_per_extra_active;
+}
+
+void Laptop::SetCpuSpeed(double speed) {
+  machine_.sim()->set_cpu_speed(speed);
+  cpu_->SetSpeed(speed);
+}
+
+std::unique_ptr<Laptop> MakeThinkPad560X(odsim::Simulator* sim) {
+  return std::make_unique<Laptop>(sim, DefaultSpec());
+}
+
+}  // namespace odpower

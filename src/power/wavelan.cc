@@ -1,0 +1,5 @@
+#include "src/power/wavelan.h"
+
+// WaveLan is header-only; see cpu.cc.
+
+namespace odpower {}  // namespace odpower

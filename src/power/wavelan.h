@@ -1,0 +1,36 @@
+// WaveLAN wireless interface power states.
+//
+// The paper's Odyssey modified its network package to keep the interface in
+// standby except during RPCs and bulk transfers; the link model (odnet)
+// drives these states.
+
+#ifndef SRC_POWER_WAVELAN_H_
+#define SRC_POWER_WAVELAN_H_
+
+#include "src/power/component.h"
+
+namespace odpower {
+
+enum class WaveLanState : int {
+  kTransmit = 0,
+  kReceive = 1,
+  kIdle = 2,
+  kStandby = 3,
+  kOff = 4,
+};
+
+class WaveLan : public Component {
+ public:
+  WaveLan(double transmit_watts, double receive_watts, double idle_watts,
+          double standby_watts)
+      : Component("WaveLAN", {transmit_watts, receive_watts, idle_watts,
+                              standby_watts, 0.0},
+                  static_cast<int>(WaveLanState::kIdle)) {}
+
+  void Set(WaveLanState state) { SetState(static_cast<int>(state)); }
+  WaveLanState wavelan_state() const { return static_cast<WaveLanState>(state()); }
+};
+
+}  // namespace odpower
+
+#endif  // SRC_POWER_WAVELAN_H_

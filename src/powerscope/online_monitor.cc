@@ -1,0 +1,46 @@
+#include "src/powerscope/online_monitor.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace odscope {
+
+OnlineMonitor::OnlineMonitor(odsim::Simulator* sim, odpower::Machine* machine,
+                             const OnlineMonitorConfig& config, uint64_t noise_seed)
+    : sim_(sim), machine_(machine), config_(config), rng_(noise_seed) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(machine != nullptr);
+  OD_CHECK(config.period > odsim::SimDuration::Zero());
+}
+
+void OnlineMonitor::Start() {
+  OD_CHECK(!running_);
+  running_ = true;
+  measured_joules_ = 0.0;
+  TakeSample();
+}
+
+void OnlineMonitor::Stop() {
+  running_ = false;
+  next_.Cancel();
+}
+
+void OnlineMonitor::TakeSample() {
+  if (!running_) {
+    return;
+  }
+  double watts = machine_->TotalPower();
+  if (config_.noise_watts > 0.0) {
+    watts = std::max(0.0, rng_.Normal(watts, config_.noise_watts));
+  }
+  last_watts_ = watts;
+  // Constant power assumed until the next sample.
+  measured_joules_ += watts * config_.period.seconds();
+  if (callback_) {
+    callback_(sim_->Now(), watts);
+  }
+  next_ = sim_->Schedule(config_.period, [this] { TakeSample(); });
+}
+
+}  // namespace odscope

@@ -1,0 +1,29 @@
+// Raw PowerScope samples.
+//
+// The real tool collects two correlated streams: current levels from the
+// digital multimeter (on the data-collection computer) and PC/PID pairs from
+// the system monitor (on the profiling computer).  We keep the same split so
+// that the offline correlation stage is a faithful reimplementation.
+
+#ifndef SRC_POWERSCOPE_SAMPLE_H_
+#define SRC_POWERSCOPE_SAMPLE_H_
+
+#include "src/sim/process.h"
+#include "src/sim/time.h"
+
+namespace odscope {
+
+struct CurrentSample {
+  odsim::SimTime time;
+  double amps;
+};
+
+struct MonitorSample {
+  odsim::SimTime time;
+  odsim::ProcessId pid;
+  odsim::ProcedureId proc;
+};
+
+}  // namespace odscope
+
+#endif  // SRC_POWERSCOPE_SAMPLE_H_

@@ -1,0 +1,77 @@
+#include "src/powerscope/smart_battery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/util/check.h"
+
+namespace odscope {
+
+namespace {
+
+// The monitoring circuit's standing draw, attached as a machine component so
+// that monitoring overhead is itself measured and adapted against.
+class MonitorCircuit : public odpower::Component {
+ public:
+  explicit MonitorCircuit(double watts)
+      : Component("SmartBattery", {watts}, 0) {}
+};
+
+}  // namespace
+
+SmartBattery::SmartBattery(odsim::Simulator* sim, odpower::Machine* machine,
+                           const SmartBatteryConfig& config, uint64_t noise_seed)
+    : sim_(sim), machine_(machine), config_(config), rng_(noise_seed) {
+  OD_CHECK(sim != nullptr);
+  OD_CHECK(machine != nullptr);
+  OD_CHECK(config.period > odsim::SimDuration::Zero());
+  OD_CHECK(config.power_quantum_watts > 0.0);
+  if (config_.overhead_watts > 0.0) {
+    machine_->AddComponent(
+        std::make_unique<MonitorCircuit>(config_.overhead_watts));
+  }
+}
+
+void SmartBattery::Start() {
+  OD_CHECK(!running_);
+  running_ = true;
+  measured_joules_ = 0.0;
+  last_reading_time_ = sim_->Now();
+  TakeReading();
+}
+
+void SmartBattery::Stop() {
+  running_ = false;
+  next_.Cancel();
+}
+
+void SmartBattery::TakeReading() {
+  if (!running_) {
+    return;
+  }
+  odsim::SimTime now = sim_->Now();
+  double watts = machine_->TotalPower();
+  if (config_.noise_watts > 0.0) {
+    watts = std::max(0.0, rng_.Normal(watts, config_.noise_watts));
+  }
+  // Gas-gauge quantization.
+  watts = std::round(watts / config_.power_quantum_watts) *
+          config_.power_quantum_watts;
+  last_watts_ = watts;
+  // Constant power assumed over the trailing interval.
+  measured_joules_ += watts * (now - last_reading_time_).seconds();
+  last_reading_time_ = now;
+  if (callback_) {
+    callback_(now, watts);
+  }
+  // Jittered schedule to decouple sampling from periodic app activity.
+  double scale = 1.0;
+  if (config_.jitter_fraction > 0.0) {
+    scale = rng_.Uniform(1.0 - config_.jitter_fraction,
+                         1.0 + config_.jitter_fraction);
+  }
+  next_ = sim_->Schedule(config_.period * scale, [this] { TakeReading(); });
+}
+
+}  // namespace odscope

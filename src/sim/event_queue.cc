@@ -1,0 +1,51 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odsim {
+
+void EventHandle::Cancel() {
+  if (state_ && !state_->fired) {
+    state_->cancelled = true;
+  }
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle EventQueue::Push(SimTime at, EventFn fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{at, next_seq_++, state, std::make_shared<EventFn>(std::move(fn))});
+  return EventHandle(state);
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  OD_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::Pop() {
+  SkipCancelled();
+  OD_CHECK(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  top.state->fired = true;
+  return Popped{top.time, std::move(*top.fn)};
+}
+
+}  // namespace odsim

@@ -1,0 +1,90 @@
+// Pending-event set for the discrete-event simulator.
+//
+// Events at equal timestamps fire in scheduling order (FIFO), which the
+// sequence number guarantees.  Cancellation is handled lazily: cancelled
+// events stay in the heap but are skipped on pop.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odsim {
+
+using EventFn = std::function<void()>;
+
+// Handle that allows cancelling a scheduled event.  Copyable; all copies
+// refer to the same event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet.  Idempotent.
+  void Cancel();
+
+  // True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  // Inserts an event; returns a handle usable for cancellation.
+  EventHandle Push(SimTime at, EventFn fn);
+
+  bool empty() const;
+
+  // Time of the earliest non-cancelled event.  Requires !empty().
+  SimTime NextTime() const;
+
+  // Removes and returns the earliest non-cancelled event.  Requires !empty().
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+  Popped Pop();
+
+  size_t size_for_testing() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    // Mutable via shared_ptr because priority_queue only exposes const top().
+    std::shared_ptr<EventHandle::State> state;
+    std::shared_ptr<EventFn> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled events from the top of the heap.
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace odsim
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

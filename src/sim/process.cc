@@ -1,0 +1,49 @@
+#include "src/sim/process.h"
+
+#include "src/util/check.h"
+
+namespace odsim {
+
+ProcessTable::ProcessTable() {
+  // Pid 0 / procedure 0 are reserved for the kernel idle loop.
+  ProcessId idle_pid = RegisterProcess("Idle");
+  ProcedureId idle_proc = RegisterProcedure("_cpu_halt");
+  OD_CHECK(idle_pid == kIdlePid);
+  OD_CHECK(idle_proc == kIdleProc);
+}
+
+ProcessId ProcessTable::RegisterProcess(std::string_view name) {
+  std::string key(name);
+  auto it = process_ids_.find(key);
+  if (it != process_ids_.end()) {
+    return it->second;
+  }
+  ProcessId id = static_cast<ProcessId>(process_names_.size());
+  process_names_.push_back(key);
+  process_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+ProcedureId ProcessTable::RegisterProcedure(std::string_view name) {
+  std::string key(name);
+  auto it = procedure_ids_.find(key);
+  if (it != procedure_ids_.end()) {
+    return it->second;
+  }
+  ProcedureId id = static_cast<ProcedureId>(procedure_names_.size());
+  procedure_names_.push_back(key);
+  procedure_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+const std::string& ProcessTable::ProcessName(ProcessId pid) const {
+  OD_CHECK(pid >= 0 && pid < process_count());
+  return process_names_[static_cast<size_t>(pid)];
+}
+
+const std::string& ProcessTable::ProcedureName(ProcedureId proc) const {
+  OD_CHECK(proc >= 0 && proc < procedure_count());
+  return procedure_names_[static_cast<size_t>(proc)];
+}
+
+}  // namespace odsim

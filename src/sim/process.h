@@ -1,0 +1,52 @@
+// Simulated processes and procedures.
+//
+// PowerScope attributes energy to the process and procedure executing at
+// each sample, so every piece of simulated CPU work carries a (pid,
+// procedure) label.  The ProcessTable interns names to small integer ids.
+// Pid 0 is always the kernel idle loop ("Idle" in the paper's profiles, a
+// Pentium hlt instruction).
+
+#ifndef SRC_SIM_PROCESS_H_
+#define SRC_SIM_PROCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace odsim {
+
+using ProcessId = int32_t;
+using ProcedureId = int32_t;
+
+inline constexpr ProcessId kIdlePid = 0;
+inline constexpr ProcedureId kIdleProc = 0;
+
+class ProcessTable {
+ public:
+  ProcessTable();
+
+  // Interns a process name; returns the existing id if already registered.
+  ProcessId RegisterProcess(std::string_view name);
+
+  // Interns a procedure name (global namespace, shared across processes,
+  // mirroring symbol-table lookup in the real PowerScope).
+  ProcedureId RegisterProcedure(std::string_view name);
+
+  const std::string& ProcessName(ProcessId pid) const;
+  const std::string& ProcedureName(ProcedureId proc) const;
+
+  int process_count() const { return static_cast<int>(process_names_.size()); }
+  int procedure_count() const { return static_cast<int>(procedure_names_.size()); }
+
+ private:
+  std::vector<std::string> process_names_;
+  std::vector<std::string> procedure_names_;
+  std::unordered_map<std::string, ProcessId> process_ids_;
+  std::unordered_map<std::string, ProcedureId> procedure_ids_;
+};
+
+}  // namespace odsim
+
+#endif  // SRC_SIM_PROCESS_H_

@@ -1,0 +1,124 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace odsim {
+
+Simulator::Simulator() : now_(SimTime::Zero()) {}
+
+EventHandle Simulator::Schedule(SimDuration delay, EventFn fn) {
+  OD_CHECK(delay >= SimDuration::Zero());
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(SimTime at, EventFn fn) {
+  OD_CHECK(at >= now_);
+  return queue_.Push(at, std::move(fn));
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    auto [time, fn] = queue_.Pop();
+    OD_CHECK(time >= now_);
+    now_ = time;
+    fn();
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  OD_CHECK(deadline >= now_);
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.NextTime() <= deadline) {
+    auto [time, fn] = queue_.Pop();
+    now_ = time;
+    fn();
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+std::vector<ProcessId> Simulator::RunnablePids() const {
+  std::vector<ProcessId> pids;
+  pids.reserve(run_queue_.size());
+  for (const WorkItem& item : run_queue_) {
+    pids.push_back(item.pid);
+  }
+  return pids;
+}
+
+void Simulator::AddCpuObserver(CpuObserver* observer) {
+  OD_CHECK(observer != nullptr);
+  cpu_observers_.push_back(observer);
+}
+
+void Simulator::set_cpu_quantum(SimDuration quantum) {
+  OD_CHECK(quantum > SimDuration::Zero());
+  OD_CHECK(run_queue_.empty());
+  quantum_ = quantum;
+}
+
+void Simulator::set_cpu_speed(double speed) {
+  OD_CHECK(speed > 0.0 && speed <= 1.0);
+  cpu_speed_ = speed;
+}
+
+void Simulator::SetContext(SimTime now, ProcessId pid, ProcedureId proc) {
+  if (pid == current_pid_ && proc == current_proc_) {
+    return;
+  }
+  current_pid_ = pid;
+  current_proc_ = proc;
+  for (CpuObserver* observer : cpu_observers_) {
+    observer->OnCpuContextSwitch(now, pid, proc, pid != kIdlePid);
+  }
+}
+
+void Simulator::SubmitWork(ProcessId pid, ProcedureId proc, SimDuration work,
+                           EventFn on_complete) {
+  OD_CHECK(work > SimDuration::Zero());
+  run_queue_.push_back(WorkItem{pid, proc, work, std::move(on_complete)});
+  if (!cpu_dispatching_) {
+    Dispatch(now_);
+  }
+}
+
+void Simulator::Dispatch(SimTime now) {
+  if (run_queue_.empty()) {
+    cpu_dispatching_ = false;
+    SetContext(now, kIdlePid, kIdleProc);
+    return;
+  }
+  cpu_dispatching_ = true;
+  WorkItem& item = run_queue_.front();
+  SetContext(now, item.pid, item.proc);
+  // The slice is bounded by the quantum in wall time; at reduced clock
+  // speed it consumes proportionally less of the item's remaining work.
+  SimDuration max_work_this_quantum = quantum_ * cpu_speed_;
+  SimDuration work =
+      item.remaining < max_work_this_quantum ? item.remaining : max_work_this_quantum;
+  SimDuration wall = work * (1.0 / cpu_speed_);
+  slice_end_ = queue_.Push(now + wall, [this, work] {
+    OD_CHECK(!run_queue_.empty());
+    WorkItem& front = run_queue_.front();
+    front.remaining -= work;
+    if (front.remaining <= SimDuration::Zero()) {
+      EventFn done = std::move(front.on_complete);
+      run_queue_.pop_front();
+      if (done) {
+        done();
+      }
+    } else if (run_queue_.size() > 1) {
+      // Round-robin rotation.
+      WorkItem rotated = std::move(run_queue_.front());
+      run_queue_.pop_front();
+      run_queue_.push_back(std::move(rotated));
+    }
+    Dispatch(now_);
+  });
+}
+
+}  // namespace odsim

@@ -1,0 +1,121 @@
+// Discrete-event simulator.
+//
+// Owns the virtual clock, the pending-event set, the process table, and the
+// single simulated CPU.  The CPU runs work items round-robin with a fixed
+// quantum, so at every instant exactly one (pid, procedure) context is
+// executing — which is what PowerScope samples and what the energy
+// accountant attributes against.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/process.h"
+#include "src/sim/time.h"
+
+namespace odsim {
+
+// Observes CPU context switches (including switches to/from idle).
+class CpuObserver {
+ public:
+  virtual ~CpuObserver() = default;
+
+  // Called whenever the executing (pid, procedure) changes, at time `now`.
+  // `busy` is false exactly when pid == kIdlePid.
+  virtual void OnCpuContextSwitch(SimTime now, ProcessId pid, ProcedureId proc,
+                                  bool busy) = 0;
+};
+
+class Simulator {
+ public:
+  Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+  ProcessTable& processes() { return processes_; }
+  const ProcessTable& processes() const { return processes_; }
+
+  // -- Event scheduling ------------------------------------------------------
+
+  EventHandle Schedule(SimDuration delay, EventFn fn);
+  EventHandle ScheduleAt(SimTime at, EventFn fn);
+
+  // Runs until the event queue is exhausted or Stop() is called.
+  void Run();
+
+  // Runs all events with time <= deadline, then advances the clock to it.
+  void RunUntil(SimTime deadline);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  // -- CPU -------------------------------------------------------------------
+
+  // Submits `work` of CPU time for the given context; `on_complete` (may be
+  // null) fires when the work has fully executed.  Work from concurrent
+  // submissions is interleaved round-robin.
+  void SubmitWork(ProcessId pid, ProcedureId proc, SimDuration work,
+                  EventFn on_complete);
+
+  // Currently executing context.
+  ProcessId current_pid() const { return current_pid_; }
+  ProcedureId current_proc() const { return current_proc_; }
+  bool cpu_busy() const { return current_pid_ != kIdlePid; }
+
+  // Number of work items queued or executing.
+  int runnable_count() const { return static_cast<int>(run_queue_.size()); }
+
+  // Process ids with queued or executing work, in queue order (duplicates
+  // possible).  Lets cooperative applications shed load when competing work
+  // from other processes is runnable.
+  std::vector<ProcessId> RunnablePids() const;
+
+  // Observers are not owned; they must outlive the simulator's run.
+  void AddCpuObserver(CpuObserver* observer);
+
+  // Scheduling quantum (default 10 ms).  Must be set before any work is
+  // submitted.
+  void set_cpu_quantum(SimDuration quantum);
+
+  // CPU speed as a fraction of nominal (clock scaling).  Work submitted in
+  // nominal CPU-seconds executes at this rate: at 0.5, one second of work
+  // takes two wall seconds.  Takes effect at the next scheduling boundary.
+  void set_cpu_speed(double speed);
+  double cpu_speed() const { return cpu_speed_; }
+
+ private:
+  struct WorkItem {
+    ProcessId pid;
+    ProcedureId proc;
+    SimDuration remaining;
+    EventFn on_complete;
+  };
+
+  void Dispatch(SimTime now);
+  void SetContext(SimTime now, ProcessId pid, ProcedureId proc);
+
+  SimTime now_;
+  EventQueue queue_;
+  ProcessTable processes_;
+  bool stopped_ = false;
+
+  std::deque<WorkItem> run_queue_;
+  bool cpu_dispatching_ = false;
+  EventHandle slice_end_;
+  SimDuration quantum_ = SimDuration::Millis(10);
+  double cpu_speed_ = 1.0;
+
+  ProcessId current_pid_ = kIdlePid;
+  ProcedureId current_proc_ = kIdleProc;
+  std::vector<CpuObserver*> cpu_observers_;
+};
+
+}  // namespace odsim
+
+#endif  // SRC_SIM_SIMULATOR_H_

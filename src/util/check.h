@@ -1,0 +1,40 @@
+// Lightweight runtime-check macros.
+//
+// OD_CHECK aborts with a message when the condition is false; it is always
+// compiled in, because this library is a measurement instrument and a silent
+// accounting error is worse than a crash.  OD_DCHECK compiles out in NDEBUG
+// builds and is for hot paths.
+
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OD_CHECK(cond)                                                              \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "OD_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                                          \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#define OD_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "OD_CHECK failed at %s:%d: %s (%s)\n", __FILE__,         \
+                   __LINE__, #cond, msg);                                           \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define OD_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define OD_DCHECK(cond) OD_CHECK(cond)
+#endif
+
+#endif  // SRC_UTIL_CHECK_H_

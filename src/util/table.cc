@@ -1,0 +1,92 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace odutil {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::AddRow(std::vector<std::string> cells) {
+  OD_CHECK(!header_.empty());
+  OD_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+void Table::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 3;
+  }
+
+  auto print_rule = [&] {
+    for (size_t i = 0; i + 1 < total; ++i) {
+      std::fputc('-', out);
+    }
+    std::fputc('\n', out);
+  };
+
+  if (!title_.empty()) {
+    std::fprintf(out, "%s\n", title_.c_str());
+  }
+  print_rule();
+  for (size_t c = 0; c < header_.size(); ++c) {
+    std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), header_[c].c_str(),
+                 c + 1 < header_.size() ? " | " : "\n");
+  }
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+      continue;
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                   c + 1 < row.size() ? " | " : "\n");
+    }
+  }
+  print_rule();
+  std::fputc('\n', out);
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::MeanStd(double mean, double stddev, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f (%.*f)", precision, mean, precision, stddev);
+  return buf;
+}
+
+std::string Table::Range(double lo, double hi, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f-%.*f", precision, lo, precision, hi);
+  return buf;
+}
+
+}  // namespace odutil

@@ -1,0 +1,49 @@
+// Fixed-width text table printer.
+//
+// Every bench binary regenerates one of the paper's tables or figures as a
+// text table; this class keeps their formatting uniform: a header row,
+// right-aligned numeric columns, and an optional title/caption.
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace odutil {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  // Sets the column headers.  Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  // Adds a row of pre-formatted cells.  Must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Adds a separator line between row groups.
+  void AddSeparator();
+
+  // Renders the table to the given stream (stdout by default).
+  void Print(std::FILE* out = stdout) const;
+
+  // Formatting helpers for cells.
+  static std::string Num(double v, int precision = 1);
+  static std::string Pct(double fraction, int precision = 0);
+  // "mean (stddev)" cell, the format Figures 20-21 use.
+  static std::string MeanStd(double mean, double stddev, int precision = 1);
+  // "lo-hi" range cell, the format Figures 16 and 18 use.
+  static std::string Range(double lo, double hi, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  // An empty row vector encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace odutil
+
+#endif  // SRC_UTIL_TABLE_H_

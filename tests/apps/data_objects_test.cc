@@ -1,0 +1,88 @@
+#include "src/apps/data_objects.h"
+
+#include <gtest/gtest.h>
+
+namespace odapps {
+namespace {
+
+TEST(VideoClipsTest, DurationsMatchPaperRange) {
+  // "four QuickTime/Cinepak videos from 127 to 226 seconds in length".
+  for (const VideoClip& clip : StandardVideoClips()) {
+    EXPECT_GE(clip.duration_seconds, 127.0);
+    EXPECT_LE(clip.duration_seconds, 226.0);
+  }
+}
+
+TEST(VideoClipsTest, CompressionReducesBitrateAndDecodeCost) {
+  for (const VideoClip& clip : StandardVideoClips()) {
+    EXPECT_GT(clip.baseline.bitrate_bps, clip.premiere_b.bitrate_bps);
+    EXPECT_GT(clip.premiere_b.bitrate_bps, clip.premiere_c.bitrate_bps);
+    EXPECT_GT(clip.baseline.decode_busy, clip.premiere_b.decode_busy);
+    EXPECT_GT(clip.premiere_b.decode_busy, clip.premiere_c.decode_busy);
+  }
+}
+
+TEST(VideoClipsTest, BaselineNearlySaturatesWaveLan) {
+  // "much energy is consumed while the processor is idle because of the
+  // limited bandwidth of the wireless network" — baseline bitrates sit just
+  // below the 2 Mb/s channel.
+  for (const VideoClip& clip : StandardVideoClips()) {
+    EXPECT_GT(clip.baseline.bitrate_bps, 1.4e6);
+    EXPECT_LT(clip.baseline.bitrate_bps, 2.0e6);
+  }
+}
+
+TEST(VideoClipsTest, TrackAccessorSelects) {
+  const VideoClip& clip = StandardVideoClips()[0];
+  EXPECT_DOUBLE_EQ(clip.track(VideoTrack::kBaseline).bitrate_bps,
+                   clip.baseline.bitrate_bps);
+  EXPECT_DOUBLE_EQ(clip.track(VideoTrack::kPremiereC).bitrate_bps,
+                   clip.premiere_c.bitrate_bps);
+}
+
+TEST(UtterancesTest, LengthsMatchPaperRange) {
+  // "four spoken utterances from one to seven seconds in length".
+  for (const Utterance& u : StandardUtterances()) {
+    EXPECT_GE(u.duration_seconds, 1.0);
+    EXPECT_LE(u.duration_seconds, 7.0);
+  }
+}
+
+TEST(MapsTest, FidelityShrinksTransferSize) {
+  for (const MapObject& map : StandardMaps()) {
+    EXPECT_LT(map.minor_filter_bytes, map.full_bytes);
+    EXPECT_LT(map.secondary_filter_bytes, map.minor_filter_bytes);
+    EXPECT_LT(map.cropped_bytes, map.full_bytes);
+    EXPECT_LT(map.cropped_secondary_bytes, map.cropped_bytes);
+    EXPECT_LT(map.cropped_secondary_bytes, map.secondary_filter_bytes);
+  }
+}
+
+TEST(MapsTest, FourCities) {
+  const auto& maps = StandardMaps();
+  EXPECT_EQ(maps.size(), 4u);
+  EXPECT_EQ(maps[0].name, "San Jose");
+}
+
+TEST(WebImagesTest, SizesMatchPaperRange) {
+  // "four GIF images from 110 B to 175 KB in size".
+  const auto& images = StandardWebImages();
+  EXPECT_EQ(images[0].gif_bytes, 175000u);
+  EXPECT_EQ(images[3].gif_bytes, 110u);
+}
+
+TEST(WindowsTest, VideoWindowScales) {
+  oddisplay::Rect full = VideoWindow(1.0);
+  oddisplay::Rect half = VideoWindow(0.5);
+  EXPECT_DOUBLE_EQ(half.w, full.w * 0.5);
+  EXPECT_DOUBLE_EQ(half.h, full.h * 0.5);
+}
+
+TEST(WindowsTest, CroppedMapSmallerThanFull) {
+  oddisplay::Rect full = MapWindowFull();
+  oddisplay::Rect cropped = MapWindowCropped();
+  EXPECT_LT(cropped.w * cropped.h, full.w * full.h);
+}
+
+}  // namespace
+}  // namespace odapps

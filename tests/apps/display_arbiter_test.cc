@@ -1,0 +1,77 @@
+#include "src/apps/display_arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odapps {
+namespace {
+
+struct Rig {
+  odsim::Simulator sim;
+  std::unique_ptr<odpower::Laptop> laptop = odpower::MakeThinkPad560X(&sim);
+  DisplayArbiter arbiter{&laptop->power_manager()};
+
+  odpower::DisplayState state() { return laptop->display().display_state(); }
+};
+
+TEST(DisplayArbiterTest, BrightWhileHeld) {
+  Rig rig;
+  rig.arbiter.set_off_when_idle(true);
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kOff);
+  rig.arbiter.Acquire();
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kBright);
+  rig.arbiter.Release();
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kOff);
+}
+
+TEST(DisplayArbiterTest, IdleBrightWithoutPm) {
+  Rig rig;
+  rig.arbiter.set_off_when_idle(false);
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kBright);
+  rig.arbiter.Acquire();
+  rig.arbiter.Release();
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kBright);
+}
+
+TEST(DisplayArbiterTest, NestedHolders) {
+  Rig rig;
+  rig.arbiter.set_off_when_idle(true);
+  rig.arbiter.Acquire();
+  rig.arbiter.Acquire();
+  rig.arbiter.Release();
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kBright);
+  rig.arbiter.Release();
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kOff);
+}
+
+TEST(DisplayArbiterTest, DimHolderAloneDims) {
+  Rig rig;
+  rig.arbiter.set_off_when_idle(true);
+  rig.arbiter.Acquire(DisplayNeed::kDim);
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kDim);
+  rig.arbiter.Release(DisplayNeed::kDim);
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kOff);
+}
+
+TEST(DisplayArbiterTest, BrightHolderOverridesDim) {
+  Rig rig;
+  rig.arbiter.set_off_when_idle(true);
+  rig.arbiter.Acquire(DisplayNeed::kDim);
+  rig.arbiter.Acquire(DisplayNeed::kBright);
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kBright);
+  rig.arbiter.Release(DisplayNeed::kBright);
+  EXPECT_EQ(rig.state(), odpower::DisplayState::kDim);
+}
+
+TEST(DisplayArbiterTest, HolderCount) {
+  Rig rig;
+  EXPECT_EQ(rig.arbiter.holders(), 0);
+  rig.arbiter.Acquire(DisplayNeed::kBright);
+  rig.arbiter.Acquire(DisplayNeed::kDim);
+  EXPECT_EQ(rig.arbiter.holders(), 2);
+}
+
+}  // namespace
+}  // namespace odapps

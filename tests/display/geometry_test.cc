@@ -1,0 +1,48 @@
+#include "src/display/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace oddisplay {
+namespace {
+
+TEST(RectTest, OverlapDetected) {
+  Rect a{0.0, 0.0, 0.5, 0.5};
+  Rect b{0.25, 0.25, 0.5, 0.5};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+}
+
+TEST(RectTest, DisjointNotIntersecting) {
+  Rect a{0.0, 0.0, 0.2, 0.2};
+  Rect b{0.5, 0.5, 0.2, 0.2};
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(RectTest, SharedEdgeDoesNotCount) {
+  // A window snapped exactly to a zone boundary lights only its own zone.
+  Rect a{0.0, 0.0, 0.5, 1.0};
+  Rect b{0.5, 0.0, 0.5, 1.0};
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(RectTest, ContainmentIntersects) {
+  Rect outer{0.0, 0.0, 1.0, 1.0};
+  Rect inner{0.4, 0.4, 0.1, 0.1};
+  EXPECT_TRUE(outer.Intersects(inner));
+}
+
+TEST(RectTest, EmptyRect) {
+  Rect empty{0.5, 0.5, 0.0, 0.0};
+  EXPECT_TRUE(empty.empty());
+  Rect normal{0.0, 0.0, 1.0, 1.0};
+  EXPECT_FALSE(normal.empty());
+}
+
+TEST(RectTest, FullScreenCoversEverything) {
+  Rect full = Rect::FullScreen();
+  Rect corner{0.9, 0.9, 0.05, 0.05};
+  EXPECT_TRUE(full.Intersects(corner));
+}
+
+}  // namespace
+}  // namespace oddisplay

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/display/zoned.h"
+
+namespace oddisplay {
+namespace {
+
+TEST(SnapToZonesTest, AlreadyAlignedWindowUnchanged) {
+  ZoneLayout layout = ZoneLayout::FourZone();
+  Rect window{0.0, 0.0, 0.4, 0.4};
+  Rect snapped = SnapToZones(window, layout);
+  EXPECT_DOUBLE_EQ(snapped.x, 0.0);
+  EXPECT_DOUBLE_EQ(snapped.y, 0.0);
+  EXPECT_EQ(layout.LitZoneCount({snapped}), 1);
+}
+
+TEST(SnapToZonesTest, StraddlingWindowSnapsToOneZone) {
+  ZoneLayout layout = ZoneLayout::FourZone();
+  // A 0.4x0.4 window centered on the screen straddles all four zones.
+  Rect window{0.3, 0.3, 0.4, 0.4};
+  EXPECT_EQ(layout.LitZoneCount({window}), 4);
+  Rect snapped = SnapToZones(window, layout);
+  EXPECT_EQ(layout.LitZoneCount({snapped}), 1);
+  // Size is preserved.
+  EXPECT_DOUBLE_EQ(snapped.w, 0.4);
+  EXPECT_DOUBLE_EQ(snapped.h, 0.4);
+}
+
+TEST(SnapToZonesTest, MovesMinimally) {
+  ZoneLayout layout = ZoneLayout::FourZone();
+  Rect window{0.45, 0.05, 0.4, 0.4};  // Slightly over the column boundary.
+  Rect snapped = SnapToZones(window, layout);
+  EXPECT_EQ(layout.LitZoneCount({snapped}), 1);
+  // The nearest single-zone placement is the right column at x = 0.5, not
+  // the far-left one at x = 0.1.
+  EXPECT_NEAR(snapped.x, 0.5, 1e-9);
+}
+
+TEST(SnapToZonesTest, LargeWindowStillSpansMinimum) {
+  ZoneLayout layout = ZoneLayout::EightZone();
+  // 0.6 wide needs ceil(0.6/0.25) = 3 columns at best.
+  Rect window{0.18, 0.1, 0.6, 0.3};
+  Rect snapped = SnapToZones(window, layout);
+  EXPECT_EQ(layout.LitZoneCount({snapped}), 3);
+}
+
+TEST(SnapToZonesTest, FullScreenWindowUntouched) {
+  ZoneLayout layout = ZoneLayout::FourZone();
+  Rect snapped = SnapToZones(Rect::FullScreen(), layout);
+  EXPECT_DOUBLE_EQ(snapped.x, 0.0);
+  EXPECT_DOUBLE_EQ(snapped.y, 0.0);
+  EXPECT_EQ(layout.LitZoneCount({snapped}), 4);
+}
+
+TEST(SnapToZonesTest, OversizedWindowClampedToScreen) {
+  ZoneLayout layout = ZoneLayout::FourZone();
+  Rect snapped = SnapToZones(Rect{0.0, 0.0, 1.5, 1.2}, layout);
+  EXPECT_DOUBLE_EQ(snapped.w, 1.0);
+  EXPECT_DOUBLE_EQ(snapped.h, 1.0);
+}
+
+TEST(SnapToZonesTest, SnappedWindowNeverLitsMoreZones) {
+  // Property: snapping never increases the lit-zone count of an on-screen
+  // window (a partially off-screen window can gain zones, since snapping
+  // also brings it back on screen).
+  for (auto layout : {ZoneLayout::FourZone(), ZoneLayout::EightZone()}) {
+    for (double x = 0.0; x <= 0.6; x += 0.07) {
+      for (double y = 0.0; y <= 0.6; y += 0.07) {
+        for (double w : {0.1, 0.3, 0.45, 0.7}) {
+          if (x + w > 1.0 || y + w > 1.0) {
+            continue;
+          }
+          Rect window{x, y, w, w};
+          Rect snapped = SnapToZones(window, layout);
+          EXPECT_LE(layout.LitZoneCount({snapped}), layout.LitZoneCount({window}))
+              << "x=" << x << " y=" << y << " w=" << w;
+          EXPECT_GE(snapped.x, 0.0);
+          EXPECT_LE(snapped.x + snapped.w, 1.0 + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oddisplay

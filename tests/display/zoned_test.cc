@@ -1,0 +1,98 @@
+#include "src/display/zoned.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/data_objects.h"
+#include "src/power/display.h"
+
+namespace oddisplay {
+namespace {
+
+TEST(ZoneLayoutTest, FourZoneIsTwoByTwo) {
+  ZoneLayout layout = ZoneLayout::FourZone();
+  EXPECT_EQ(layout.zone_count(), 4);
+  Rect z0 = layout.ZoneRect(0);
+  EXPECT_DOUBLE_EQ(z0.w, 0.5);
+  EXPECT_DOUBLE_EQ(z0.h, 0.5);
+}
+
+TEST(ZoneLayoutTest, EightZoneIsFourByTwo) {
+  ZoneLayout layout = ZoneLayout::EightZone();
+  EXPECT_EQ(layout.zone_count(), 8);
+  Rect z = layout.ZoneRect(5);  // Second row, second column.
+  EXPECT_DOUBLE_EQ(z.x, 0.25);
+  EXPECT_DOUBLE_EQ(z.y, 0.5);
+  EXPECT_DOUBLE_EQ(z.w, 0.25);
+  EXPECT_DOUBLE_EQ(z.h, 0.5);
+}
+
+TEST(ZoneLayoutTest, FullScreenLightsAllZones) {
+  EXPECT_EQ(ZoneLayout::FourZone().LitZoneCount({Rect::FullScreen()}), 4);
+  EXPECT_EQ(ZoneLayout::EightZone().LitZoneCount({Rect::FullScreen()}), 8);
+}
+
+TEST(ZoneLayoutTest, NoWindowsNoLitZones) {
+  EXPECT_EQ(ZoneLayout::FourZone().LitZoneCount({}), 0);
+}
+
+// Section 4.3's zone-occupancy claims for the paper's window geometries.
+
+TEST(ZoneOccupancyTest, VideoFullFidelity) {
+  // "The video at full fidelity fits within one zone for the 4-zone case,
+  // and within two zones for the 8-zone case."
+  Rect window = odapps::VideoWindow(1.0);
+  EXPECT_EQ(ZoneLayout::FourZone().LitZoneCount({window}), 1);
+  EXPECT_EQ(ZoneLayout::EightZone().LitZoneCount({window}), 2);
+}
+
+TEST(ZoneOccupancyTest, VideoLowestFidelity) {
+  // "At lowest fidelity, the video fits entirely within one of the 8 zones."
+  Rect window = odapps::VideoWindow(0.5);
+  EXPECT_EQ(ZoneLayout::FourZone().LitZoneCount({window}), 1);
+  EXPECT_EQ(ZoneLayout::EightZone().LitZoneCount({window}), 1);
+}
+
+TEST(ZoneOccupancyTest, MapFullFidelity) {
+  // "The map at full fidelity occupies all zones in the 4-zone case...
+  // But it occupies only six zones in the 8-zone case."
+  Rect window = odapps::MapWindowFull();
+  EXPECT_EQ(ZoneLayout::FourZone().LitZoneCount({window}), 4);
+  EXPECT_EQ(ZoneLayout::EightZone().LitZoneCount({window}), 6);
+}
+
+TEST(ZoneOccupancyTest, MapLowestFidelity) {
+  // "At lowest fidelity, the map output only occupies two zones in the
+  // 4-zone case ... the map output only occupies three zones [8-zone]."
+  Rect window = odapps::MapWindowCropped();
+  EXPECT_EQ(ZoneLayout::FourZone().LitZoneCount({window}), 2);
+  EXPECT_EQ(ZoneLayout::EightZone().LitZoneCount({window}), 3);
+}
+
+TEST(ZonedControllerTest, AppliesLitFractionToDisplay) {
+  odpower::Display display(4.0, 2.0);
+  ZonedBacklightController controller(&display, ZoneLayout::FourZone());
+  controller.SetWindows({Rect{0.0, 0.0, 0.3, 0.3}});
+  EXPECT_EQ(controller.lit_zones(), 1);
+  EXPECT_DOUBLE_EQ(display.power(), 1.0);  // 4.0 * 1/4.
+  controller.Disable();
+  EXPECT_DOUBLE_EQ(display.power(), 4.0);
+}
+
+TEST(ZonedControllerTest, MultipleWindows) {
+  odpower::Display display(4.0, 2.0);
+  ZonedBacklightController controller(&display, ZoneLayout::FourZone());
+  controller.SetWindows(
+      {Rect{0.0, 0.0, 0.3, 0.3}, Rect{0.7, 0.7, 0.2, 0.2}});
+  EXPECT_EQ(controller.lit_zones(), 2);
+  EXPECT_DOUBLE_EQ(display.power(), 2.0);
+}
+
+TEST(ZonedControllerTest, EmptyWindowIgnored) {
+  odpower::Display display(4.0, 2.0);
+  ZonedBacklightController controller(&display, ZoneLayout::FourZone());
+  controller.SetWindows({Rect{0.1, 0.1, 0.0, 0.0}});
+  EXPECT_EQ(controller.lit_zones(), 0);
+}
+
+}  // namespace
+}  // namespace oddisplay

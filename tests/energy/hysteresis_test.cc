@@ -1,0 +1,78 @@
+#include "src/energy/hysteresis.h"
+
+#include <gtest/gtest.h>
+
+namespace odenergy {
+namespace {
+
+using odsim::SimTime;
+
+TEST(HysteresisTest, DegradeWhenDemandExceedsResidual) {
+  HysteresisPolicy policy;
+  EXPECT_EQ(policy.Decide(1100.0, 1000.0, 10000.0, SimTime::Seconds(1)),
+            AdaptAction::kDegrade);
+}
+
+TEST(HysteresisTest, NoneInsideHysteresisBand) {
+  HysteresisPolicy policy;
+  // Residual 1000, demand 950: surplus 50 < margin (0.05*1000 + 0.01*10000
+  // = 150).
+  EXPECT_EQ(policy.Decide(950.0, 1000.0, 10000.0, SimTime::Seconds(1)),
+            AdaptAction::kNone);
+}
+
+TEST(HysteresisTest, UpgradeWhenSurplusExceedsMargin) {
+  HysteresisPolicy policy;
+  // Surplus 400 > 150.
+  EXPECT_EQ(policy.Decide(600.0, 1000.0, 10000.0, SimTime::Seconds(1)),
+            AdaptAction::kUpgrade);
+}
+
+TEST(HysteresisTest, MarginComposition) {
+  HysteresisPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.UpgradeMarginJoules(1000.0, 10000.0),
+                   0.05 * 1000.0 + 0.01 * 10000.0);
+}
+
+TEST(HysteresisTest, ConstantMarginBlocksUpgradeWhenResidualLow) {
+  // Section 5.1.3: the constant component biases against improvements when
+  // residual energy is low.  Surplus of 40% of residual is below the
+  // absolute margin here.
+  HysteresisPolicy policy;
+  EXPECT_EQ(policy.Decide(60.0, 100.0, 10000.0, SimTime::Seconds(1)),
+            AdaptAction::kNone);
+}
+
+TEST(HysteresisTest, UpgradeRateCapped) {
+  HysteresisPolicy policy;
+  EXPECT_EQ(policy.Decide(100.0, 1000.0, 1000.0, SimTime::Seconds(10)),
+            AdaptAction::kUpgrade);
+  policy.NoteUpgrade(SimTime::Seconds(10));
+  // 10 s later: still inside the 15 s cap.
+  EXPECT_EQ(policy.Decide(100.0, 1000.0, 1000.0, SimTime::Seconds(20)),
+            AdaptAction::kNone);
+  // 15 s later: allowed again.
+  EXPECT_EQ(policy.Decide(100.0, 1000.0, 1000.0, SimTime::Seconds(25)),
+            AdaptAction::kUpgrade);
+}
+
+TEST(HysteresisTest, DegradeNotRateLimited) {
+  HysteresisPolicy policy;
+  policy.NoteUpgrade(SimTime::Seconds(10));
+  EXPECT_EQ(policy.Decide(2000.0, 1000.0, 1000.0, SimTime::Seconds(11)),
+            AdaptAction::kDegrade);
+}
+
+TEST(HysteresisTest, CustomConfig) {
+  HysteresisConfig config;
+  config.variable_fraction = 0.0;
+  config.constant_fraction = 0.0;
+  config.upgrade_interval = odsim::SimDuration::Zero();
+  HysteresisPolicy policy(config);
+  // Any surplus upgrades with zero margins.
+  EXPECT_EQ(policy.Decide(999.0, 1000.0, 1000.0, SimTime::Seconds(1)),
+            AdaptAction::kUpgrade);
+}
+
+}  // namespace
+}  // namespace odenergy

@@ -1,0 +1,93 @@
+// Infeasible goals (Section 5.1.1): "An infeasible duration is one so large
+// that the available energy is inadequate even if all applications run at
+// lowest fidelity ... the user should be alerted to this as early as
+// possible."
+
+#include <gtest/gtest.h>
+
+#include "src/apps/goal_scenario.h"
+#include "src/energy/goal_director.h"
+#include "src/net/link.h"
+#include "src/power/thinkpad560x.h"
+#include "src/powerscope/online_monitor.h"
+
+namespace odenergy {
+namespace {
+
+TEST(InfeasibilityTest, DetectedWellBeforeExhaustion) {
+  // 6,000 J cannot last 1,500 s even at lowest fidelity (~8.5 W floor needs
+  // 12,750 J).  The alert must come early, not at the bitter end.
+  odapps::GoalScenarioOptions options;
+  options.initial_joules = 6000.0;
+  options.goal = odsim::SimDuration::Seconds(1500);
+  odapps::GoalScenarioResult result = odapps::RunGoalScenario(options);
+  EXPECT_FALSE(result.goal_met);
+  ASSERT_TRUE(result.infeasibility_detected_seconds.has_value());
+  // Detected in the first third of the doomed run (the detector waits one
+  // smoothing half-life so the estimate reflects lowest-fidelity power).
+  EXPECT_LT(*result.infeasibility_detected_seconds,
+            0.35 * result.elapsed_seconds);
+}
+
+TEST(InfeasibilityTest, FeasibleGoalNeverAlerts) {
+  odapps::GoalScenarioOptions options;
+  options.goal = odsim::SimDuration::Seconds(1320);
+  odapps::GoalScenarioResult result = odapps::RunGoalScenario(options);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_FALSE(result.infeasibility_detected_seconds.has_value());
+}
+
+TEST(InfeasibilityTest, CallbackReceivesDeficit) {
+  odsim::Simulator sim;
+  auto laptop = odpower::MakeThinkPad560X(&sim);
+  odnet::Link link(&sim, &laptop->power_manager(), odnet::LinkConfig{});
+  odyssey::Viceroy viceroy(&sim, &link, &laptop->power_manager());
+  // No applications at all: every goal that demand cannot meet is
+  // infeasible immediately (nothing left to degrade).
+  odpower::EnergySupply supply(&laptop->accounting(), 500.0);
+  odscope::OnlineMonitorConfig monitor_config;
+  monitor_config.noise_watts = 0.0;
+  odscope::OnlineMonitor monitor(&sim, &laptop->machine(), monitor_config, 1);
+  GoalDirector director(&viceroy, &supply, &monitor, odsim::SimTime::Seconds(600));
+
+  double deficit = 0.0;
+  odsim::SimTime when;
+  director.set_infeasibility_callback(
+      [&](odsim::SimTime now, double deficit_joules) {
+        when = now;
+        deficit = deficit_joules;
+      });
+  director.Start(false);
+  // Idle draw ~9.8 W for 600 s needs ~5,900 J >> 500 J.  Detection needs
+  // one smoothing half-life (10% of 600 s) of persistence.
+  sim.RunUntil(odsim::SimTime::Seconds(90));
+  director.Stop();
+
+  ASSERT_TRUE(director.infeasibility_detected().has_value());
+  EXPECT_GT(deficit, 1000.0);
+  EXPECT_EQ(when, *director.infeasibility_detected());
+}
+
+TEST(InfeasibilityTest, ExtendGoalClearsReport) {
+  odsim::Simulator sim;
+  auto laptop = odpower::MakeThinkPad560X(&sim);
+  odnet::Link link(&sim, &laptop->power_manager(), odnet::LinkConfig{});
+  odyssey::Viceroy viceroy(&sim, &link, &laptop->power_manager());
+  odpower::EnergySupply supply(&laptop->accounting(), 500.0);
+  odscope::OnlineMonitorConfig monitor_config;
+  monitor_config.noise_watts = 0.0;
+  odscope::OnlineMonitor monitor(&sim, &laptop->machine(), monitor_config, 1);
+  GoalDirector director(&viceroy, &supply, &monitor, odsim::SimTime::Seconds(600));
+  director.Start(false);
+  sim.RunUntil(odsim::SimTime::Seconds(90));
+  ASSERT_TRUE(director.infeasibility_detected().has_value());
+
+  // The user respecifies (here: a shorter horizon via a "new goal" — any
+  // respecification clears the report so feasibility is re-evaluated).
+  director.ExtendGoal(odsim::SimTime::Seconds(100));
+  EXPECT_FALSE(director.infeasibility_detected().has_value());
+  director.Stop();
+}
+
+}  // namespace
+}  // namespace odenergy

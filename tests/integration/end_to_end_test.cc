@@ -1,0 +1,85 @@
+// End-to-end integration: the full Section 5 stack (apps + viceroy + online
+// monitor + goal director) drives fidelity up and down over a whole run.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/goal_scenario.h"
+
+namespace odapps {
+namespace {
+
+TEST(EndToEndTest, TightGoalForcesDegradationAndIsMet) {
+  GoalScenarioOptions options;
+  options.goal = odsim::SimDuration::Seconds(1200);
+  GoalScenarioResult result = RunGoalScenario(options);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_NEAR(result.elapsed_seconds, 1200.0, 1.0);
+  EXPECT_GT(result.total_adaptations, 0);
+  // The lowest-priority app (Speech) ends degraded.
+  EXPECT_EQ(result.final_fidelity.at("Speech"), 0);
+}
+
+TEST(EndToEndTest, GenerousGoalNeedsFewAdaptations) {
+  GoalScenarioOptions options;
+  options.initial_joules = 16000.0;
+  options.goal = odsim::SimDuration::Seconds(1200);
+  GoalScenarioResult result = RunGoalScenario(options);
+  EXPECT_TRUE(result.goal_met);
+  // Ample energy: applications stay at (or quickly return to) high fidelity.
+  EXPECT_EQ(result.final_fidelity.at("Web"),
+            4);  // Web never needs to degrade.
+}
+
+TEST(EndToEndTest, InfeasibleGoalExhaustsSupply) {
+  GoalScenarioOptions options;
+  options.initial_joules = 6000.0;
+  options.goal = odsim::SimDuration::Seconds(1500);  // Needs < 4 W: impossible.
+  GoalScenarioResult result = RunGoalScenario(options);
+  EXPECT_FALSE(result.goal_met);
+  EXPECT_LT(result.elapsed_seconds, 1500.0);
+  // Everything was driven to lowest fidelity on the way down.
+  EXPECT_EQ(result.final_fidelity.at("Speech"), 0);
+  EXPECT_EQ(result.final_fidelity.at("Video"), 0);
+}
+
+TEST(EndToEndTest, DemandTracksSupplyInTimeline) {
+  GoalScenarioOptions options;
+  options.goal = odsim::SimDuration::Seconds(1200);
+  GoalScenarioResult result = RunGoalScenario(options);
+  ASSERT_GT(result.timeline.size(), 100u);
+  // After the initial transient, estimated demand stays within 25% of
+  // residual supply — the paper's "estimated demand tracks supply closely".
+  size_t start = result.timeline.size() / 4;
+  for (size_t i = start; i < result.timeline.size(); ++i) {
+    const auto& point = result.timeline[i];
+    if (point.residual_joules < 500.0) {
+      break;  // Terminal noise region.
+    }
+    EXPECT_LT(std::abs(point.demand_joules - point.residual_joules),
+              0.25 * point.residual_joules + 200.0)
+        << "at t=" << point.time.seconds();
+  }
+}
+
+TEST(EndToEndTest, AdaptationLogTimesAreOrdered) {
+  GoalScenarioOptions options;
+  options.goal = odsim::SimDuration::Seconds(1200);
+  GoalScenarioResult result = RunGoalScenario(options);
+  for (const auto& [app, changes] : result.fidelity_traces) {
+    for (size_t i = 1; i < changes.size(); ++i) {
+      EXPECT_GT(changes[i].time, changes[i - 1].time);
+    }
+  }
+}
+
+TEST(EndToEndTest, BurstyWorkloadMeetsGoal) {
+  GoalScenarioOptions options;
+  options.bursty = true;
+  options.initial_joules = 9000.0;
+  options.goal = odsim::SimDuration::Seconds(1200);
+  GoalScenarioResult result = RunGoalScenario(options);
+  EXPECT_TRUE(result.goal_met);
+}
+
+}  // namespace
+}  // namespace odapps

@@ -1,0 +1,74 @@
+// Property test: the link conserves bytes, completes transfers in FIFO
+// order, and its busy-time counter equals the sum of per-transfer durations
+// under randomized offered load.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace odnet {
+namespace {
+
+class LinkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinkPropertyTest, ConservationAndFifo) {
+  odsim::Simulator sim;
+  auto laptop = odpower::MakeThinkPad560X(&sim);
+  Link link(&sim, &laptop->power_manager(), LinkConfig{});
+  odutil::Rng rng(GetParam());
+
+  struct Xfer {
+    size_t bytes;
+    odsim::SimTime submitted;
+    int sequence;
+  };
+  std::vector<Xfer> transfers;
+  std::vector<int> completion_order;
+  size_t total_bytes = 0;
+  double expected_busy = 0.0;
+
+  for (int i = 0; i < 25; ++i) {
+    size_t bytes = static_cast<size_t>(rng.Uniform(100, 300000));
+    double at = rng.Uniform(0.0, 20.0);
+    total_bytes += bytes;
+    expected_busy += link.TransferTime(bytes).seconds();
+    transfers.push_back(Xfer{bytes, odsim::SimTime::Seconds(at), i});
+  }
+  // Sort submissions by time so the FIFO expectation is by submission order.
+  std::sort(transfers.begin(), transfers.end(),
+            [](const Xfer& a, const Xfer& b) { return a.submitted < b.submitted; });
+  for (const Xfer& xfer : transfers) {
+    sim.ScheduleAt(xfer.submitted, [&link, &xfer, &completion_order, &rng]() {
+      Direction direction =
+          rng.Bernoulli(0.5) ? Direction::kSend : Direction::kReceive;
+      link.Transfer(direction, xfer.bytes, [&completion_order, &xfer] {
+        completion_order.push_back(xfer.sequence);
+      });
+    });
+  }
+
+  sim.Run();
+
+  ASSERT_EQ(completion_order.size(), transfers.size());
+  // FIFO: completions follow submission order.
+  for (size_t i = 0; i < transfers.size(); ++i) {
+    EXPECT_EQ(completion_order[i], transfers[i].sequence) << "seed " << GetParam();
+  }
+
+  EXPECT_EQ(link.total_bytes(), total_bytes);
+  EXPECT_NEAR(link.total_busy_seconds(), expected_busy, 1e-6);
+  EXPECT_FALSE(link.busy());
+  // The interface ends in its resting state.
+  EXPECT_EQ(laptop->wavelan().wavelan_state(), odpower::WaveLanState::kIdle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkPropertyTest,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+}  // namespace
+}  // namespace odnet

@@ -1,0 +1,103 @@
+// Failure injection: lossy wireless channels cost retransmissions, time,
+// and energy, but calls still complete.
+
+#include <gtest/gtest.h>
+
+#include "src/net/rpc.h"
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odnet {
+namespace {
+
+struct Rig {
+  odsim::Simulator sim;
+  std::unique_ptr<odpower::Laptop> laptop = odpower::MakeThinkPad560X(&sim);
+  Link link{&sim, &laptop->power_manager(), LinkConfig{}};
+  RpcClient rpc{&sim, &link, &laptop->power_manager(), 42};
+};
+
+TEST(RpcLossTest, NoLossMeansNoRetransmissions) {
+  Rig rig;
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    rig.rpc.Call(1000, 1000, odsim::SimDuration::Millis(100),
+                 [&] { ++completed; });
+    rig.sim.Run();
+  }
+  EXPECT_EQ(completed, 20);
+  EXPECT_EQ(rig.rpc.retransmissions(), 0);
+}
+
+TEST(RpcLossTest, LossyChannelRetransmitsButCompletes) {
+  Rig rig;
+  RpcConfig config;
+  config.loss_probability = 0.3;
+  config.retry_timeout = odsim::SimDuration::Millis(500);
+  rig.rpc.set_config(config);
+
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    rig.rpc.Call(1000, 1000, odsim::SimDuration::Millis(100),
+                 [&] { ++completed; });
+    rig.sim.Run();
+  }
+  EXPECT_EQ(completed, 50);
+  // ~30% per message, two messages per attempt: expect dozens of retries.
+  EXPECT_GT(rig.rpc.retransmissions(), 10);
+}
+
+TEST(RpcLossTest, LossCostsTimeAndEnergy) {
+  auto measure = [](double loss) {
+    Rig rig;
+    RpcConfig config;
+    config.loss_probability = loss;
+    config.retry_timeout = odsim::SimDuration::Millis(500);
+    rig.rpc.set_config(config);
+    rig.laptop->accounting().Reset(rig.sim.Now());
+    for (int i = 0; i < 30; ++i) {
+      rig.rpc.Call(20000, 2000, odsim::SimDuration::Millis(200), nullptr);
+      rig.sim.Run();
+    }
+    return std::pair<double, double>(
+        rig.laptop->accounting().TotalJoules(rig.sim.Now()),
+        rig.sim.Now().seconds());
+  };
+  auto [clean_joules, clean_seconds] = measure(0.0);
+  auto [lossy_joules, lossy_seconds] = measure(0.4);
+  EXPECT_GT(lossy_seconds, clean_seconds);
+  EXPECT_GT(lossy_joules, clean_joules);
+}
+
+TEST(RpcLossTest, GivesUpAfterMaxAttempts) {
+  Rig rig;
+  RpcConfig config;
+  config.loss_probability = 0.95;  // Nearly dead channel.
+  config.retry_timeout = odsim::SimDuration::Millis(100);
+  config.max_attempts = 3;
+  rig.rpc.set_config(config);
+
+  bool completed = false;
+  rig.rpc.Call(1000, 1000, odsim::SimDuration::Millis(100), [&] { completed = true; });
+  rig.sim.Run();
+  // Completion still fires (upper layers are not wedged)...
+  EXPECT_TRUE(completed);
+  // ...after at most max_attempts - 1 retransmissions for this call.
+  EXPECT_LE(rig.rpc.retransmissions(), 2);
+}
+
+TEST(RpcLossTest, InterfaceReleasedAfterLossyCall) {
+  Rig rig;
+  rig.laptop->power_manager().SetHardwarePmEnabled(true);
+  RpcConfig config;
+  config.loss_probability = 0.5;
+  config.retry_timeout = odsim::SimDuration::Millis(200);
+  rig.rpc.set_config(config);
+  rig.rpc.Call(1000, 1000, odsim::SimDuration::Millis(100), nullptr);
+  rig.sim.Run();
+  EXPECT_FALSE(rig.laptop->power_manager().network_in_use());
+  EXPECT_EQ(rig.laptop->wavelan().wavelan_state(), odpower::WaveLanState::kStandby);
+}
+
+}  // namespace
+}  // namespace odnet

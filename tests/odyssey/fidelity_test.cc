@@ -1,0 +1,26 @@
+#include "src/odyssey/fidelity.h"
+
+#include <gtest/gtest.h>
+
+namespace odyssey {
+namespace {
+
+TEST(FidelitySpecTest, OrderingAndNames) {
+  FidelitySpec spec({"low", "medium", "high"});
+  EXPECT_EQ(spec.count(), 3);
+  EXPECT_EQ(spec.lowest(), 0);
+  EXPECT_EQ(spec.highest(), 2);
+  EXPECT_EQ(spec.name(0), "low");
+  EXPECT_EQ(spec.name(2), "high");
+}
+
+TEST(FidelitySpecTest, Validity) {
+  FidelitySpec spec({"only"});
+  EXPECT_TRUE(spec.valid(0));
+  EXPECT_FALSE(spec.valid(-1));
+  EXPECT_FALSE(spec.valid(1));
+  EXPECT_EQ(spec.lowest(), spec.highest());
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,70 @@
+#include "src/odyssey/interceptor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odyssey {
+namespace {
+
+struct Rig {
+  odsim::Simulator sim;
+  std::unique_ptr<odpower::Laptop> laptop = odpower::MakeThinkPad560X(&sim);
+  odnet::Link link{&sim, &laptop->power_manager(), odnet::LinkConfig{}};
+  Viceroy viceroy{&sim, &link, &laptop->power_manager()};
+  Interceptor interceptor{&viceroy};
+
+  Rig() { viceroy.RegisterWarden(std::make_unique<Warden>("map")); }
+};
+
+TEST(InterceptorTest, ParsesDataType) {
+  EXPECT_EQ(Interceptor::DataTypeOf("/odyssey/map/pittsburgh.usgs"), "map");
+  EXPECT_EQ(Interceptor::DataTypeOf("/odyssey/video/clip1.qt"), "video");
+  EXPECT_EQ(Interceptor::DataTypeOf("/odyssey/web"), "web");
+  EXPECT_EQ(Interceptor::DataTypeOf("/usr/bin/xanim"), "");
+  EXPECT_EQ(Interceptor::DataTypeOf("odyssey/map/x"), "");
+}
+
+TEST(InterceptorTest, ResolvesOnlyRegisteredTypes) {
+  Rig rig;
+  EXPECT_TRUE(rig.interceptor.Resolves("/odyssey/map/boston.usgs"));
+  EXPECT_FALSE(rig.interceptor.Resolves("/odyssey/speech/u1.wav"));
+  EXPECT_FALSE(rig.interceptor.Resolves("/etc/passwd"));
+}
+
+TEST(InterceptorTest, ReadRoutesThroughWarden) {
+  Rig rig;
+  odsim::SimTime done_at;
+  bool accepted = rig.interceptor.Read("/odyssey/map/boston.usgs", 512, 250000,
+                                       odsim::SimDuration::Seconds(0.5),
+                                       [&] { done_at = rig.sim.Now(); });
+  EXPECT_TRUE(accepted);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  // Request (~7 ms) + server 0.5 s + 250 KB reply (~1.005 s).
+  EXPECT_GT(done_at, odsim::SimTime::Seconds(1.4));
+  EXPECT_LT(done_at, odsim::SimTime::Seconds(1.7));
+  EXPECT_EQ(rig.interceptor.intercepted_count(), 1);
+}
+
+TEST(InterceptorTest, NonOdysseyPathRejected) {
+  Rig rig;
+  bool called = false;
+  bool accepted = rig.interceptor.Read("/home/user/file", 512, 1000,
+                                       odsim::SimDuration::Zero(),
+                                       [&] { called = true; });
+  EXPECT_FALSE(accepted);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(1));
+  EXPECT_FALSE(called);
+  EXPECT_EQ(rig.interceptor.intercepted_count(), 0);
+}
+
+TEST(InterceptorTest, UnknownTypeRejected) {
+  Rig rig;
+  EXPECT_FALSE(rig.interceptor.Read("/odyssey/speech/u1.wav", 512, 1000,
+                                    odsim::SimDuration::Zero(), nullptr));
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,87 @@
+#include "src/odyssey/server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/odyssey/viceroy.h"
+#include "src/odyssey/warden.h"
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odyssey {
+namespace {
+
+TEST(RemoteServerTest, SingleRequestTakesItsWork) {
+  odsim::Simulator sim;
+  RemoteServer server(&sim, "test-server");
+  odsim::SimTime done_at;
+  server.Submit(odsim::SimDuration::Seconds(2), [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, odsim::SimTime::Seconds(2));
+  EXPECT_EQ(server.completed_requests(), 1);
+  EXPECT_DOUBLE_EQ(server.total_busy_seconds(), 2.0);
+}
+
+TEST(RemoteServerTest, RequestsQueueFifo) {
+  odsim::Simulator sim;
+  RemoteServer server(&sim, "test-server");
+  odsim::SimTime first, second;
+  server.Submit(odsim::SimDuration::Seconds(2), [&] { first = sim.Now(); });
+  server.Submit(odsim::SimDuration::Seconds(1), [&] { second = sim.Now(); });
+  EXPECT_EQ(server.queue_depth(), 2);
+  sim.Run();
+  EXPECT_EQ(first, odsim::SimTime::Seconds(2));
+  EXPECT_EQ(second, odsim::SimTime::Seconds(3));
+  EXPECT_EQ(server.queue_depth(), 0);
+}
+
+TEST(RemoteServerTest, SpeedFactorScalesWork) {
+  odsim::Simulator sim;
+  RemoteServer server(&sim, "fast-server", 2.0);
+  odsim::SimTime done_at;
+  server.Submit(odsim::SimDuration::Seconds(2), [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, odsim::SimTime::Seconds(1));
+}
+
+TEST(RemoteServerTest, ZeroWorkCompletesImmediately) {
+  odsim::Simulator sim;
+  RemoteServer server(&sim, "s");
+  bool done = false;
+  server.Submit(odsim::SimDuration::Zero(), [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+struct WardenRig {
+  odsim::Simulator sim;
+  std::unique_ptr<odpower::Laptop> laptop = odpower::MakeThinkPad560X(&sim);
+  odnet::Link link{&sim, &laptop->power_manager(), odnet::LinkConfig{}};
+  Viceroy viceroy{&sim, &link, &laptop->power_manager()};
+};
+
+TEST(WardenServerTest, RegistrationCreatesServer) {
+  WardenRig rig;
+  Warden* warden = rig.viceroy.RegisterWarden(std::make_unique<Warden>("map"));
+  ASSERT_NE(warden->server(), nullptr);
+  EXPECT_EQ(warden->server()->name(), "map-server");
+}
+
+TEST(WardenServerTest, ConcurrentFetchesSerializeAtServer) {
+  WardenRig rig;
+  Warden* warden = rig.viceroy.RegisterWarden(std::make_unique<Warden>("map"));
+  odsim::SimTime first, second;
+  // Two fetches with 2 s of server work each; small transfers.
+  warden->Fetch(512, 1024, odsim::SimDuration::Seconds(2),
+                [&] { first = rig.sim.Now(); });
+  warden->Fetch(512, 1024, odsim::SimDuration::Seconds(2),
+                [&] { second = rig.sim.Now(); });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(20));
+  // The second fetch waits for the first's server work: completions at
+  // roughly 2 s and 4 s (plus transfer overheads), not both at ~2 s.
+  EXPECT_GT((second - first).seconds(), 1.5);
+  EXPECT_EQ(warden->server()->completed_requests(), 2);
+}
+
+}  // namespace
+}  // namespace odyssey

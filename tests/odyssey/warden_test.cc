@@ -1,0 +1,44 @@
+#include "src/odyssey/warden.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/odyssey/viceroy.h"
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odyssey {
+namespace {
+
+struct Rig {
+  odsim::Simulator sim;
+  std::unique_ptr<odpower::Laptop> laptop = odpower::MakeThinkPad560X(&sim);
+  odnet::Link link{&sim, &laptop->power_manager(), odnet::LinkConfig{}};
+  Viceroy viceroy{&sim, &link, &laptop->power_manager()};
+};
+
+TEST(WardenTest, FetchRunsRequestServerReply) {
+  Rig rig;
+  Warden* warden = rig.viceroy.RegisterWarden(std::make_unique<Warden>("map"));
+  odsim::SimTime done_at;
+  // 512 B request (~7 ms incl. setup), 1 s server, 250 KB reply (1.005 s).
+  warden->Fetch(512, 250000, odsim::SimDuration::Seconds(1),
+                [&] { done_at = rig.sim.Now(); });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  EXPECT_GT(done_at, odsim::SimTime::Seconds(2.0));
+  EXPECT_LT(done_at, odsim::SimTime::Seconds(2.1));
+}
+
+TEST(WardenTest, DataTypeExposed) {
+  Warden warden("web");
+  EXPECT_EQ(warden.data_type(), "web");
+}
+
+TEST(WardenTest, RegistrationWiresViceroy) {
+  Rig rig;
+  Warden* warden = rig.viceroy.RegisterWarden(std::make_unique<Warden>("video"));
+  EXPECT_EQ(warden->viceroy(), &rig.viceroy);
+}
+
+}  // namespace
+}  // namespace odyssey

@@ -1,0 +1,95 @@
+// Property test: under randomized scripts of component state changes and
+// CPU work, the analytic accountant must agree with a brute-force
+// fine-grained integration of Machine::TotalPower(), and attribution must
+// remain exhaustive.
+
+#include <gtest/gtest.h>
+
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace odpower {
+namespace {
+
+class AccountingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AccountingPropertyTest, AnalyticMatchesBruteForceIntegration) {
+  odsim::Simulator sim;
+  auto laptop = MakeThinkPad560X(&sim);
+  odutil::Rng rng(GetParam());
+
+  odsim::ProcessId pids[3] = {
+      sim.processes().RegisterProcess("a"),
+      sim.processes().RegisterProcess("b"),
+      sim.processes().RegisterProcess("c"),
+  };
+  odsim::ProcedureId proc = sim.processes().RegisterProcedure("_w");
+
+  // Random script over 60 seconds.
+  constexpr double kHorizon = 60.0;
+  for (int i = 0; i < 40; ++i) {
+    double at = rng.Uniform(0.0, kHorizon);
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        sim.ScheduleAt(odsim::SimTime::Seconds(at), [&laptop, &rng] {
+          laptop->display().Set(
+              static_cast<DisplayState>(rng.UniformInt(0, 2)));
+        });
+        break;
+      case 1:
+        sim.ScheduleAt(odsim::SimTime::Seconds(at), [&laptop, &rng] {
+          laptop->wavelan().Set(
+              static_cast<WaveLanState>(rng.UniformInt(0, 4)));
+        });
+        break;
+      case 2:
+        sim.ScheduleAt(odsim::SimTime::Seconds(at), [&laptop, &rng] {
+          laptop->disk().Set(static_cast<DiskState>(rng.UniformInt(0, 2)));
+        });
+        break;
+      default:
+        sim.ScheduleAt(odsim::SimTime::Seconds(at), [&sim, &rng, &pids, proc] {
+          sim.SubmitWork(pids[rng.UniformInt(0, 2)], proc,
+                         odsim::SimDuration::Seconds(rng.Uniform(0.01, 1.5)),
+                         nullptr);
+        });
+        break;
+    }
+  }
+
+  // Brute force: sample TotalPower on a 1 ms grid.  Power is piecewise
+  // constant, so the only error is at transition boundaries.
+  double brute = 0.0;
+  constexpr double kStep = 0.001;
+  odsim::SimTime t = sim.Now();
+  while (t < odsim::SimTime::Seconds(kHorizon + 10.0)) {
+    double p = laptop->machine().TotalPower();
+    odsim::SimTime next = t + odsim::SimDuration::Seconds(kStep);
+    sim.RunUntil(next);
+    brute += p * kStep;
+    t = next;
+  }
+
+  double analytic = laptop->accounting().TotalJoules(sim.Now());
+  EXPECT_NEAR(analytic, brute, 0.005 * analytic + 0.5) << "seed " << GetParam();
+
+  // Attribution exhaustiveness under the same random script.
+  double by_process = 0.0;
+  for (odsim::ProcessId pid : laptop->accounting().Processes(sim.Now())) {
+    by_process += laptop->accounting().ProcessUsage(pid, sim.Now()).joules;
+  }
+  EXPECT_NEAR(by_process, analytic, 1e-6);
+
+  double by_component = laptop->accounting().SynergyJoules(sim.Now());
+  for (int i = 0; i < laptop->machine().component_count(); ++i) {
+    by_component += laptop->accounting().ComponentJoules(i, sim.Now());
+  }
+  EXPECT_NEAR(by_component, analytic, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountingPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace odpower

@@ -1,0 +1,135 @@
+#include "src/power/accounting.h"
+
+#include <gtest/gtest.h>
+
+#include "src/power/cpu.h"
+#include "src/power/display.h"
+#include "src/power/machine.h"
+#include "src/sim/simulator.h"
+
+namespace odpower {
+namespace {
+
+struct Rig {
+  odsim::Simulator sim;
+  Machine machine{&sim, 0.07};
+  Display* display = machine.AddComponent(std::make_unique<Display>(3.0, 2.0));
+  OtherComponent* other =
+      machine.AddComponent(std::make_unique<OtherComponent>(3.0));
+  Cpu* cpu = machine.AddComponent(std::make_unique<Cpu>(6.0));
+  EnergyAccounting accounting{&machine};
+
+  Rig() { sim.AddCpuObserver(cpu); }
+};
+
+TEST(AccountingTest, ConstantPowerIntegration) {
+  Rig rig;
+  // Display 3 + other 3 + synergy 0.07 (two active).
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  EXPECT_NEAR(rig.accounting.TotalJoules(rig.sim.Now()), 60.7, 1e-9);
+}
+
+TEST(AccountingTest, StateChangeSplitsIntegration) {
+  Rig rig;
+  rig.sim.Schedule(odsim::SimDuration::Seconds(4),
+                   [&] { rig.display->Set(DisplayState::kOff); });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  // 4 s at 6.07 W, then 6 s at 3.0 W (one active component, no synergy).
+  EXPECT_NEAR(rig.accounting.TotalJoules(rig.sim.Now()), 4 * 6.07 + 6 * 3.0, 1e-9);
+}
+
+TEST(AccountingTest, PerComponentBreakdown) {
+  Rig rig;
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  odsim::SimTime now = rig.sim.Now();
+  EXPECT_NEAR(rig.accounting.ComponentJoules(0, now), 30.0, 1e-9);  // Display.
+  EXPECT_NEAR(rig.accounting.ComponentJoules(1, now), 30.0, 1e-9);  // Other.
+  EXPECT_NEAR(rig.accounting.ComponentJoules(2, now), 0.0, 1e-9);   // CPU halt.
+  EXPECT_NEAR(rig.accounting.SynergyJoules(now), 0.7, 1e-9);
+}
+
+TEST(AccountingTest, ComponentsSumToTotal) {
+  Rig rig;
+  odsim::ProcessId pid = rig.sim.processes().RegisterProcess("p");
+  odsim::ProcedureId proc = rig.sim.processes().RegisterProcedure("_p");
+  rig.sim.SubmitWork(pid, proc, odsim::SimDuration::Seconds(3), nullptr);
+  rig.sim.Schedule(odsim::SimDuration::Seconds(5),
+                   [&] { rig.display->Set(DisplayState::kDim); });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(12));
+  odsim::SimTime now = rig.sim.Now();
+  double sum = rig.accounting.SynergyJoules(now);
+  for (int i = 0; i < rig.machine.component_count(); ++i) {
+    sum += rig.accounting.ComponentJoules(i, now);
+  }
+  EXPECT_NEAR(sum, rig.accounting.TotalJoules(now), 1e-9);
+}
+
+TEST(AccountingTest, ProcessAttribution) {
+  Rig rig;
+  odsim::ProcessId pid = rig.sim.processes().RegisterProcess("worker");
+  odsim::ProcedureId proc = rig.sim.processes().RegisterProcedure("_w");
+  rig.sim.SubmitWork(pid, proc, odsim::SimDuration::Seconds(4), nullptr);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  odsim::SimTime now = rig.sim.Now();
+
+  ContextUsage worker = rig.accounting.ProcessUsage(pid, now);
+  ContextUsage idle = rig.accounting.ProcessUsage(odsim::kIdlePid, now);
+  // Worker: 4 s at (3+3+6+0.14) = 12.14 W.
+  EXPECT_NEAR(worker.cpu_seconds, 4.0, 1e-9);
+  EXPECT_NEAR(worker.joules, 4 * 12.14, 1e-9);
+  // Idle: 6 s at 6.07 W, no CPU time.
+  EXPECT_NEAR(idle.cpu_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(idle.joules, 6 * 6.07, 1e-9);
+  // Attribution is exhaustive.
+  EXPECT_NEAR(worker.joules + idle.joules, rig.accounting.TotalJoules(now), 1e-9);
+}
+
+TEST(AccountingTest, ProcedureAttribution) {
+  Rig rig;
+  odsim::ProcessId pid = rig.sim.processes().RegisterProcess("worker");
+  odsim::ProcedureId p1 = rig.sim.processes().RegisterProcedure("_one");
+  odsim::ProcedureId p2 = rig.sim.processes().RegisterProcedure("_two");
+  rig.sim.SubmitWork(pid, p1, odsim::SimDuration::Seconds(1), nullptr);
+  rig.sim.SubmitWork(pid, p2, odsim::SimDuration::Seconds(3), nullptr);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  odsim::SimTime now = rig.sim.Now();
+  ContextUsage u1 = rig.accounting.ProcedureUsage(pid, p1, now);
+  ContextUsage u2 = rig.accounting.ProcedureUsage(pid, p2, now);
+  EXPECT_NEAR(u1.cpu_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(u2.cpu_seconds, 3.0, 1e-9);
+  ContextUsage whole = rig.accounting.ProcessUsage(pid, now);
+  EXPECT_NEAR(u1.joules + u2.joules, whole.joules, 1e-9);
+}
+
+TEST(AccountingTest, ResetZeroesAccumulators) {
+  Rig rig;
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  rig.accounting.Reset(rig.sim.Now());
+  EXPECT_NEAR(rig.accounting.TotalJoules(rig.sim.Now()), 0.0, 1e-12);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(7));
+  EXPECT_NEAR(rig.accounting.TotalJoules(rig.sim.Now()), 2 * 6.07, 1e-9);
+}
+
+TEST(AccountingTest, ProcessesListsAllSeen) {
+  Rig rig;
+  odsim::ProcessId pid = rig.sim.processes().RegisterProcess("worker");
+  odsim::ProcedureId proc = rig.sim.processes().RegisterProcedure("_w");
+  rig.sim.SubmitWork(pid, proc, odsim::SimDuration::Seconds(1), nullptr);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(2));
+  std::vector<odsim::ProcessId> pids = rig.accounting.Processes(rig.sim.Now());
+  ASSERT_EQ(pids.size(), 2u);
+  EXPECT_EQ(pids[0], odsim::kIdlePid);
+  EXPECT_EQ(pids[1], pid);
+}
+
+TEST(AccountingTest, IdempotentAccrual) {
+  Rig rig;
+  rig.sim.RunUntil(odsim::SimTime::Seconds(3));
+  odsim::SimTime now = rig.sim.Now();
+  double first = rig.accounting.TotalJoules(now);
+  double second = rig.accounting.TotalJoules(now);
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace odpower

@@ -1,0 +1,133 @@
+#include "src/power/battery.h"
+
+#include <gtest/gtest.h>
+
+#include "src/power/cpu.h"
+#include "src/power/machine.h"
+#include "src/sim/simulator.h"
+
+namespace odpower {
+namespace {
+
+struct Rig {
+  explicit Rig(double load_watts) {
+    other = machine.AddComponent(std::make_unique<OtherComponent>(load_watts));
+  }
+  odsim::Simulator sim;
+  Machine machine{&sim, 0.0};
+  OtherComponent* other = nullptr;
+  EnergyAccounting accounting{&machine};
+};
+
+TEST(BatteryTest, IdealAtRatedDraw) {
+  Rig rig(10.0);
+  BatteryConfig config;
+  config.nominal_joules = 1000.0;
+  config.rated_watts = 10.0;
+  config.resistance_fraction = 0.0;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(50));
+  // 10 W at the rated draw: ideal drain, 500 J left after 50 s.
+  EXPECT_NEAR(battery.ResidualJoules(rig.sim.Now()), 500.0, 1.0);
+  EXPECT_NEAR(battery.loss_joules(), 0.0, 1e-9);
+}
+
+TEST(BatteryTest, HighDrawDrainsSuperlinearly) {
+  Rig rig(20.0);  // Twice the rated draw.
+  BatteryConfig config;
+  config.nominal_joules = 1000.0;
+  config.rated_watts = 10.0;
+  config.peukert_exponent = 1.10;
+  config.resistance_fraction = 0.0;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  // Effective drain = 20 * 2^0.1 ≈ 21.4 W, so > 200 J gone after 10 s.
+  double drained = config.nominal_joules - battery.ResidualJoules(rig.sim.Now());
+  EXPECT_GT(drained, 210.0);
+  EXPECT_LT(drained, 220.0);
+}
+
+TEST(BatteryTest, LowDrawHasNoRatePenalty) {
+  Rig rig(5.0);  // Half the rated draw.
+  BatteryConfig config;
+  config.nominal_joules = 1000.0;
+  config.rated_watts = 10.0;
+  config.peukert_exponent = 1.30;
+  config.resistance_fraction = 0.0;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  EXPECT_NEAR(battery.ResidualJoules(rig.sim.Now()), 950.0, 1.0);
+}
+
+TEST(BatteryTest, InternalResistanceLosses) {
+  Rig rig(10.0);
+  BatteryConfig config;
+  config.nominal_joules = 1000.0;
+  config.rated_watts = 10.0;
+  config.peukert_exponent = 1.0;
+  config.resistance_fraction = 0.05;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(20));
+  // Loss = 0.05 * (10/10) * 10 = 0.5 W: 10 J lost in 20 s.
+  EXPECT_NEAR(battery.loss_joules(), 10.0, 0.5);
+  EXPECT_NEAR(battery.drained_joules(), 210.0, 1.0);
+}
+
+TEST(BatteryTest, ResidualMonotoneBetweenTicks) {
+  Rig rig(10.0);
+  BatteryConfig config;
+  config.nominal_joules = 1000.0;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  double previous = battery.ResidualJoules(rig.sim.Now());
+  for (int i = 1; i <= 40; ++i) {
+    rig.sim.RunUntil(odsim::SimTime::Millis(i * 130));  // Off-tick times.
+    double now = battery.ResidualJoules(rig.sim.Now());
+    EXPECT_LE(now, previous + 1e-9);
+    previous = now;
+  }
+}
+
+TEST(BatteryTest, ExhaustionClampsAtZero) {
+  Rig rig(100.0);
+  BatteryConfig config;
+  config.nominal_joules = 50.0;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  EXPECT_DOUBLE_EQ(battery.ResidualJoules(rig.sim.Now()), 0.0);
+  EXPECT_TRUE(battery.Exhausted(rig.sim.Now()));
+}
+
+TEST(BatteryTest, NonIdealBatteryDeliversLessThanNominal) {
+  // The headline property: the same platform workload gets less usable
+  // lifetime from a non-ideal battery than from an ideal supply.
+  Rig rig(15.0);
+  BatteryConfig config;
+  config.nominal_joules = 1500.0;
+  config.rated_watts = 10.0;
+  config.peukert_exponent = 1.15;
+  config.resistance_fraction = 0.03;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  int seconds = 0;
+  while (!battery.Exhausted(rig.sim.Now()) && seconds < 200) {
+    rig.sim.RunUntil(rig.sim.Now() + odsim::SimDuration::Seconds(1));
+    ++seconds;
+  }
+  // Ideal lifetime would be 100 s; the non-ideal battery dies sooner.
+  EXPECT_LT(seconds, 100);
+  EXPECT_GT(seconds, 70);
+}
+
+TEST(BatteryTest, StopFreezesDrain) {
+  Rig rig(10.0);
+  BatteryConfig config;
+  config.nominal_joules = 1000.0;
+  Battery battery(&rig.sim, &rig.accounting, config);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  battery.Stop();
+  double drained = battery.drained_joules();
+  rig.sim.RunUntil(odsim::SimTime::Seconds(20));
+  EXPECT_DOUBLE_EQ(battery.drained_joules(), drained);
+}
+
+}  // namespace
+}  // namespace odpower

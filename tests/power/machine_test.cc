@@ -1,0 +1,76 @@
+#include "src/power/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/power/cpu.h"
+#include "src/power/display.h"
+#include "src/power/wavelan.h"
+#include "src/sim/simulator.h"
+
+namespace odpower {
+namespace {
+
+class CountingObserver : public MachineObserver {
+ public:
+  void OnMachinePowerChanged(odsim::SimTime) override { ++count; }
+  int count = 0;
+};
+
+TEST(MachineTest, TotalPowerSumsComponents) {
+  odsim::Simulator sim;
+  Machine machine(&sim, 0.0);
+  machine.AddComponent(std::make_unique<Display>(3.0, 2.0));
+  machine.AddComponent(std::make_unique<OtherComponent>(3.24));
+  EXPECT_DOUBLE_EQ(machine.TotalPower(), 6.24);
+}
+
+TEST(MachineTest, SynergyPerExtraActiveComponent) {
+  odsim::Simulator sim;
+  Machine machine(&sim, 0.07);
+  Display* display = machine.AddComponent(std::make_unique<Display>(3.0, 2.0));
+  machine.AddComponent(std::make_unique<OtherComponent>(3.24));
+  WaveLan* wavelan =
+      machine.AddComponent(std::make_unique<WaveLan>(1.65, 1.4, 0.88, 0.18));
+  // Three active components -> 2 * 0.07.
+  EXPECT_DOUBLE_EQ(machine.SynergyPower(), 0.14);
+  wavelan->Set(WaveLanState::kStandby);
+  EXPECT_DOUBLE_EQ(machine.SynergyPower(), 0.07);
+  display->Set(DisplayState::kOff);
+  // One active component left -> no synergy.
+  EXPECT_DOUBLE_EQ(machine.SynergyPower(), 0.0);
+}
+
+TEST(MachineTest, FindComponentByName) {
+  odsim::Simulator sim;
+  Machine machine(&sim, 0.0);
+  machine.AddComponent(std::make_unique<Display>(3.0, 2.0));
+  EXPECT_NE(machine.FindComponent("Display"), nullptr);
+  EXPECT_EQ(machine.FindComponent("Nonexistent"), nullptr);
+}
+
+TEST(MachineTest, ObserverNotifiedOnStateChange) {
+  odsim::Simulator sim;
+  Machine machine(&sim, 0.0);
+  Display* display = machine.AddComponent(std::make_unique<Display>(3.0, 2.0));
+  CountingObserver observer;
+  machine.AddObserver(&observer);
+  display->Set(DisplayState::kDim);
+  EXPECT_EQ(observer.count, 1);
+  display->Set(DisplayState::kDim);  // No-op does not notify.
+  EXPECT_EQ(observer.count, 1);
+  display->Set(DisplayState::kOff);
+  EXPECT_EQ(observer.count, 2);
+}
+
+TEST(MachineTest, ComponentIndexing) {
+  odsim::Simulator sim;
+  Machine machine(&sim, 0.0);
+  machine.AddComponent(std::make_unique<Display>(3.0, 2.0));
+  machine.AddComponent(std::make_unique<OtherComponent>(1.0));
+  ASSERT_EQ(machine.component_count(), 2);
+  EXPECT_EQ(machine.component(0).name(), "Display");
+  EXPECT_EQ(machine.component(1).name(), "Other");
+}
+
+}  // namespace
+}  // namespace odpower

@@ -1,0 +1,117 @@
+#include "src/power/power_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odpower {
+namespace {
+
+struct Rig {
+  odsim::Simulator sim;
+  std::unique_ptr<Laptop> laptop = MakeThinkPad560X(&sim);
+  PowerManager& pm() { return laptop->power_manager(); }
+};
+
+TEST(PowerManagerTest, DiskSpinsDownAfterTimeout) {
+  Rig rig;
+  rig.pm().SetHardwarePmEnabled(true);
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kIdle);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(9));
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kIdle);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(11));
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kStandby);
+}
+
+TEST(PowerManagerTest, DiskStaysSpinningWithoutPm) {
+  Rig rig;
+  rig.sim.RunUntil(odsim::SimTime::Seconds(30));
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kIdle);
+}
+
+TEST(PowerManagerTest, DiskAccessFromIdle) {
+  Rig rig;
+  bool done = false;
+  rig.pm().AccessDisk(odsim::SimDuration::Seconds(2), [&] { done = true; });
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kAccess);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(3));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kIdle);
+}
+
+TEST(PowerManagerTest, DiskAccessFromStandbySpinsUpFirst) {
+  Rig rig;
+  rig.pm().SetHardwarePmEnabled(true);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(20));
+  ASSERT_EQ(rig.laptop->disk().disk_state(), DiskState::kStandby);
+
+  odsim::SimTime done_at;
+  rig.pm().AccessDisk(odsim::SimDuration::Seconds(1),
+                      [&] { done_at = rig.sim.Now(); });
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kSpinup);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(30));
+  // 1.5 s spin-up + 1 s transfer.
+  EXPECT_EQ(done_at, odsim::SimTime::Seconds(22.5));
+}
+
+TEST(PowerManagerTest, DiskTimerRearmsAfterAccess) {
+  Rig rig;
+  rig.pm().SetHardwarePmEnabled(true);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  rig.pm().AccessDisk(odsim::SimDuration::Seconds(1), nullptr);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(15));
+  // Access ended at t=6; timer expires at t=16.
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kIdle);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(17));
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kStandby);
+}
+
+TEST(PowerManagerTest, NetworkRestsInStandbyUnderPm) {
+  Rig rig;
+  rig.pm().SetHardwarePmEnabled(true);
+  EXPECT_EQ(rig.laptop->wavelan().wavelan_state(), WaveLanState::kStandby);
+  rig.pm().SetHardwarePmEnabled(false);
+  EXPECT_EQ(rig.laptop->wavelan().wavelan_state(), WaveLanState::kIdle);
+}
+
+TEST(PowerManagerTest, NetworkUseBracketsWake) {
+  Rig rig;
+  rig.pm().SetHardwarePmEnabled(true);
+  rig.pm().BeginNetworkUse();
+  EXPECT_EQ(rig.laptop->wavelan().wavelan_state(), WaveLanState::kIdle);
+  rig.pm().EndNetworkUse();
+  EXPECT_EQ(rig.laptop->wavelan().wavelan_state(), WaveLanState::kStandby);
+}
+
+TEST(PowerManagerTest, NestedNetworkUseCounts) {
+  Rig rig;
+  rig.pm().SetHardwarePmEnabled(true);
+  rig.pm().BeginNetworkUse();
+  rig.pm().BeginNetworkUse();
+  rig.pm().EndNetworkUse();
+  EXPECT_TRUE(rig.pm().network_in_use());
+  EXPECT_EQ(rig.laptop->wavelan().wavelan_state(), WaveLanState::kIdle);
+  rig.pm().EndNetworkUse();
+  EXPECT_FALSE(rig.pm().network_in_use());
+  EXPECT_EQ(rig.laptop->wavelan().wavelan_state(), WaveLanState::kStandby);
+}
+
+TEST(PowerManagerTest, CustomDiskTimeout) {
+  Rig rig;
+  rig.pm().set_disk_standby_timeout(odsim::SimDuration::Seconds(2));
+  rig.pm().SetHardwarePmEnabled(true);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(3));
+  EXPECT_EQ(rig.laptop->disk().disk_state(), DiskState::kStandby);
+}
+
+TEST(PowerManagerTest, DisplayControl) {
+  Rig rig;
+  rig.pm().SetDisplay(DisplayState::kOff);
+  EXPECT_EQ(rig.laptop->display().display_state(), DisplayState::kOff);
+  rig.pm().SetDisplay(DisplayState::kBright);
+  EXPECT_EQ(rig.laptop->display().display_state(), DisplayState::kBright);
+}
+
+}  // namespace
+}  // namespace odpower

@@ -1,0 +1,90 @@
+// Tests that the ThinkPad 560X power model reproduces the aggregates the
+// paper publishes in Figure 4 and Section 3.1.
+
+#include "src/power/thinkpad560x.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+
+namespace odpower {
+namespace {
+
+struct Rig {
+  odsim::Simulator sim;
+  std::unique_ptr<Laptop> laptop = MakeThinkPad560X(&sim);
+};
+
+TEST(ThinkPadTest, BackgroundPowerIs5Point6Watts) {
+  // "Background (display dim, WaveLAN & disk standby) = 5.6 W" (Figure 4).
+  Rig rig;
+  rig.laptop->display().Set(DisplayState::kDim);
+  rig.laptop->wavelan().Set(WaveLanState::kStandby);
+  rig.laptop->disk().Set(DiskState::kStandby);
+  EXPECT_NEAR(rig.laptop->machine().TotalPower(), 5.6, 0.05);
+  EXPECT_NEAR(rig.laptop->BackgroundPowerWatts(),
+              rig.laptop->machine().TotalPower(), 1e-9);
+}
+
+TEST(ThinkPadTest, SuperlinearityIsPoint21WattsWithFourActive) {
+  // "The laptop uses ... 0.21 W more than the sum of the individual power
+  // usage of each component" with the screen brightest and disk and network
+  // idle (four active components).
+  Rig rig;
+  Machine& machine = rig.laptop->machine();
+  double sum = 0.0;
+  for (int i = 0; i < machine.component_count(); ++i) {
+    sum += machine.component(i).power();
+  }
+  EXPECT_NEAR(machine.TotalPower() - sum, 0.21, 1e-9);
+}
+
+TEST(ThinkPadTest, DisplayIsAboutAThirdOfBackgroundPower) {
+  // Section 4: the display is responsible for nearly 35% of the background
+  // energy usage.
+  Rig rig;
+  const ThinkPad560XSpec& spec = rig.laptop->spec();
+  double share = spec.display_dim / rig.laptop->BackgroundPowerWatts();
+  EXPECT_GT(share, 0.30);
+  EXPECT_LT(share, 0.40);
+}
+
+TEST(ThinkPadTest, StatePowersAreOrdered) {
+  Rig rig;
+  const ThinkPad560XSpec& spec = rig.laptop->spec();
+  EXPECT_GT(spec.display_bright, spec.display_dim);
+  EXPECT_GT(spec.wavelan_transmit, spec.wavelan_receive);
+  EXPECT_GT(spec.wavelan_receive, spec.wavelan_idle);
+  EXPECT_GT(spec.wavelan_idle, spec.wavelan_standby);
+  EXPECT_GT(spec.disk_access, spec.disk_idle);
+  EXPECT_GT(spec.disk_idle, spec.disk_standby);
+  EXPECT_GT(spec.disk_spinup, spec.disk_access);
+}
+
+TEST(ThinkPadTest, AllComponentsWired) {
+  Rig rig;
+  Machine& machine = rig.laptop->machine();
+  EXPECT_EQ(machine.component_count(), 5);
+  EXPECT_NE(machine.FindComponent("Display"), nullptr);
+  EXPECT_NE(machine.FindComponent("WaveLAN"), nullptr);
+  EXPECT_NE(machine.FindComponent("Disk"), nullptr);
+  EXPECT_NE(machine.FindComponent("CPU"), nullptr);
+  EXPECT_NE(machine.FindComponent("Other"), nullptr);
+}
+
+TEST(ThinkPadTest, CpuDrawTracksScheduler) {
+  Rig rig;
+  double idle_power = rig.laptop->machine().TotalPower();
+  odsim::ProcessId pid = rig.sim.processes().RegisterProcess("p");
+  odsim::ProcedureId proc = rig.sim.processes().RegisterProcedure("_p");
+  rig.sim.SubmitWork(pid, proc, odsim::SimDuration::Seconds(1), nullptr);
+  double busy_power = rig.laptop->machine().TotalPower();
+  // Busy adds the CPU draw plus one synergy increment.
+  EXPECT_NEAR(busy_power - idle_power,
+              rig.laptop->spec().cpu_busy +
+                  rig.laptop->spec().synergy_per_extra_active,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace odpower

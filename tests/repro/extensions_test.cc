@@ -1,0 +1,134 @@
+// Tests for the paper's future-work extensions implemented here:
+// SmartBattery-based monitoring (Section 5.1.1), dynamic priorities
+// (Section 5.1.3: "we are implementing an interface to allow users to
+// change priority dynamically"), and goal-directed adaptation against a
+// non-ideal battery (Section 3.2 removed the battery; we put one back).
+
+#include <gtest/gtest.h>
+
+#include "src/apps/composite.h"
+#include "src/apps/experiments.h"
+#include "src/apps/goal_scenario.h"
+#include "src/apps/testbed.h"
+#include "src/energy/goal_director.h"
+#include "src/power/battery.h"
+#include "src/powerscope/online_monitor.h"
+#include "src/powerscope/smart_battery.h"
+
+namespace odapps {
+namespace {
+
+TEST(SmartBatteryExtensionTest, GoalMetWithGasGaugeMonitoring) {
+  // The coarse 1 Hz quantized monitor must still meet the paper's goals.
+  GoalScenarioOptions options;
+  options.goal = odsim::SimDuration::Seconds(1320);
+  options.use_smart_battery = true;
+  options.seed = 95;
+  GoalScenarioResult result = RunGoalScenario(options);
+  EXPECT_TRUE(result.goal_met);
+  EXPECT_LT(result.residual_joules, 0.08 * options.initial_joules);
+}
+
+TEST(SmartBatteryExtensionTest, CoarserMonitoringStillTracksSupply) {
+  // The prototype's 10 Hz multimeter slightly over-estimates consumption
+  // (its strictly periodic sampling aliases against the 0.5 s video chunk
+  // cycle), which acts as a safety margin; the jittered gas gauge is nearly
+  // unbiased.  Both must meet the standard goal with residues in the same
+  // regime despite the 10x coarser, quantized sampling.
+  GoalScenarioOptions fine, coarse;
+  fine.goal = coarse.goal = odsim::SimDuration::Seconds(1320);
+  fine.seed = coarse.seed = 97;
+  coarse.use_smart_battery = true;
+  GoalScenarioResult fine_result = RunGoalScenario(fine);
+  GoalScenarioResult coarse_result = RunGoalScenario(coarse);
+  EXPECT_TRUE(fine_result.goal_met);
+  EXPECT_TRUE(coarse_result.goal_met);
+  EXPECT_LT(std::abs(coarse_result.residual_joules - fine_result.residual_joules),
+            600.0);
+}
+
+TEST(DynamicPriorityTest, MidRunPriorityChangeRedirectsAdaptation) {
+  // The user promotes the video mid-session: subsequent degradations must
+  // fall on other applications and the video recovers on upgrades.
+  TestBed bed(TestBed::Options{.seed = 1, .hw_pm = true, .link = {}});
+  // Initially video outranks only speech (defaults).  Promote it above web.
+  EXPECT_LT(bed.video().priority(), bed.web().priority());
+  bed.video().set_priority(10);
+  EXPECT_GT(bed.video().priority(), bed.web().priority());
+
+  // The goal director consults priorities on every decision, so the change
+  // takes effect on the next evaluation: run a tight scenario where video
+  // keeps fidelity while others drop.
+  Settle(bed);
+  odsim::SimTime start = bed.sim().Now();
+  bed.laptop().accounting().Reset(start);
+  odpower::EnergySupply supply(&bed.laptop().accounting(), 10000.0);
+  odscope::OnlineMonitor monitor(&bed.sim(), &bed.laptop().machine(),
+                                 odscope::OnlineMonitorConfig{}, 3);
+  odenergy::GoalDirector director(&bed.viceroy(), &supply, &monitor,
+                                  start + odsim::SimDuration::Seconds(1200));
+  CompositeApp composite(&bed.sim(), &bed.speech(), &bed.web(), &bed.map());
+  composite.StartPeriodic(odsim::SimDuration::Seconds(25));
+  bed.video().PlayLooping(StandardVideoClips()[0]);
+  director.Start(true);
+  bed.sim().RunUntil(start + odsim::SimDuration::Seconds(400));
+
+  director.Stop();
+  composite.Stop();
+  bed.video().StopLooping();
+  // With video promoted to the top, it is degraded last: web/map/speech all
+  // sit at or below the video's normalized level.
+  double video_norm = bed.video().current_fidelity() / 4.0;
+  double web_norm = bed.web().current_fidelity() / 4.0;
+  EXPECT_GE(video_norm, web_norm);
+}
+
+TEST(LossyChannelTest, GoalStillMetOnLossyWireless) {
+  // Retransmissions raise the energy bill; the director absorbs them by
+  // running at lower fidelity, and the goal is still met.
+  GoalScenarioOptions clean, lossy;
+  clean.goal = lossy.goal = odsim::SimDuration::Seconds(1320);
+  clean.seed = lossy.seed = 99;
+  lossy.rpc_loss_probability = 0.15;
+  GoalScenarioResult clean_result = RunGoalScenario(clean);
+  GoalScenarioResult lossy_result = RunGoalScenario(lossy);
+  EXPECT_TRUE(clean_result.goal_met);
+  EXPECT_TRUE(lossy_result.goal_met);
+}
+
+TEST(NonIdealBatteryTest, WorkloadLifetimeShorterThanIdealSupply) {
+  // Play the composite workload against a Peukert battery and an ideal
+  // supply of the same nominal energy; the battery dies first.
+  auto lifetime = [](bool non_ideal) {
+    TestBed bed(TestBed::Options{.seed = 5, .hw_pm = true, .link = {}});
+    Settle(bed);
+    odsim::SimTime start = bed.sim().Now();
+    bed.laptop().accounting().Reset(start);
+
+    odpower::BatteryConfig config;
+    config.nominal_joules = 4000.0;
+    config.rated_watts = 8.0;
+    if (!non_ideal) {
+      config.peukert_exponent = 1.0;
+      config.resistance_fraction = 0.0;
+    }
+    odpower::Battery battery(&bed.sim(), &bed.laptop().accounting(), config);
+
+    CompositeApp composite(&bed.sim(), &bed.speech(), &bed.web(), &bed.map());
+    composite.StartPeriodic(odsim::SimDuration::Seconds(25));
+    while (!battery.Exhausted(bed.sim().Now())) {
+      bed.sim().RunUntil(bed.sim().Now() + odsim::SimDuration::Seconds(1));
+    }
+    composite.Stop();
+    battery.Stop();
+    return (bed.sim().Now() - start).seconds();
+  };
+
+  double ideal = lifetime(false);
+  double real = lifetime(true);
+  EXPECT_LT(real, ideal);
+  EXPECT_GT(real, 0.80 * ideal);  // Losses are material but not absurd.
+}
+
+}  // namespace
+}  // namespace odapps

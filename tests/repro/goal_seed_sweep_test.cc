@@ -1,0 +1,40 @@
+// Robustness sweep: goal-directed adaptation must meet the standard goal
+// across many random seeds (workload jitter and measurement noise), with
+// bounded residue — the paper's "the desired goal was met in every trial".
+
+#include <gtest/gtest.h>
+
+#include "src/apps/goal_scenario.h"
+
+namespace odapps {
+namespace {
+
+class GoalSeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GoalSeedSweepTest, StandardGoalMet) {
+  GoalScenarioOptions options;
+  options.goal = odsim::SimDuration::Seconds(1320);
+  options.seed = GetParam();
+  GoalScenarioResult result = RunGoalScenario(options);
+  EXPECT_TRUE(result.goal_met) << "seed " << GetParam();
+  EXPECT_LT(result.residual_joules, 0.08 * options.initial_joules)
+      << "seed " << GetParam();
+  EXPECT_NEAR(result.elapsed_seconds, 1320.0, 1.0);
+}
+
+TEST_P(GoalSeedSweepTest, BurstyGoalMet) {
+  GoalScenarioOptions options;
+  options.bursty = true;
+  options.initial_joules = 10000.0;
+  options.goal = odsim::SimDuration::Seconds(1200);
+  options.seed = GetParam();
+  GoalScenarioResult result = RunGoalScenario(options);
+  EXPECT_TRUE(result.goal_met) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoalSeedSweepTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808,
+                                           909, 1010));
+
+}  // namespace
+}  // namespace odapps

@@ -1,0 +1,105 @@
+#include "src/sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace odsim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(SimTime::Seconds(3), [&] { order.push_back(3); });
+  q.Push(SimTime::Seconds(1), [&] { order.push_back(1); });
+  q.Push(SimTime::Seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(SimTime::Seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Push(SimTime::Seconds(9), [] {});
+  q.Push(SimTime::Seconds(4), [] {});
+  EXPECT_EQ(q.NextTime(), SimTime::Seconds(4));
+}
+
+TEST(EventQueueTest, CancelledEventIsSkipped) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle handle = q.Push(SimTime::Seconds(1), [&] { fired = true; });
+  q.Push(SimTime::Seconds(2), [] {});
+  handle.Cancel();
+  EXPECT_EQ(q.NextTime(), SimTime::Seconds(2));
+  q.Pop();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle handle = q.Push(SimTime::Seconds(1), [] {});
+  auto popped = q.Pop();
+  popped.fn();
+  handle.Cancel();  // Must not crash or corrupt.
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PendingLifecycle) {
+  EventQueue q;
+  EventHandle handle = q.Push(SimTime::Seconds(1), [] {});
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+
+  EventHandle fired = q.Push(SimTime::Seconds(2), [] {});
+  q.Pop();
+  EXPECT_FALSE(fired.pending());
+
+  EventHandle empty;
+  EXPECT_FALSE(empty.pending());
+}
+
+TEST(EventQueueTest, AllCancelledMeansEmpty) {
+  EventQueue q;
+  EventHandle a = q.Push(SimTime::Seconds(1), [] {});
+  EventHandle b = q.Push(SimTime::Seconds(2), [] {});
+  a.Cancel();
+  b.Cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CopiedHandleCancelsSameEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle a = q.Push(SimTime::Seconds(1), [&] { fired = true; });
+  EventHandle b = a;
+  b.Cancel();
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace odsim

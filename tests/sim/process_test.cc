@@ -1,0 +1,46 @@
+#include "src/sim/process.h"
+
+#include <gtest/gtest.h>
+
+namespace odsim {
+namespace {
+
+TEST(ProcessTableTest, IdleIsPreRegistered) {
+  ProcessTable table;
+  EXPECT_EQ(table.ProcessName(kIdlePid), "Idle");
+  EXPECT_EQ(table.ProcedureName(kIdleProc), "_cpu_halt");
+}
+
+TEST(ProcessTableTest, RegistrationIsIdempotent) {
+  ProcessTable table;
+  ProcessId a = table.RegisterProcess("xanim");
+  ProcessId b = table.RegisterProcess("xanim");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.ProcessName(a), "xanim");
+}
+
+TEST(ProcessTableTest, DistinctNamesGetDistinctIds) {
+  ProcessTable table;
+  ProcessId a = table.RegisterProcess("xanim");
+  ProcessId b = table.RegisterProcess("X Server");
+  EXPECT_NE(a, b);
+}
+
+TEST(ProcessTableTest, ProcedureNamespaceIsIndependent) {
+  ProcessTable table;
+  ProcedureId p = table.RegisterProcedure("_DecodeFrame");
+  EXPECT_EQ(table.ProcedureName(p), "_DecodeFrame");
+  EXPECT_EQ(table.process_count(), 1);  // Only Idle.
+  EXPECT_EQ(table.procedure_count(), 2);
+}
+
+TEST(ProcessTableTest, CountsGrow) {
+  ProcessTable table;
+  int base = table.process_count();
+  table.RegisterProcess("a");
+  table.RegisterProcess("b");
+  EXPECT_EQ(table.process_count(), base + 2);
+}
+
+}  // namespace
+}  // namespace odsim

@@ -1,0 +1,75 @@
+// Contract checks abort loudly: the library is a measurement instrument,
+// so a silent accounting error is worse than a crash.
+
+#include "src/util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "src/odyssey/fidelity.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace {
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ OD_CHECK(1 == 2); }, "OD_CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckMsgIncludesMessage) {
+  EXPECT_DEATH({ OD_CHECK_MSG(false, "the reason"); }, "the reason");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  OD_CHECK(1 == 1);
+  OD_CHECK_MSG(true, "unused");
+}
+
+TEST(ContractDeathTest, FidelityOutOfRange) {
+  odyssey::FidelitySpec spec({"only"});
+  EXPECT_DEATH(spec.name(2), "OD_CHECK failed");
+}
+
+TEST(ContractDeathTest, SchedulingInThePast) {
+  odsim::Simulator sim;
+  sim.Schedule(odsim::SimDuration::Seconds(5), [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(odsim::SimTime::Seconds(1), [] {}),
+               "OD_CHECK failed");
+}
+
+TEST(ContractDeathTest, NegativeDelayRejected) {
+  odsim::Simulator sim;
+  EXPECT_DEATH(sim.Schedule(odsim::SimDuration::Seconds(-1), [] {}),
+               "OD_CHECK failed");
+}
+
+TEST(ContractDeathTest, ZeroWorkRejected) {
+  odsim::Simulator sim;
+  EXPECT_DEATH(
+      sim.SubmitWork(odsim::kIdlePid, odsim::kIdleProc, odsim::SimDuration::Zero(),
+                     nullptr),
+      "OD_CHECK failed");
+}
+
+TEST(ContractDeathTest, InvalidCpuSpeedRejected) {
+  odsim::Simulator sim;
+  EXPECT_DEATH(sim.set_cpu_speed(0.0), "OD_CHECK failed");
+  EXPECT_DEATH(sim.set_cpu_speed(1.5), "OD_CHECK failed");
+}
+
+TEST(ContractDeathTest, FitLineNeedsTwoPoints) {
+  EXPECT_DEATH(odutil::FitLine({1.0}, {1.0}), "OD_CHECK failed");
+}
+
+TEST(ContractDeathTest, UniformBoundsChecked) {
+  odutil::Rng rng(1);
+  (void)rng;
+#ifndef NDEBUG
+  EXPECT_DEATH(rng.Uniform(2.0, 1.0), "OD_CHECK failed");
+#else
+  GTEST_SKIP() << "OD_DCHECK compiled out in NDEBUG builds";
+#endif
+}
+
+}  // namespace

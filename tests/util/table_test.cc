@@ -1,0 +1,68 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace odutil {
+namespace {
+
+std::string Render(const Table& table) {
+  char buffer[8192];
+  std::FILE* f = fmemopen(buffer, sizeof(buffer), "w");
+  table.Print(f);
+  long len = std::ftell(f);
+  std::fclose(f);
+  return std::string(buffer, static_cast<size_t>(len));
+}
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Figure X");
+  t.SetHeader({"Name", "Energy (J)"});
+  t.AddRow({"Video 1", "1500.0"});
+  t.AddRow({"Video 2", "1700.5"});
+  std::string out = Render(t);
+  EXPECT_NE(out.find("Figure X"), std::string::npos);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("Video 1"), std::string::npos);
+  EXPECT_NE(out.find("1700.5"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorRendersRule) {
+  Table t("");
+  t.SetHeader({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string out = Render(t);
+  // Header rule + separator + bottom rule = at least 3 dashed lines.
+  size_t dashes = 0;
+  size_t pos = 0;
+  while ((pos = out.find("---", pos)) != std::string::npos) {
+    ++dashes;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_GE(dashes, 3u);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(10.0, 0), "10");
+}
+
+TEST(TableTest, PctFormatsFraction) {
+  EXPECT_EQ(Table::Pct(0.305, 1), "30.5%");
+  EXPECT_EQ(Table::Pct(1.0), "100%");
+}
+
+TEST(TableTest, MeanStdFormat) {
+  EXPECT_EQ(Table::MeanStd(10.84, 2.26, 1), "10.8 (2.3)");
+}
+
+TEST(TableTest, RangeFormat) {
+  EXPECT_EQ(Table::Range(0.31, 0.54), "0.31-0.54");
+}
+
+}  // namespace
+}  // namespace odutil

@@ -1,0 +1,154 @@
+// odyssey_cli — command-line front end for the simulator.
+//
+//   odyssey_cli power-table
+//       Print the ThinkPad 560X component power table (Figure 4).
+//   odyssey_cli profile [--seconds N]
+//       PowerScope profile of a video session (Figure 2 format).
+//   odyssey_cli lifetime [--joules J] [--lowest]
+//       Untethered lifetime of the Section 5 workload, pinned at highest or
+//       lowest fidelity.
+//   odyssey_cli goal [--minutes M] [--joules J] [--seed S] [--bursty]
+//               [--loss P] [--smart-battery] [--extend-at-min T --extend-min E]
+//       Run goal-directed adaptation and report the outcome.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/goal_scenario.h"
+#include "src/apps/testbed.h"
+#include "src/powerscope/profiler.h"
+
+namespace {
+
+double FlagValue(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int PowerTable() {
+  odsim::Simulator sim;
+  auto laptop = odpower::MakeThinkPad560X(&sim);
+  const odpower::ThinkPad560XSpec& spec = laptop->spec();
+  std::printf("IBM ThinkPad 560X power model (Figure 4):\n");
+  std::printf("  Display   bright %.2f W, dim %.2f W\n", spec.display_bright,
+              spec.display_dim);
+  std::printf("  WaveLAN   tx %.2f, rx %.2f, idle %.2f, standby %.2f W\n",
+              spec.wavelan_transmit, spec.wavelan_receive, spec.wavelan_idle,
+              spec.wavelan_standby);
+  std::printf("  Disk      access %.2f, idle %.2f, standby %.2f W\n",
+              spec.disk_access, spec.disk_idle, spec.disk_standby);
+  std::printf("  CPU       busy %.2f W (halt 0)\n", spec.cpu_busy);
+  std::printf("  Other     %.2f W\n", spec.other);
+  std::printf("  Background (dim + standby) = %.2f W\n",
+              laptop->BackgroundPowerWatts());
+  return 0;
+}
+
+int Profile(int argc, char** argv) {
+  double seconds = FlagValue(argc, argv, "--seconds", 60.0);
+  odapps::TestBed bed;
+  odscope::Profiler profiler(&bed.sim(), &bed.laptop().machine());
+  profiler.Start();
+  bool finished = false;
+  bed.video().PlaySegment(odapps::StandardVideoClips()[0],
+                          odsim::SimDuration::Seconds(seconds),
+                          [&finished] { finished = true; });
+  bed.sim().RunUntil(odsim::SimTime::Seconds(seconds + 10));
+  profiler.Stop();
+  if (!finished) {
+    std::fprintf(stderr, "workload did not finish\n");
+    return 1;
+  }
+  std::printf("%s", profiler.Correlate().Format("xanim").c_str());
+  return 0;
+}
+
+int Lifetime(int argc, char** argv) {
+  double joules = FlagValue(argc, argv, "--joules", 13500.0);
+  bool lowest = HasFlag(argc, argv, "--lowest");
+  double seconds = odapps::MeasurePinnedLifetime(joules, lowest, 1);
+  std::printf("%s fidelity on %.0f J: %.0f s (%d:%02d)\n",
+              lowest ? "lowest" : "highest", joules, seconds,
+              static_cast<int>(seconds) / 60, static_cast<int>(seconds) % 60);
+  return 0;
+}
+
+int Goal(int argc, char** argv) {
+  odapps::GoalScenarioOptions options;
+  options.initial_joules = FlagValue(argc, argv, "--joules", 13500.0);
+  options.goal =
+      odsim::SimDuration::Minutes(FlagValue(argc, argv, "--minutes", 22.0));
+  options.seed = static_cast<uint64_t>(FlagValue(argc, argv, "--seed", 1.0));
+  options.bursty = HasFlag(argc, argv, "--bursty");
+  options.use_smart_battery = HasFlag(argc, argv, "--smart-battery");
+  options.rpc_loss_probability = FlagValue(argc, argv, "--loss", 0.0);
+  double extend_at = FlagValue(argc, argv, "--extend-at-min", 0.0);
+  double extend_by = FlagValue(argc, argv, "--extend-min", 0.0);
+  if (extend_at > 0.0 && extend_by > 0.0) {
+    options.extend_at = odsim::SimDuration::Minutes(extend_at);
+    options.extend_by = odsim::SimDuration::Minutes(extend_by);
+  }
+
+  odapps::GoalScenarioResult result = odapps::RunGoalScenario(options);
+  std::printf("%s after %.0f s; residual %.0f J (%.1f%% of %.0f J)\n",
+              result.goal_met ? "GOAL MET" : "SUPPLY EXHAUSTED",
+              result.elapsed_seconds, result.residual_joules,
+              100.0 * result.residual_joules / options.initial_joules,
+              options.initial_joules);
+  for (const auto& [app, count] : result.adaptations) {
+    std::printf("  %-7s %3d adaptations, final level %d\n", app.c_str(), count,
+                result.final_fidelity.at(app));
+  }
+  return result.goal_met ? 0 : 2;
+}
+
+int Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [options]\n"
+      "  power-table\n"
+      "  profile  [--seconds N]\n"
+      "  lifetime [--joules J] [--lowest]\n"
+      "  goal     [--minutes M] [--joules J] [--seed S] [--bursty]\n"
+      "           [--loss P] [--smart-battery]\n"
+      "           [--extend-at-min T --extend-min E]\n",
+      prog);
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage(argv[0]);
+  }
+  std::string command = argv[1];
+  if (command == "power-table") {
+    return PowerTable();
+  }
+  if (command == "profile") {
+    return Profile(argc, argv);
+  }
+  if (command == "lifetime") {
+    return Lifetime(argc, argv);
+  }
+  if (command == "goal") {
+    return Goal(argc, argv);
+  }
+  return Usage(argv[0]);
+}
