@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_cpu_scaling"
+  "../bench/ablate_cpu_scaling.pdb"
+  "CMakeFiles/ablate_cpu_scaling.dir/ablate_cpu_scaling.cc.o"
+  "CMakeFiles/ablate_cpu_scaling.dir/ablate_cpu_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

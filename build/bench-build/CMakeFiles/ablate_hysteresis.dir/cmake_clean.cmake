@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_hysteresis"
+  "../bench/ablate_hysteresis.pdb"
+  "CMakeFiles/ablate_hysteresis.dir/ablate_hysteresis.cc.o"
+  "CMakeFiles/ablate_hysteresis.dir/ablate_hysteresis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_monitoring"
+  "../bench/ablate_monitoring.pdb"
+  "CMakeFiles/ablate_monitoring.dir/ablate_monitoring.cc.o"
+  "CMakeFiles/ablate_monitoring.dir/ablate_monitoring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_profile"
+  "../bench/fig02_profile.pdb"
+  "CMakeFiles/fig02_profile.dir/fig02_profile.cc.o"
+  "CMakeFiles/fig02_profile.dir/fig02_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_power_table"
+  "../bench/fig04_power_table.pdb"
+  "CMakeFiles/fig04_power_table.dir/fig04_power_table.cc.o"
+  "CMakeFiles/fig04_power_table.dir/fig04_power_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_power_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

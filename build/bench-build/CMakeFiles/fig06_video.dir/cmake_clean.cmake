@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_video"
+  "../bench/fig06_video.pdb"
+  "CMakeFiles/fig06_video.dir/fig06_video.cc.o"
+  "CMakeFiles/fig06_video.dir/fig06_video.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_speech"
+  "../bench/fig08_speech.pdb"
+  "CMakeFiles/fig08_speech.dir/fig08_speech.cc.o"
+  "CMakeFiles/fig08_speech.dir/fig08_speech.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

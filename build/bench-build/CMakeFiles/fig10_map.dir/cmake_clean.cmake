@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_map"
+  "../bench/fig10_map.pdb"
+  "CMakeFiles/fig10_map.dir/fig10_map.cc.o"
+  "CMakeFiles/fig10_map.dir/fig10_map.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_map_think"
+  "../bench/fig11_map_think.pdb"
+  "CMakeFiles/fig11_map_think.dir/fig11_map_think.cc.o"
+  "CMakeFiles/fig11_map_think.dir/fig11_map_think.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_map_think.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_web"
+  "../bench/fig13_web.pdb"
+  "CMakeFiles/fig13_web.dir/fig13_web.cc.o"
+  "CMakeFiles/fig13_web.dir/fig13_web.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_web_think"
+  "../bench/fig14_web_think.pdb"
+  "CMakeFiles/fig14_web_think.dir/fig14_web_think.cc.o"
+  "CMakeFiles/fig14_web_think.dir/fig14_web_think.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_web_think.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

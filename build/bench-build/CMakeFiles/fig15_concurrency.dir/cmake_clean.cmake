@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_concurrency"
+  "../bench/fig15_concurrency.pdb"
+  "CMakeFiles/fig15_concurrency.dir/fig15_concurrency.cc.o"
+  "CMakeFiles/fig15_concurrency.dir/fig15_concurrency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_summary"
+  "../bench/fig16_summary.pdb"
+  "CMakeFiles/fig16_summary.dir/fig16_summary.cc.o"
+  "CMakeFiles/fig16_summary.dir/fig16_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

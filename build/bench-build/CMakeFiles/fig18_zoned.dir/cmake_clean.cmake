@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_zoned"
+  "../bench/fig18_zoned.pdb"
+  "CMakeFiles/fig18_zoned.dir/fig18_zoned.cc.o"
+  "CMakeFiles/fig18_zoned.dir/fig18_zoned.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_zoned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

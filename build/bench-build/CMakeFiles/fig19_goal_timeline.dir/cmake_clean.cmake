@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_goal_timeline"
+  "../bench/fig19_goal_timeline.pdb"
+  "CMakeFiles/fig19_goal_timeline.dir/fig19_goal_timeline.cc.o"
+  "CMakeFiles/fig19_goal_timeline.dir/fig19_goal_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_goal_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

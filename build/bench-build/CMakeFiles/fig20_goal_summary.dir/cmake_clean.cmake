@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_goal_summary"
+  "../bench/fig20_goal_summary.pdb"
+  "CMakeFiles/fig20_goal_summary.dir/fig20_goal_summary.cc.o"
+  "CMakeFiles/fig20_goal_summary.dir/fig20_goal_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_goal_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_halflife"
+  "../bench/fig21_halflife.pdb"
+  "CMakeFiles/fig21_halflife.dir/fig21_halflife.cc.o"
+  "CMakeFiles/fig21_halflife.dir/fig21_halflife.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_halflife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

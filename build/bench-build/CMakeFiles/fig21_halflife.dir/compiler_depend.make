@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig21_halflife.
+# This may be replaced when dependencies are built.

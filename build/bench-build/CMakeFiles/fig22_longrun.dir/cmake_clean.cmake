@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_longrun"
+  "../bench/fig22_longrun.pdb"
+  "CMakeFiles/fig22_longrun.dir/fig22_longrun.cc.o"
+  "CMakeFiles/fig22_longrun.dir/fig22_longrun.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

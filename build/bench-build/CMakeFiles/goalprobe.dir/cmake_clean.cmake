@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/goalprobe"
+  "../bench/goalprobe.pdb"
+  "CMakeFiles/goalprobe.dir/goalprobe.cc.o"
+  "CMakeFiles/goalprobe.dir/goalprobe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

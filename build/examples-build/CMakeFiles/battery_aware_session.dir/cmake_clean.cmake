@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/battery_aware_session"
+  "../examples/battery_aware_session.pdb"
+  "CMakeFiles/battery_aware_session.dir/battery_aware_session.cpp.o"
+  "CMakeFiles/battery_aware_session.dir/battery_aware_session.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_aware_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

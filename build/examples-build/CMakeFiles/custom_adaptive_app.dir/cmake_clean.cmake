@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_adaptive_app"
+  "../examples/custom_adaptive_app.pdb"
+  "CMakeFiles/custom_adaptive_app.dir/custom_adaptive_app.cpp.o"
+  "CMakeFiles/custom_adaptive_app.dir/custom_adaptive_app.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_adaptive_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

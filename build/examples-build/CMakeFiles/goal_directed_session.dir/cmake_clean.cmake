@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/goal_directed_session"
+  "../examples/goal_directed_session.pdb"
+  "CMakeFiles/goal_directed_session.dir/goal_directed_session.cpp.o"
+  "CMakeFiles/goal_directed_session.dir/goal_directed_session.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_directed_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

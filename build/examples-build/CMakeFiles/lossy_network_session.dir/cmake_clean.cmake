@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lossy_network_session"
+  "../examples/lossy_network_session.pdb"
+  "CMakeFiles/lossy_network_session.dir/lossy_network_session.cpp.o"
+  "CMakeFiles/lossy_network_session.dir/lossy_network_session.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_network_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

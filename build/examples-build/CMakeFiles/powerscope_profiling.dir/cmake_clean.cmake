@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/powerscope_profiling"
+  "../examples/powerscope_profiling.pdb"
+  "CMakeFiles/powerscope_profiling.dir/powerscope_profiling.cpp.o"
+  "CMakeFiles/powerscope_profiling.dir/powerscope_profiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerscope_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

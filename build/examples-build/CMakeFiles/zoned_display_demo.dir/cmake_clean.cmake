@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/zoned_display_demo"
+  "../examples/zoned_display_demo.pdb"
+  "CMakeFiles/zoned_display_demo.dir/zoned_display_demo.cpp.o"
+  "CMakeFiles/zoned_display_demo.dir/zoned_display_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoned_display_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

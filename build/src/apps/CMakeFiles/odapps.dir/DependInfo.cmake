@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bursty.cc" "src/apps/CMakeFiles/odapps.dir/bursty.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/bursty.cc.o.d"
+  "/root/repo/src/apps/composite.cc" "src/apps/CMakeFiles/odapps.dir/composite.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/composite.cc.o.d"
+  "/root/repo/src/apps/data_objects.cc" "src/apps/CMakeFiles/odapps.dir/data_objects.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/data_objects.cc.o.d"
+  "/root/repo/src/apps/display_arbiter.cc" "src/apps/CMakeFiles/odapps.dir/display_arbiter.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/display_arbiter.cc.o.d"
+  "/root/repo/src/apps/experiments.cc" "src/apps/CMakeFiles/odapps.dir/experiments.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/experiments.cc.o.d"
+  "/root/repo/src/apps/goal_scenario.cc" "src/apps/CMakeFiles/odapps.dir/goal_scenario.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/goal_scenario.cc.o.d"
+  "/root/repo/src/apps/map_viewer.cc" "src/apps/CMakeFiles/odapps.dir/map_viewer.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/map_viewer.cc.o.d"
+  "/root/repo/src/apps/speech_recognizer.cc" "src/apps/CMakeFiles/odapps.dir/speech_recognizer.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/speech_recognizer.cc.o.d"
+  "/root/repo/src/apps/testbed.cc" "src/apps/CMakeFiles/odapps.dir/testbed.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/testbed.cc.o.d"
+  "/root/repo/src/apps/video_player.cc" "src/apps/CMakeFiles/odapps.dir/video_player.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/video_player.cc.o.d"
+  "/root/repo/src/apps/wardens.cc" "src/apps/CMakeFiles/odapps.dir/wardens.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/wardens.cc.o.d"
+  "/root/repo/src/apps/web_browser.cc" "src/apps/CMakeFiles/odapps.dir/web_browser.cc.o" "gcc" "src/apps/CMakeFiles/odapps.dir/web_browser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/odyssey/CMakeFiles/odyssey.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/odenergy.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/oddisplay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/odnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odpower.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerscope/CMakeFiles/odscope.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

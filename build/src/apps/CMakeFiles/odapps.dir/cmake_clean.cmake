@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odapps.dir/bursty.cc.o"
+  "CMakeFiles/odapps.dir/bursty.cc.o.d"
+  "CMakeFiles/odapps.dir/composite.cc.o"
+  "CMakeFiles/odapps.dir/composite.cc.o.d"
+  "CMakeFiles/odapps.dir/data_objects.cc.o"
+  "CMakeFiles/odapps.dir/data_objects.cc.o.d"
+  "CMakeFiles/odapps.dir/display_arbiter.cc.o"
+  "CMakeFiles/odapps.dir/display_arbiter.cc.o.d"
+  "CMakeFiles/odapps.dir/experiments.cc.o"
+  "CMakeFiles/odapps.dir/experiments.cc.o.d"
+  "CMakeFiles/odapps.dir/goal_scenario.cc.o"
+  "CMakeFiles/odapps.dir/goal_scenario.cc.o.d"
+  "CMakeFiles/odapps.dir/map_viewer.cc.o"
+  "CMakeFiles/odapps.dir/map_viewer.cc.o.d"
+  "CMakeFiles/odapps.dir/speech_recognizer.cc.o"
+  "CMakeFiles/odapps.dir/speech_recognizer.cc.o.d"
+  "CMakeFiles/odapps.dir/testbed.cc.o"
+  "CMakeFiles/odapps.dir/testbed.cc.o.d"
+  "CMakeFiles/odapps.dir/video_player.cc.o"
+  "CMakeFiles/odapps.dir/video_player.cc.o.d"
+  "CMakeFiles/odapps.dir/wardens.cc.o"
+  "CMakeFiles/odapps.dir/wardens.cc.o.d"
+  "CMakeFiles/odapps.dir/web_browser.cc.o"
+  "CMakeFiles/odapps.dir/web_browser.cc.o.d"
+  "libodapps.a"
+  "libodapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

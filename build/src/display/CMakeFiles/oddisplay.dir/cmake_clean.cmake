@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oddisplay.dir/zoned.cc.o"
+  "CMakeFiles/oddisplay.dir/zoned.cc.o.d"
+  "liboddisplay.a"
+  "liboddisplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oddisplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odenergy.dir/goal_director.cc.o"
+  "CMakeFiles/odenergy.dir/goal_director.cc.o.d"
+  "CMakeFiles/odenergy.dir/hysteresis.cc.o"
+  "CMakeFiles/odenergy.dir/hysteresis.cc.o.d"
+  "CMakeFiles/odenergy.dir/predictor.cc.o"
+  "CMakeFiles/odenergy.dir/predictor.cc.o.d"
+  "CMakeFiles/odenergy.dir/smoothing.cc.o"
+  "CMakeFiles/odenergy.dir/smoothing.cc.o.d"
+  "libodenergy.a"
+  "libodenergy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odenergy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for odenergy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odnet.dir/bandwidth_monitor.cc.o"
+  "CMakeFiles/odnet.dir/bandwidth_monitor.cc.o.d"
+  "CMakeFiles/odnet.dir/link.cc.o"
+  "CMakeFiles/odnet.dir/link.cc.o.d"
+  "CMakeFiles/odnet.dir/rpc.cc.o"
+  "CMakeFiles/odnet.dir/rpc.cc.o.d"
+  "libodnet.a"
+  "libodnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

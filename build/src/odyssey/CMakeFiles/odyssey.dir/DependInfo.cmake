@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odyssey/fidelity.cc" "src/odyssey/CMakeFiles/odyssey.dir/fidelity.cc.o" "gcc" "src/odyssey/CMakeFiles/odyssey.dir/fidelity.cc.o.d"
+  "/root/repo/src/odyssey/interceptor.cc" "src/odyssey/CMakeFiles/odyssey.dir/interceptor.cc.o" "gcc" "src/odyssey/CMakeFiles/odyssey.dir/interceptor.cc.o.d"
+  "/root/repo/src/odyssey/server.cc" "src/odyssey/CMakeFiles/odyssey.dir/server.cc.o" "gcc" "src/odyssey/CMakeFiles/odyssey.dir/server.cc.o.d"
+  "/root/repo/src/odyssey/viceroy.cc" "src/odyssey/CMakeFiles/odyssey.dir/viceroy.cc.o" "gcc" "src/odyssey/CMakeFiles/odyssey.dir/viceroy.cc.o.d"
+  "/root/repo/src/odyssey/warden.cc" "src/odyssey/CMakeFiles/odyssey.dir/warden.cc.o" "gcc" "src/odyssey/CMakeFiles/odyssey.dir/warden.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/odnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odpower.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

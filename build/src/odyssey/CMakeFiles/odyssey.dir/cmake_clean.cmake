@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odyssey.dir/fidelity.cc.o"
+  "CMakeFiles/odyssey.dir/fidelity.cc.o.d"
+  "CMakeFiles/odyssey.dir/interceptor.cc.o"
+  "CMakeFiles/odyssey.dir/interceptor.cc.o.d"
+  "CMakeFiles/odyssey.dir/server.cc.o"
+  "CMakeFiles/odyssey.dir/server.cc.o.d"
+  "CMakeFiles/odyssey.dir/viceroy.cc.o"
+  "CMakeFiles/odyssey.dir/viceroy.cc.o.d"
+  "CMakeFiles/odyssey.dir/warden.cc.o"
+  "CMakeFiles/odyssey.dir/warden.cc.o.d"
+  "libodyssey.a"
+  "libodyssey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

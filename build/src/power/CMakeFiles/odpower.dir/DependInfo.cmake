@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/accounting.cc" "src/power/CMakeFiles/odpower.dir/accounting.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/accounting.cc.o.d"
+  "/root/repo/src/power/battery.cc" "src/power/CMakeFiles/odpower.dir/battery.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/battery.cc.o.d"
+  "/root/repo/src/power/component.cc" "src/power/CMakeFiles/odpower.dir/component.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/component.cc.o.d"
+  "/root/repo/src/power/cpu.cc" "src/power/CMakeFiles/odpower.dir/cpu.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/cpu.cc.o.d"
+  "/root/repo/src/power/disk.cc" "src/power/CMakeFiles/odpower.dir/disk.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/disk.cc.o.d"
+  "/root/repo/src/power/display.cc" "src/power/CMakeFiles/odpower.dir/display.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/display.cc.o.d"
+  "/root/repo/src/power/machine.cc" "src/power/CMakeFiles/odpower.dir/machine.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/machine.cc.o.d"
+  "/root/repo/src/power/power_manager.cc" "src/power/CMakeFiles/odpower.dir/power_manager.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/power_manager.cc.o.d"
+  "/root/repo/src/power/supply.cc" "src/power/CMakeFiles/odpower.dir/supply.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/supply.cc.o.d"
+  "/root/repo/src/power/thinkpad560x.cc" "src/power/CMakeFiles/odpower.dir/thinkpad560x.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/thinkpad560x.cc.o.d"
+  "/root/repo/src/power/wavelan.cc" "src/power/CMakeFiles/odpower.dir/wavelan.cc.o" "gcc" "src/power/CMakeFiles/odpower.dir/wavelan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/odsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

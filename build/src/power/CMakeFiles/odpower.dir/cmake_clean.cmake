@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odpower.dir/accounting.cc.o"
+  "CMakeFiles/odpower.dir/accounting.cc.o.d"
+  "CMakeFiles/odpower.dir/battery.cc.o"
+  "CMakeFiles/odpower.dir/battery.cc.o.d"
+  "CMakeFiles/odpower.dir/component.cc.o"
+  "CMakeFiles/odpower.dir/component.cc.o.d"
+  "CMakeFiles/odpower.dir/cpu.cc.o"
+  "CMakeFiles/odpower.dir/cpu.cc.o.d"
+  "CMakeFiles/odpower.dir/disk.cc.o"
+  "CMakeFiles/odpower.dir/disk.cc.o.d"
+  "CMakeFiles/odpower.dir/display.cc.o"
+  "CMakeFiles/odpower.dir/display.cc.o.d"
+  "CMakeFiles/odpower.dir/machine.cc.o"
+  "CMakeFiles/odpower.dir/machine.cc.o.d"
+  "CMakeFiles/odpower.dir/power_manager.cc.o"
+  "CMakeFiles/odpower.dir/power_manager.cc.o.d"
+  "CMakeFiles/odpower.dir/supply.cc.o"
+  "CMakeFiles/odpower.dir/supply.cc.o.d"
+  "CMakeFiles/odpower.dir/thinkpad560x.cc.o"
+  "CMakeFiles/odpower.dir/thinkpad560x.cc.o.d"
+  "CMakeFiles/odpower.dir/wavelan.cc.o"
+  "CMakeFiles/odpower.dir/wavelan.cc.o.d"
+  "libodpower.a"
+  "libodpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for odpower.
+# This may be replaced when dependencies are built.

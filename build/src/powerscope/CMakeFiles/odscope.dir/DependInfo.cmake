@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/powerscope/multimeter.cc" "src/powerscope/CMakeFiles/odscope.dir/multimeter.cc.o" "gcc" "src/powerscope/CMakeFiles/odscope.dir/multimeter.cc.o.d"
+  "/root/repo/src/powerscope/online_monitor.cc" "src/powerscope/CMakeFiles/odscope.dir/online_monitor.cc.o" "gcc" "src/powerscope/CMakeFiles/odscope.dir/online_monitor.cc.o.d"
+  "/root/repo/src/powerscope/profile.cc" "src/powerscope/CMakeFiles/odscope.dir/profile.cc.o" "gcc" "src/powerscope/CMakeFiles/odscope.dir/profile.cc.o.d"
+  "/root/repo/src/powerscope/profiler.cc" "src/powerscope/CMakeFiles/odscope.dir/profiler.cc.o" "gcc" "src/powerscope/CMakeFiles/odscope.dir/profiler.cc.o.d"
+  "/root/repo/src/powerscope/smart_battery.cc" "src/powerscope/CMakeFiles/odscope.dir/smart_battery.cc.o" "gcc" "src/powerscope/CMakeFiles/odscope.dir/smart_battery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/odpower.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

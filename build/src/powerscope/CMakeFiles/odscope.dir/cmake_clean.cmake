@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odscope.dir/multimeter.cc.o"
+  "CMakeFiles/odscope.dir/multimeter.cc.o.d"
+  "CMakeFiles/odscope.dir/online_monitor.cc.o"
+  "CMakeFiles/odscope.dir/online_monitor.cc.o.d"
+  "CMakeFiles/odscope.dir/profile.cc.o"
+  "CMakeFiles/odscope.dir/profile.cc.o.d"
+  "CMakeFiles/odscope.dir/profiler.cc.o"
+  "CMakeFiles/odscope.dir/profiler.cc.o.d"
+  "CMakeFiles/odscope.dir/smart_battery.cc.o"
+  "CMakeFiles/odscope.dir/smart_battery.cc.o.d"
+  "libodscope.a"
+  "libodscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odsim.dir/event_queue.cc.o"
+  "CMakeFiles/odsim.dir/event_queue.cc.o.d"
+  "CMakeFiles/odsim.dir/process.cc.o"
+  "CMakeFiles/odsim.dir/process.cc.o.d"
+  "CMakeFiles/odsim.dir/simulator.cc.o"
+  "CMakeFiles/odsim.dir/simulator.cc.o.d"
+  "libodsim.a"
+  "libodsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

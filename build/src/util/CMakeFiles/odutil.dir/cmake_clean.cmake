@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odutil.dir/csv.cc.o"
+  "CMakeFiles/odutil.dir/csv.cc.o.d"
+  "CMakeFiles/odutil.dir/logging.cc.o"
+  "CMakeFiles/odutil.dir/logging.cc.o.d"
+  "CMakeFiles/odutil.dir/rng.cc.o"
+  "CMakeFiles/odutil.dir/rng.cc.o.d"
+  "CMakeFiles/odutil.dir/stats.cc.o"
+  "CMakeFiles/odutil.dir/stats.cc.o.d"
+  "CMakeFiles/odutil.dir/table.cc.o"
+  "CMakeFiles/odutil.dir/table.cc.o.d"
+  "libodutil.a"
+  "libodutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_replay_test.dir/bursty_replay_test.cc.o"
+  "CMakeFiles/bursty_replay_test.dir/bursty_replay_test.cc.o.d"
+  "bursty_replay_test"
+  "bursty_replay_test.pdb"
+  "bursty_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

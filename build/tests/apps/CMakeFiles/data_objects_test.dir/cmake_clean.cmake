@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_objects_test.dir/data_objects_test.cc.o"
+  "CMakeFiles/data_objects_test.dir/data_objects_test.cc.o.d"
+  "data_objects_test"
+  "data_objects_test.pdb"
+  "data_objects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

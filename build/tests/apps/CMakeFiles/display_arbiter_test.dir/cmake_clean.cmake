@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/display_arbiter_test.dir/display_arbiter_test.cc.o"
+  "CMakeFiles/display_arbiter_test.dir/display_arbiter_test.cc.o.d"
+  "display_arbiter_test"
+  "display_arbiter_test.pdb"
+  "display_arbiter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/display_arbiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_viewer_test.dir/map_viewer_test.cc.o"
+  "CMakeFiles/map_viewer_test.dir/map_viewer_test.cc.o.d"
+  "map_viewer_test"
+  "map_viewer_test.pdb"
+  "map_viewer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_viewer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_recognizer_test.dir/speech_recognizer_test.cc.o"
+  "CMakeFiles/speech_recognizer_test.dir/speech_recognizer_test.cc.o.d"
+  "speech_recognizer_test"
+  "speech_recognizer_test.pdb"
+  "speech_recognizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_recognizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_player_test.dir/video_player_test.cc.o"
+  "CMakeFiles/video_player_test.dir/video_player_test.cc.o.d"
+  "video_player_test"
+  "video_player_test.pdb"
+  "video_player_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_player_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

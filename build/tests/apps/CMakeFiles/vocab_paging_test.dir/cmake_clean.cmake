@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_paging_test.dir/vocab_paging_test.cc.o"
+  "CMakeFiles/vocab_paging_test.dir/vocab_paging_test.cc.o.d"
+  "vocab_paging_test"
+  "vocab_paging_test.pdb"
+  "vocab_paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

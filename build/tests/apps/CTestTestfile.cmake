@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/apps
+# Build directory: /root/repo/build/tests/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/apps/data_objects_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/display_arbiter_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/video_player_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/speech_recognizer_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/map_viewer_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/web_browser_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/composite_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/bursty_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/bursty_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/vocab_paging_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/experiments_test[1]_include.cmake")

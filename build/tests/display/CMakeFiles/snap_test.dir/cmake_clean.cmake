@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_test.dir/snap_test.cc.o"
+  "CMakeFiles/snap_test.dir/snap_test.cc.o.d"
+  "snap_test"
+  "snap_test.pdb"
+  "snap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

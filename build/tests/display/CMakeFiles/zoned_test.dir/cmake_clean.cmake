@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoned_test.dir/zoned_test.cc.o"
+  "CMakeFiles/zoned_test.dir/zoned_test.cc.o.d"
+  "zoned_test"
+  "zoned_test.pdb"
+  "zoned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/display
+# Build directory: /root/repo/build/tests/display
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/display/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/display/zoned_test[1]_include.cmake")
+include("/root/repo/build/tests/display/snap_test[1]_include.cmake")

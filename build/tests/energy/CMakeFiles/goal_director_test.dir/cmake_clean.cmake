@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_director_test.dir/goal_director_test.cc.o"
+  "CMakeFiles/goal_director_test.dir/goal_director_test.cc.o.d"
+  "goal_director_test"
+  "goal_director_test.pdb"
+  "goal_director_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_director_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

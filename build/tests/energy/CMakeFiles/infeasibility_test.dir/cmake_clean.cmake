@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infeasibility_test.dir/infeasibility_test.cc.o"
+  "CMakeFiles/infeasibility_test.dir/infeasibility_test.cc.o.d"
+  "infeasibility_test"
+  "infeasibility_test.pdb"
+  "infeasibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infeasibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/energy
+# Build directory: /root/repo/build/tests/energy
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/energy/smoothing_test[1]_include.cmake")
+include("/root/repo/build/tests/energy/predictor_test[1]_include.cmake")
+include("/root/repo/build/tests/energy/hysteresis_test[1]_include.cmake")
+include("/root/repo/build/tests/energy/goal_director_test[1]_include.cmake")
+include("/root/repo/build/tests/energy/infeasibility_test[1]_include.cmake")

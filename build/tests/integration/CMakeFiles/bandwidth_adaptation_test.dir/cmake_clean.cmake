@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_adaptation_test.dir/bandwidth_adaptation_test.cc.o"
+  "CMakeFiles/bandwidth_adaptation_test.dir/bandwidth_adaptation_test.cc.o.d"
+  "bandwidth_adaptation_test"
+  "bandwidth_adaptation_test.pdb"
+  "bandwidth_adaptation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_adaptation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longevity_test.dir/longevity_test.cc.o"
+  "CMakeFiles/longevity_test.dir/longevity_test.cc.o.d"
+  "longevity_test"
+  "longevity_test.pdb"
+  "longevity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longevity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

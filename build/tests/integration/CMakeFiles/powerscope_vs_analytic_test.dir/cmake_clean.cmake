@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerscope_vs_analytic_test.dir/powerscope_vs_analytic_test.cc.o"
+  "CMakeFiles/powerscope_vs_analytic_test.dir/powerscope_vs_analytic_test.cc.o.d"
+  "powerscope_vs_analytic_test"
+  "powerscope_vs_analytic_test.pdb"
+  "powerscope_vs_analytic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerscope_vs_analytic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

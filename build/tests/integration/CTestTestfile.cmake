@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/powerscope_vs_analytic_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/bandwidth_adaptation_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/longevity_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/edge_cases_test[1]_include.cmake")

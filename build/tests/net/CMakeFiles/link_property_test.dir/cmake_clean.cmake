@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_property_test.dir/link_property_test.cc.o"
+  "CMakeFiles/link_property_test.dir/link_property_test.cc.o.d"
+  "link_property_test"
+  "link_property_test.pdb"
+  "link_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_loss_test.dir/rpc_loss_test.cc.o"
+  "CMakeFiles/rpc_loss_test.dir/rpc_loss_test.cc.o.d"
+  "rpc_loss_test"
+  "rpc_loss_test.pdb"
+  "rpc_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/net
+# Build directory: /root/repo/build/tests/net
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net/link_test[1]_include.cmake")
+include("/root/repo/build/tests/net/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/net/rpc_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/net/bandwidth_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/net/link_property_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interceptor_test.dir/interceptor_test.cc.o"
+  "CMakeFiles/interceptor_test.dir/interceptor_test.cc.o.d"
+  "interceptor_test"
+  "interceptor_test.pdb"
+  "interceptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interceptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

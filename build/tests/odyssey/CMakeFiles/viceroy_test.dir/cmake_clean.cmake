@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viceroy_test.dir/viceroy_test.cc.o"
+  "CMakeFiles/viceroy_test.dir/viceroy_test.cc.o.d"
+  "viceroy_test"
+  "viceroy_test.pdb"
+  "viceroy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viceroy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warden_test.dir/warden_test.cc.o"
+  "CMakeFiles/warden_test.dir/warden_test.cc.o.d"
+  "warden_test"
+  "warden_test.pdb"
+  "warden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

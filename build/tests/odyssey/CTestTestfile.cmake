@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/odyssey
+# Build directory: /root/repo/build/tests/odyssey
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/odyssey/fidelity_test[1]_include.cmake")
+include("/root/repo/build/tests/odyssey/viceroy_test[1]_include.cmake")
+include("/root/repo/build/tests/odyssey/warden_test[1]_include.cmake")
+include("/root/repo/build/tests/odyssey/interceptor_test[1]_include.cmake")
+include("/root/repo/build/tests/odyssey/server_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_property_test.dir/accounting_property_test.cc.o"
+  "CMakeFiles/accounting_property_test.dir/accounting_property_test.cc.o.d"
+  "accounting_property_test"
+  "accounting_property_test.pdb"
+  "accounting_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_manager_test.dir/power_manager_test.cc.o"
+  "CMakeFiles/power_manager_test.dir/power_manager_test.cc.o.d"
+  "power_manager_test"
+  "power_manager_test.pdb"
+  "power_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_test.dir/supply_test.cc.o"
+  "CMakeFiles/supply_test.dir/supply_test.cc.o.d"
+  "supply_test"
+  "supply_test.pdb"
+  "supply_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

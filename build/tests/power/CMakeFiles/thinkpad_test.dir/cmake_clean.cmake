@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinkpad_test.dir/thinkpad_test.cc.o"
+  "CMakeFiles/thinkpad_test.dir/thinkpad_test.cc.o.d"
+  "thinkpad_test"
+  "thinkpad_test.pdb"
+  "thinkpad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinkpad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

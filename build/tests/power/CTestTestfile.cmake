@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/power
+# Build directory: /root/repo/build/tests/power
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/power/component_test[1]_include.cmake")
+include("/root/repo/build/tests/power/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/power/accounting_test[1]_include.cmake")
+include("/root/repo/build/tests/power/accounting_property_test[1]_include.cmake")
+include("/root/repo/build/tests/power/power_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/power/disk_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/power/supply_test[1]_include.cmake")
+include("/root/repo/build/tests/power/battery_test[1]_include.cmake")
+include("/root/repo/build/tests/power/thinkpad_test[1]_include.cmake")

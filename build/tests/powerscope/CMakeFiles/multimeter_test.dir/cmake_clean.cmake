@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimeter_test.dir/multimeter_test.cc.o"
+  "CMakeFiles/multimeter_test.dir/multimeter_test.cc.o.d"
+  "multimeter_test"
+  "multimeter_test.pdb"
+  "multimeter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimeter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

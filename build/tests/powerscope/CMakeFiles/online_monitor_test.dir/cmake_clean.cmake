@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_monitor_test.dir/online_monitor_test.cc.o"
+  "CMakeFiles/online_monitor_test.dir/online_monitor_test.cc.o.d"
+  "online_monitor_test"
+  "online_monitor_test.pdb"
+  "online_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

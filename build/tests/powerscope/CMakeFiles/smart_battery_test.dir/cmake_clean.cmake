@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_battery_test.dir/smart_battery_test.cc.o"
+  "CMakeFiles/smart_battery_test.dir/smart_battery_test.cc.o.d"
+  "smart_battery_test"
+  "smart_battery_test.pdb"
+  "smart_battery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_battery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

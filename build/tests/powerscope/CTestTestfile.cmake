@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/powerscope
+# Build directory: /root/repo/build/tests/powerscope
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/powerscope/multimeter_test[1]_include.cmake")
+include("/root/repo/build/tests/powerscope/profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/powerscope/online_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/powerscope/smart_battery_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_bands_test.dir/concurrency_bands_test.cc.o"
+  "CMakeFiles/concurrency_bands_test.dir/concurrency_bands_test.cc.o.d"
+  "concurrency_bands_test"
+  "concurrency_bands_test.pdb"
+  "concurrency_bands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_bands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

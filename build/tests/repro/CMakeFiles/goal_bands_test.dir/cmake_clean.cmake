@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_bands_test.dir/goal_bands_test.cc.o"
+  "CMakeFiles/goal_bands_test.dir/goal_bands_test.cc.o.d"
+  "goal_bands_test"
+  "goal_bands_test.pdb"
+  "goal_bands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_bands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

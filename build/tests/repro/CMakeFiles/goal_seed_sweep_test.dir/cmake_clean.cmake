@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_seed_sweep_test.dir/goal_seed_sweep_test.cc.o"
+  "CMakeFiles/goal_seed_sweep_test.dir/goal_seed_sweep_test.cc.o.d"
+  "goal_seed_sweep_test"
+  "goal_seed_sweep_test.pdb"
+  "goal_seed_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_seed_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

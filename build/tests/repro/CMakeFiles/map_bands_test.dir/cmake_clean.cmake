@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_bands_test.dir/map_bands_test.cc.o"
+  "CMakeFiles/map_bands_test.dir/map_bands_test.cc.o.d"
+  "map_bands_test"
+  "map_bands_test.pdb"
+  "map_bands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_bands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_bands_test.dir/speech_bands_test.cc.o"
+  "CMakeFiles/speech_bands_test.dir/speech_bands_test.cc.o.d"
+  "speech_bands_test"
+  "speech_bands_test.pdb"
+  "speech_bands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_bands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_claims_test.dir/summary_claims_test.cc.o"
+  "CMakeFiles/summary_claims_test.dir/summary_claims_test.cc.o.d"
+  "summary_claims_test"
+  "summary_claims_test.pdb"
+  "summary_claims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_bands_test.dir/video_bands_test.cc.o"
+  "CMakeFiles/video_bands_test.dir/video_bands_test.cc.o.d"
+  "video_bands_test"
+  "video_bands_test.pdb"
+  "video_bands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_bands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

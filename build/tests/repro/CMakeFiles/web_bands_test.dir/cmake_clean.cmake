@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_bands_test.dir/web_bands_test.cc.o"
+  "CMakeFiles/web_bands_test.dir/web_bands_test.cc.o.d"
+  "web_bands_test"
+  "web_bands_test.pdb"
+  "web_bands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_bands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/repro
+# Build directory: /root/repo/build/tests/repro
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/repro/video_bands_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/speech_bands_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/map_bands_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/web_bands_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/summary_claims_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/concurrency_bands_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/zoned_bands_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/goal_bands_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/repro/goal_seed_sweep_test[1]_include.cmake")

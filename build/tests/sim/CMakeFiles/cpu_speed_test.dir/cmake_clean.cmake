@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_speed_test.dir/cpu_speed_test.cc.o"
+  "CMakeFiles/cpu_speed_test.dir/cpu_speed_test.cc.o.d"
+  "cpu_speed_test"
+  "cpu_speed_test.pdb"
+  "cpu_speed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_speed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/process_test.cc" "tests/sim/CMakeFiles/process_test.dir/process_test.cc.o" "gcc" "tests/sim/CMakeFiles/process_test.dir/process_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/odapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/odenergy.dir/DependInfo.cmake"
+  "/root/repo/build/src/display/CMakeFiles/oddisplay.dir/DependInfo.cmake"
+  "/root/repo/build/src/powerscope/CMakeFiles/odscope.dir/DependInfo.cmake"
+  "/root/repo/build/src/odyssey/CMakeFiles/odyssey.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/odnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/odpower.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/time_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/process_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/scheduler_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cpu_speed_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/odyssey_cli"
+  "../tools/odyssey_cli.pdb"
+  "CMakeFiles/odyssey_cli.dir/odyssey_cli.cc.o"
+  "CMakeFiles/odyssey_cli.dir/odyssey_cli.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odyssey_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
