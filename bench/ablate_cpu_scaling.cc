@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/testbed.h"
 #include "src/util/table.h"
 
@@ -38,7 +39,9 @@ Row Measure(double speed, bool display_off) {
 
 }  // namespace
 
-int main() {
+ODBENCH_EXPERIMENT(ablate_cpu_scaling,
+                   "Ablation: CPU clock scaling vs race-to-idle on the "
+                   "speech workload") {
   for (bool display_off : {true, false}) {
     odutil::Table table(display_off
                             ? "CPU scaling, speech recognition (display off — the "
@@ -48,6 +51,14 @@ int main() {
     table.SetHeader({"Clock", "Total (J)", "CPU (J)", "Wall (s)"});
     for (double speed : {1.0, 0.75, 0.5, 0.33}) {
       Row row = Measure(speed, display_off);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s/clock%.0f%%",
+                    display_off ? "display_off" : "display_bright",
+                    100.0 * speed);
+      ctx.Record(label, 77,
+                 odharness::TrialSample{row.total_joules,
+                                        {{"cpu_joules", row.cpu_joules},
+                                         {"wall_seconds", row.seconds}}});
       table.AddRow({odutil::Table::Pct(row.speed, 0),
                     odutil::Table::Num(row.total_joules, 1),
                     odutil::Table::Num(row.cpu_joules, 1),

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -20,7 +21,9 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+ODBENCH_EXPERIMENT(ablate_hysteresis,
+                   "Ablation: what each element of the hysteresis strategy "
+                   "buys (Section 5.1.3)") {
   odenergy::GoalDirectorConfig standard;
 
   odenergy::GoalDirectorConfig no_variable = standard;
@@ -56,24 +59,25 @@ int main() {
   table.SetHeader({"Variant", "Goal Met", "Residual (J)", "Adaptations"});
 
   for (const Variant& variant : variants) {
-    int met = 0;
-    odutil::RunningStats residual, adaptations;
-    for (uint64_t trial = 0; trial < 5; ++trial) {
-      GoalScenarioOptions options;
-      options.goal = odsim::SimDuration::Seconds(1320);
-      options.director = variant.config;
-      options.seed = 30000 + trial;
-      GoalScenarioResult result = RunGoalScenario(options);
-      if (result.goal_met) {
-        ++met;
-      }
-      residual.Add(result.residual_joules);
-      adaptations.Add(result.total_adaptations);
-    }
-    table.AddRow({variant.label, odutil::Table::Pct(met / 5.0, 0),
-                  odutil::Table::MeanStd(residual.mean(), residual.stddev(), 1),
-                  odutil::Table::MeanStd(adaptations.mean(),
-                                         adaptations.stddev(), 1)});
+    odharness::TrialSet set =
+        ctx.RunTrials(variant.label, 5, 30000, [&](uint64_t seed) {
+          GoalScenarioOptions options;
+          options.goal = odsim::SimDuration::Seconds(1320);
+          options.director = variant.config;
+          options.seed = seed;
+          GoalScenarioResult result = RunGoalScenario(options);
+          odharness::TrialSample sample;
+          sample.value = result.residual_joules;
+          sample.breakdown["goal_met"] = result.goal_met ? 1.0 : 0.0;
+          sample.breakdown["adaptations"] = result.total_adaptations;
+          return sample;
+        });
+    const odutil::Summary& adaptations =
+        set.breakdown_summaries.at("adaptations");
+    table.AddRow({variant.label, odutil::Table::Pct(set.Mean("goal_met"), 0),
+                  odutil::Table::MeanStd(set.summary.mean, set.summary.stddev, 1),
+                  odutil::Table::MeanStd(adaptations.mean, adaptations.stddev,
+                                         1)});
   }
   table.Print();
   std::printf(

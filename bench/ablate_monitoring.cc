@@ -5,39 +5,43 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
 using namespace odapps;
 
-int main() {
+ODBENCH_EXPERIMENT(ablate_monitoring,
+                   "Ablation: 10 Hz multimeter vs SmartBattery gas gauge "
+                   "monitoring (Section 5.1.1)") {
   odutil::Table table(
       "Ablation: power-monitoring source (1320 s goal, 13,500 J; 5 trials; "
       "mean (stddev))");
   table.SetHeader({"Monitor", "Goal Met", "Residual (J)", "Adaptations"});
 
   for (bool smart : {false, true}) {
-    int met = 0;
-    odutil::RunningStats residual, adaptations;
-    for (uint64_t trial = 0; trial < 5; ++trial) {
-      GoalScenarioOptions options;
-      options.goal = odsim::SimDuration::Seconds(1320);
-      options.use_smart_battery = smart;
-      options.seed = 33000 + trial;
-      GoalScenarioResult result = RunGoalScenario(options);
-      if (result.goal_met) {
-        ++met;
-      }
-      residual.Add(result.residual_joules);
-      adaptations.Add(result.total_adaptations);
-    }
+    odharness::TrialSet set = ctx.RunTrials(
+        smart ? "smart_battery" : "multimeter", 5, 33000, [&](uint64_t seed) {
+          GoalScenarioOptions options;
+          options.goal = odsim::SimDuration::Seconds(1320);
+          options.use_smart_battery = smart;
+          options.seed = seed;
+          GoalScenarioResult result = RunGoalScenario(options);
+          odharness::TrialSample sample;
+          sample.value = result.residual_joules;
+          sample.breakdown["goal_met"] = result.goal_met ? 1.0 : 0.0;
+          sample.breakdown["adaptations"] = result.total_adaptations;
+          return sample;
+        });
+    const odutil::Summary& adaptations =
+        set.breakdown_summaries.at("adaptations");
     table.AddRow({smart ? "SmartBattery gas gauge (1 Hz, quantized, +10 mW)"
                         : "On-line multimeter (10 Hz, paper's prototype)",
-                  odutil::Table::Pct(met / 5.0, 0),
-                  odutil::Table::MeanStd(residual.mean(), residual.stddev(), 1),
-                  odutil::Table::MeanStd(adaptations.mean(),
-                                         adaptations.stddev(), 1)});
+                  odutil::Table::Pct(set.Mean("goal_met"), 0),
+                  odutil::Table::MeanStd(set.summary.mean, set.summary.stddev, 1),
+                  odutil::Table::MeanStd(adaptations.mean, adaptations.stddev,
+                                         1)});
   }
   table.Print();
   std::printf(

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
 #include "src/util/table.h"
 
@@ -12,12 +13,21 @@ using namespace odapps;
 
 namespace {
 
-void Report(odutil::Table& table, const char* label, bool invert) {
+void Report(odharness::RunContext& ctx, odutil::Table& table, const char* label,
+            bool invert) {
   GoalScenarioOptions options;
   options.goal = odsim::SimDuration::Seconds(1200);
   options.invert_priorities = invert;
   options.seed = 31;
   GoalScenarioResult result = RunGoalScenario(options);
+  odharness::TrialSample sample;
+  sample.value = result.residual_joules;
+  sample.breakdown["goal_met"] = result.goal_met ? 1.0 : 0.0;
+  for (const auto& [app, level] : result.final_fidelity) {
+    sample.breakdown["final_" + app] = level;
+  }
+  ctx.Record(invert ? "inverted" : "paper_order", options.seed,
+             std::move(sample));
   table.AddRow({label, result.goal_met ? "Yes" : "No",
                 odutil::Table::Num(result.residual_joules, 0),
                 std::to_string(result.final_fidelity.at("Speech")) + "/1",
@@ -28,14 +38,16 @@ void Report(odutil::Table& table, const char* label, bool invert) {
 
 }  // namespace
 
-int main() {
+ODBENCH_EXPERIMENT(ablate_priority,
+                   "Ablation: priority-ordered adaptation vs inverted "
+                   "priorities (Section 5.3)") {
   odutil::Table table(
       "Ablation: priority-ordered adaptation (1200 s goal, 13,500 J; final "
       "fidelity level / ladder top)");
   table.SetHeader({"Ordering", "Goal Met", "Residual (J)", "Speech", "Video",
                    "Map", "Web"});
-  Report(table, "Paper order (Speech < Video < Map < Web)", false);
-  Report(table, "Inverted (Web degraded first)", true);
+  Report(ctx, table, "Paper order (Speech < Video < Map < Web)", false);
+  Report(ctx, table, "Inverted (Web degraded first)", true);
   table.Print();
   std::printf(
       "Both orderings can meet the goal — adaptation policy does not change\n"

@@ -1,29 +1,29 @@
-// Shared helpers for the figure-regeneration benches.
+// Shared helpers for the figure-regeneration experiments.
 //
 // The paper reports each value as the mean of five (Sections 3.3-3.4) or
-// ten (3.5-3.6) trials with a 90% confidence interval; RunTrials mirrors
-// that: it evaluates a measurement at `n` distinct seeds and summarizes.
+// ten (3.5-3.6) trials with a 90% confidence interval; experiments run those
+// trials through RunContext::RunTrials (parallel, deterministic) and format
+// cells with the helpers here.
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
-#include <functional>
+#include <cstdio>
 #include <string>
-#include <vector>
 
+#include "src/apps/testbed.h"
+#include "src/harness/registry.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
 namespace odbench {
 
-inline odutil::Summary RunTrials(int n, uint64_t base_seed,
-                                 const std::function<double(uint64_t)>& measure) {
-  std::vector<double> samples;
-  samples.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    samples.push_back(measure(base_seed + static_cast<uint64_t>(i)));
-  }
-  return odutil::Summarize(samples);
+// Adapts a TestBed measurement into a harness trial sample: headline Joules
+// plus per-process and per-component energy breakdowns, so trial sets can
+// report cross-trial means for every column the figures print.
+inline odharness::TrialSample EnergySample(
+    const odapps::TestBed::Measurement& m) {
+  return odharness::TrialSample{m.joules, m.by_process, m.by_component};
 }
 
 // "mean ±ci" cell.

@@ -2,11 +2,14 @@
 // that calibration constants can be tuned quickly.  Not a figure bench.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/experiments.h"
 
 using namespace odapps;
 
-int main() {
+ODBENCH_EXPERIMENT(calibrate,
+                   "Development aid: key normalized ratios vs the paper's "
+                   "targets, for tuning calibration constants") {
   // Video 1, six bars.
   const VideoClip& clip = StandardVideoClips()[0];
   auto v_base = RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, false, 1);
@@ -15,6 +18,8 @@ int main() {
   auto v_c = RunVideoExperiment(clip, VideoTrack::kPremiereC, 1.0, true, 1);
   auto v_w = RunVideoExperiment(clip, VideoTrack::kBaseline, 0.5, true, 1);
   auto v_cw = RunVideoExperiment(clip, VideoTrack::kPremiereC, 0.5, true, 1);
+  ctx.Note("video_pm_over_base", v_pm.joules / v_base.joules);
+  ctx.Note("video_comb_over_pm", v_cw.joules / v_pm.joules);
   std::printf("VIDEO  base=%.0fJ (%.2fW)  pm/base=%.3f (want .90-.91)\n",
               v_base.joules, v_base.average_watts(), v_pm.joules / v_base.joules);
   std::printf("  premB/pm=%.3f (want ~.91)  premC/pm=%.3f (want .83-.84)\n",
@@ -32,6 +37,8 @@ int main() {
   auto s_remr = RunSpeechExperiment(utt, SpeechMode::kRemote, true, true, 1);
   auto s_hyb = RunSpeechExperiment(utt, SpeechMode::kHybrid, false, true, 1);
   auto s_hybr = RunSpeechExperiment(utt, SpeechMode::kHybrid, true, true, 1);
+  ctx.Note("speech_pm_over_base", s_pm.joules / s_base.joules);
+  ctx.Note("speech_hybred_over_base", s_hybr.joules / s_base.joules);
   std::printf("SPEECH base=%.1fJ (%.2fW)  pm/base=%.3f (want .66-.67)\n",
               s_base.joules, s_base.average_watts(), s_pm.joules / s_base.joules);
   std::printf("  red/pm=%.3f (want .54-.75)  rem/pm=%.3f (want .56-.67)  remred/pm=%.3f (want .35-.58)\n",
@@ -49,6 +56,8 @@ int main() {
   auto m_sec = RunMapExperiment(map, MapFidelity::kSecondaryFilter, 5, true, 1);
   auto m_crop = RunMapExperiment(map, MapFidelity::kCropped, 5, true, 1);
   auto m_cs = RunMapExperiment(map, MapFidelity::kCroppedSecondary, 5, true, 1);
+  ctx.Note("map_pm_over_base", m_pm.joules / m_base.joules);
+  ctx.Note("map_cs_over_pm", m_cs.joules / m_pm.joules);
   std::printf("MAP    base=%.1fJ (%.2fW)  pm/base=%.3f (want .81-.91)\n",
               m_base.joules, m_base.average_watts(), m_pm.joules / m_base.joules);
   std::printf("  minor/pm=%.3f (want .49-.94)  sec/pm=%.3f (want .45-.77)  crop/pm=%.3f (want .51-.86)  cs/pm=%.3f (want .34-.64)\n",
@@ -61,6 +70,8 @@ int main() {
   auto w_pm = RunWebExperiment(img, WebFidelity::kOriginal, 5, true, 1);
   auto w_75 = RunWebExperiment(img, WebFidelity::kJpeg75, 5, true, 1);
   auto w_5 = RunWebExperiment(img, WebFidelity::kJpeg5, 5, true, 1);
+  ctx.Note("web_pm_over_base", w_pm.joules / w_base.joules);
+  ctx.Note("web_jpeg5_over_pm", w_5.joules / w_pm.joules);
   std::printf("WEB    base=%.1fJ (%.2fW)  pm/base=%.3f (want .74-.78)\n",
               w_base.joules, w_base.average_watts(), w_pm.joules / w_base.joules);
   std::printf("  jpeg75/pm=%.3f  jpeg5/pm=%.3f (want .86-.96)\n",
@@ -73,6 +84,7 @@ int main() {
   auto cp_video = RunCompositeExperiment(6, false, true, true, 1);
   auto cl_alone = RunCompositeExperiment(6, true, true, false, 1);
   auto cl_video = RunCompositeExperiment(6, true, true, true, 1);
+  ctx.Note("concurrency_lowcomb_over_pm", cl_video.joules / cp_video.joules);
   std::printf("CONC   base alone=%.0fJ dur=%.0fs, +video=%.0fJ dur=%.0fs (+%.0f%%, want ~+53%%)\n",
               c_alone.joules, c_alone.seconds, c_video.joules, c_video.seconds,
               100.0 * (c_video.joules / c_alone.joules - 1.0));

@@ -4,10 +4,13 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/testbed.h"
 #include "src/powerscope/profiler.h"
 
-int main() {
+ODBENCH_EXPERIMENT(fig02_profile,
+                   "Figure 2: example PowerScope energy profile of a video "
+                   "playback session") {
   odapps::TestBed bed;
   odscope::Profiler profiler(&bed.sim(), &bed.laptop().machine());
 
@@ -28,5 +31,6 @@ int main() {
   std::printf("(60 s of video playback, %zu multimeter samples at 600 Hz)\n\n",
               profiler.sample_count());
   std::printf("%s", profile.Format("xanim").c_str());
+  ctx.Note("multimeter_samples", static_cast<double>(profiler.sample_count()));
   return 0;
 }

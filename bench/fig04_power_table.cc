@@ -3,11 +3,14 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/power/thinkpad560x.h"
 #include "src/sim/simulator.h"
 #include "src/util/table.h"
 
-int main() {
+ODBENCH_EXPERIMENT(fig04_power_table,
+                   "Figure 4: ThinkPad 560X component power table, background "
+                   "power, and superlinearity") {
   odsim::Simulator sim;
   auto laptop = odpower::MakeThinkPad560X(&sim);
   const odpower::ThinkPad560XSpec& spec = laptop->spec();
@@ -35,9 +38,10 @@ int main() {
   laptop->display().Set(odpower::DisplayState::kDim);
   laptop->wavelan().Set(odpower::WaveLanState::kStandby);
   laptop->disk().Set(odpower::DiskState::kStandby);
+  const double background = laptop->machine().TotalPower();
   std::printf("Background (display dim, WaveLAN & disk standby) = %.2f W"
               " (paper: 5.60 W)\n",
-              laptop->machine().TotalPower());
+              background);
 
   // Superlinearity: screen brightest, disk and network idle.
   laptop->display().Set(odpower::DisplayState::kBright);
@@ -48,5 +52,7 @@ int main() {
   std::printf("Screen brightest, disk & network idle: %.2f W total,"
               " %.2f W above component sum (paper: 0.21 W)\n",
               total, total - sum);
+  ctx.Note("background_watts", background);
+  ctx.Note("superlinearity_watts", total - sum);
   return 0;
 }

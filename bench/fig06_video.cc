@@ -1,6 +1,7 @@
 // Regenerates Figure 6: energy to display four videos at six fidelity
 // configurations, with per-software-component shading.  Each value is the
-// mean of five trials with a 90% confidence interval.
+// mean of five trials with a 90% confidence interval; per-process columns
+// are cross-trial means as well.
 
 #include <cstdio>
 
@@ -31,7 +32,9 @@ constexpr Bar kBars[] = {
 
 }  // namespace
 
-int main() {
+ODBENCH_EXPERIMENT(fig06_video,
+                   "Figure 6: energy impact of fidelity for video playing "
+                   "(6 bars x 4 clips)") {
   odutil::Table table(
       "Figure 6: Energy impact of fidelity for video playing (Joules; mean of 5 "
       "trials ±90% CI)");
@@ -43,27 +46,28 @@ int main() {
     double baseline_mean = 0.0;
     double hw_mean = 0.0;
     for (const Bar& bar : kBars) {
-      odapps::TestBed::Measurement last;
-      odutil::Summary summary = odbench::RunTrials(5, 1000, [&](uint64_t seed) {
-        last = RunVideoExperiment(clip, bar.track, bar.window, bar.hw_pm, seed);
-        return last.joules;
-      });
+      odharness::TrialSet set = ctx.RunTrials(
+          std::string(clip.name) + "/" + bar.label, 5, 1000,
+          [&](uint64_t seed) {
+            return odbench::EnergySample(RunVideoExperiment(
+                clip, bar.track, bar.window, bar.hw_pm, seed));
+          });
       if (bar.track == VideoTrack::kBaseline && bar.window == 1.0) {
         if (!bar.hw_pm) {
-          baseline_mean = summary.mean;
+          baseline_mean = set.summary.mean;
         } else {
-          hw_mean = summary.mean;
+          hw_mean = set.summary.mean;
         }
       }
-      table.AddRow({clip.name, bar.label, odbench::MeanCi(summary, 0),
-                    odutil::Table::Num(last.Process("Idle"), 0),
-                    odutil::Table::Num(last.Process("xanim"), 0),
-                    odutil::Table::Num(last.Process("X Server"), 0),
-                    odutil::Table::Num(last.Process("Odyssey"), 0),
-                    odutil::Table::Num(last.Process("Interrupts-WaveLAN"), 0),
-                    odutil::Table::Num(summary.mean / baseline_mean, 3),
+      table.AddRow({clip.name, bar.label, odbench::MeanCi(set.summary, 0),
+                    odutil::Table::Num(set.Mean("Idle"), 0),
+                    odutil::Table::Num(set.Mean("xanim"), 0),
+                    odutil::Table::Num(set.Mean("X Server"), 0),
+                    odutil::Table::Num(set.Mean("Odyssey"), 0),
+                    odutil::Table::Num(set.Mean("Interrupts-WaveLAN"), 0),
+                    odutil::Table::Num(set.summary.mean / baseline_mean, 3),
                     hw_mean > 0.0
-                        ? odutil::Table::Num(summary.mean / hw_mean, 3)
+                        ? odutil::Table::Num(set.summary.mean / hw_mean, 3)
                         : std::string("-")});
     }
     table.AddSeparator();

@@ -1,5 +1,6 @@
 // Regenerates Figure 8: energy to recognize four utterances under local,
-// remote, and hybrid strategies at high and low fidelity.
+// remote, and hybrid strategies at high and low fidelity.  Per-process
+// columns are cross-trial means.
 
 #include <cstdio>
 
@@ -31,7 +32,9 @@ constexpr Bar kBars[] = {
 
 }  // namespace
 
-int main() {
+ODBENCH_EXPERIMENT(fig08_speech,
+                   "Figure 8: energy impact of fidelity for speech "
+                   "recognition (7 bars x 4 utterances)") {
   odutil::Table table(
       "Figure 8: Energy impact of fidelity for speech recognition (Joules; mean "
       "of 5 trials ±90% CI)");
@@ -42,27 +45,28 @@ int main() {
     double baseline_mean = 0.0;
     double hw_mean = 0.0;
     for (const Bar& bar : kBars) {
-      odapps::TestBed::Measurement last;
-      odutil::Summary summary = odbench::RunTrials(5, 2000, [&](uint64_t seed) {
-        last = RunSpeechExperiment(utterance, bar.mode, bar.reduced, bar.hw_pm,
-                                   seed);
-        return last.joules;
-      });
+      odharness::TrialSet set = ctx.RunTrials(
+          std::string(utterance.name) + "/" + bar.label, 5, 2000,
+          [&](uint64_t seed) {
+            return odbench::EnergySample(RunSpeechExperiment(
+                utterance, bar.mode, bar.reduced, bar.hw_pm, seed));
+          });
       if (bar.mode == SpeechMode::kLocal && !bar.reduced) {
         if (!bar.hw_pm) {
-          baseline_mean = summary.mean;
+          baseline_mean = set.summary.mean;
         } else {
-          hw_mean = summary.mean;
+          hw_mean = set.summary.mean;
         }
       }
-      table.AddRow({utterance.name, bar.label, odbench::MeanCi(summary, 1),
-                    odutil::Table::Num(last.Process("Idle"), 1),
-                    odutil::Table::Num(last.Process("Janus"), 1),
-                    odutil::Table::Num(last.Process("Odyssey"), 1),
-                    odutil::Table::Num(last.Process("Interrupts-WaveLAN"), 1),
-                    odutil::Table::Num(summary.mean / baseline_mean, 3),
-                    hw_mean > 0.0 ? odutil::Table::Num(summary.mean / hw_mean, 3)
-                                  : std::string("-")});
+      table.AddRow({utterance.name, bar.label, odbench::MeanCi(set.summary, 1),
+                    odutil::Table::Num(set.Mean("Idle"), 1),
+                    odutil::Table::Num(set.Mean("Janus"), 1),
+                    odutil::Table::Num(set.Mean("Odyssey"), 1),
+                    odutil::Table::Num(set.Mean("Interrupts-WaveLAN"), 1),
+                    odutil::Table::Num(set.summary.mean / baseline_mean, 3),
+                    hw_mean > 0.0
+                        ? odutil::Table::Num(set.summary.mean / hw_mean, 3)
+                        : std::string("-")});
     }
     table.AddSeparator();
   }

@@ -3,6 +3,7 @@
 // E_t = E_0 + t * P_B fitted to each.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/experiments.h"
@@ -12,7 +13,9 @@ using odapps::MapFidelity;
 using odapps::RunMapExperiment;
 using odapps::StandardMaps;
 
-int main() {
+ODBENCH_EXPERIMENT(fig11_map_think,
+                   "Figure 11: effect of user think time for map viewing "
+                   "(San Jose, linear fits)") {
   const odapps::MapObject& map = StandardMaps()[0];  // San Jose.
   const double thinks[] = {0.0, 5.0, 10.0, 20.0};
   struct Policy {
@@ -36,18 +39,23 @@ int main() {
     std::vector<std::string> row = {policy.label};
     std::vector<double> xs, ys;
     for (double think : thinks) {
-      odutil::Summary summary = odbench::RunTrials(10, 4000, [&](uint64_t seed) {
-        return RunMapExperiment(map, policy.fidelity, think, policy.hw_pm, seed)
-            .joules;
-      });
-      row.push_back(odbench::MeanCi(summary, 1));
+      odharness::TrialSet set = ctx.RunTrials(
+          std::string(policy.label) + "/think" +
+              odutil::Table::Num(think, 0),
+          10, 4000, [&](uint64_t seed) {
+            return odbench::EnergySample(
+                RunMapExperiment(map, policy.fidelity, think, policy.hw_pm,
+                                 seed));
+          });
+      row.push_back(odbench::MeanCi(set.summary, 1));
       xs.push_back(think);
-      ys.push_back(summary.mean);
+      ys.push_back(set.summary.mean);
     }
     odutil::LinearFit fit = odutil::FitLine(xs, ys);
     row.push_back(odutil::Table::Num(fit.intercept, 1));
     row.push_back(odutil::Table::Num(fit.slope, 2));
     row.push_back(odutil::Table::Num(fit.r_squared, 4));
+    ctx.Note(std::string(policy.label) + " fit slope (W)", fit.slope);
     table.AddRow(std::move(row));
   }
   table.Print();

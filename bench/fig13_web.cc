@@ -1,5 +1,6 @@
 // Regenerates Figure 13: energy to fetch and display four GIF images at six
-// fidelity configurations with five seconds of think time.
+// fidelity configurations with five seconds of think time.  Per-process
+// columns are cross-trial means.
 
 #include <cstdio>
 
@@ -29,7 +30,9 @@ constexpr Bar kBars[] = {
 
 }  // namespace
 
-int main() {
+ODBENCH_EXPERIMENT(fig13_web,
+                   "Figure 13: energy impact of fidelity for Web browsing "
+                   "(6 bars x 4 images, 5 s think)") {
   odutil::Table table(
       "Figure 13: Energy impact of fidelity for Web browsing (Joules; 5 s think "
       "time; mean of 10 trials ±90% CI)");
@@ -40,26 +43,28 @@ int main() {
     double baseline_mean = 0.0;
     double hw_mean = 0.0;
     for (const Bar& bar : kBars) {
-      odapps::TestBed::Measurement last;
-      odutil::Summary summary = odbench::RunTrials(10, 5000, [&](uint64_t seed) {
-        last = RunWebExperiment(image, bar.fidelity, 5.0, bar.hw_pm, seed);
-        return last.joules;
-      });
+      odharness::TrialSet set = ctx.RunTrials(
+          std::string(image.name) + "/" + bar.label, 10, 5000,
+          [&](uint64_t seed) {
+            return odbench::EnergySample(
+                RunWebExperiment(image, bar.fidelity, 5.0, bar.hw_pm, seed));
+          });
       if (bar.fidelity == WebFidelity::kOriginal) {
         if (!bar.hw_pm) {
-          baseline_mean = summary.mean;
+          baseline_mean = set.summary.mean;
         } else {
-          hw_mean = summary.mean;
+          hw_mean = set.summary.mean;
         }
       }
-      table.AddRow({image.name, bar.label, odbench::MeanCi(summary, 1),
-                    odutil::Table::Num(last.Process("Idle"), 1),
-                    odutil::Table::Num(last.Process("Netscape"), 1),
-                    odutil::Table::Num(last.Process("Proxy"), 1),
-                    odutil::Table::Num(last.Process("X Server"), 1),
-                    odutil::Table::Num(summary.mean / baseline_mean, 3),
-                    hw_mean > 0.0 ? odutil::Table::Num(summary.mean / hw_mean, 3)
-                                  : std::string("-")});
+      table.AddRow({image.name, bar.label, odbench::MeanCi(set.summary, 1),
+                    odutil::Table::Num(set.Mean("Idle"), 1),
+                    odutil::Table::Num(set.Mean("Netscape"), 1),
+                    odutil::Table::Num(set.Mean("Proxy"), 1),
+                    odutil::Table::Num(set.Mean("X Server"), 1),
+                    odutil::Table::Num(set.summary.mean / baseline_mean, 3),
+                    hw_mean > 0.0
+                        ? odutil::Table::Num(set.summary.mean / hw_mean, 3)
+                        : std::string("-")});
     }
     table.AddSeparator();
   }

@@ -2,6 +2,7 @@
 // for three policies, with linear-model fits.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/experiments.h"
@@ -11,7 +12,9 @@ using odapps::RunWebExperiment;
 using odapps::StandardWebImages;
 using odapps::WebFidelity;
 
-int main() {
+ODBENCH_EXPERIMENT(fig14_web_think,
+                   "Figure 14: effect of user think time for Web browsing "
+                   "(Image 1, linear fits)") {
   const odapps::WebImage& image = StandardWebImages()[0];  // Image 1.
   const double thinks[] = {0.0, 5.0, 10.0, 20.0};
   struct Policy {
@@ -35,18 +38,22 @@ int main() {
     std::vector<std::string> row = {policy.label};
     std::vector<double> xs, ys;
     for (double think : thinks) {
-      odutil::Summary summary = odbench::RunTrials(10, 6000, [&](uint64_t seed) {
-        return RunWebExperiment(image, policy.fidelity, think, policy.hw_pm, seed)
-            .joules;
-      });
-      row.push_back(odbench::MeanCi(summary, 1));
+      odharness::TrialSet set = ctx.RunTrials(
+          std::string(policy.label) + "/think" +
+              odutil::Table::Num(think, 0),
+          10, 6000, [&](uint64_t seed) {
+            return odbench::EnergySample(RunWebExperiment(
+                image, policy.fidelity, think, policy.hw_pm, seed));
+          });
+      row.push_back(odbench::MeanCi(set.summary, 1));
       xs.push_back(think);
-      ys.push_back(summary.mean);
+      ys.push_back(set.summary.mean);
     }
     odutil::LinearFit fit = odutil::FitLine(xs, ys);
     row.push_back(odutil::Table::Num(fit.intercept, 1));
     row.push_back(odutil::Table::Num(fit.slope, 2));
     row.push_back(odutil::Table::Num(fit.r_squared, 4));
+    ctx.Note(std::string(policy.label) + " fit slope (W)", fit.slope);
     table.AddRow(std::move(row));
   }
   table.Print();

@@ -9,7 +9,9 @@
 
 using odapps::RunCompositeExperiment;
 
-int main() {
+ODBENCH_EXPERIMENT(fig15_concurrency,
+                   "Figure 15: effect of concurrent applications (composite "
+                   "alone vs with background video)") {
   struct Case {
     const char* label;
     bool lowest;
@@ -29,26 +31,33 @@ int main() {
 
   double pm_video = 0.0, low_video = 0.0, pm_alone = 0.0, low_alone = 0.0;
   for (const Case& c : cases) {
-    odutil::Summary alone = odbench::RunTrials(5, 7000, [&](uint64_t seed) {
-      return RunCompositeExperiment(6, c.lowest, c.hw_pm, false, seed).joules;
-    });
-    odutil::Summary with_video = odbench::RunTrials(5, 7000, [&](uint64_t seed) {
-      return RunCompositeExperiment(6, c.lowest, c.hw_pm, true, seed).joules;
-    });
-    double add = with_video.mean / alone.mean - 1.0;
-    table.AddRow({c.label, odbench::MeanCi(alone, 0), odbench::MeanCi(with_video, 0),
+    odharness::TrialSet alone = ctx.RunTrials(
+        std::string(c.label) + "/alone", 5, 7000, [&](uint64_t seed) {
+          return odbench::EnergySample(
+              RunCompositeExperiment(6, c.lowest, c.hw_pm, false, seed));
+        });
+    odharness::TrialSet with_video = ctx.RunTrials(
+        std::string(c.label) + "/with_video", 5, 7000, [&](uint64_t seed) {
+          return odbench::EnergySample(
+              RunCompositeExperiment(6, c.lowest, c.hw_pm, true, seed));
+        });
+    double add = with_video.summary.mean / alone.summary.mean - 1.0;
+    table.AddRow({c.label, odbench::MeanCi(alone.summary, 0),
+                  odbench::MeanCi(with_video.summary, 0),
                   odutil::Table::Pct(add, 0)});
     if (c.hw_pm && !c.lowest) {
-      pm_alone = alone.mean;
-      pm_video = with_video.mean;
+      pm_alone = alone.summary.mean;
+      pm_video = with_video.summary.mean;
     }
     if (c.lowest) {
-      low_alone = alone.mean;
-      low_video = with_video.mean;
+      low_alone = alone.summary.mean;
+      low_video = with_video.summary.mean;
     }
   }
   table.Print();
 
+  ctx.Note("lowest_over_pm_concurrent", low_video / pm_video);
+  ctx.Note("lowest_over_pm_isolated", low_alone / pm_alone);
   std::printf(
       "Concurrency enhances the benefit of lowering fidelity: lowest/HW-only\n"
       "ratio is %.2f concurrent vs %.2f isolated (paper: 0.65 vs expected 0.71).\n"

@@ -1,13 +1,15 @@
 // Regenerates Figure 19: supply and estimated demand over time, plus the
 // fidelity trace of each application, for 20- and 26-minute battery
 // duration goals (composite workload every 25 s + background video).
-
-// Pass a directory as argv[1] to additionally dump each run's supply/demand
-// series as CSV (fig19_goal_<seconds>.csv) for external plotting.
+//
+// When odbench runs with an --out directory, each run's supply/demand
+// series is also dumped as CSV (fig19_goal_<seconds>.csv) for external
+// plotting.
 
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
 #include "src/util/csv.h"
 #include "src/util/table.h"
@@ -16,15 +18,16 @@ using namespace odapps;
 
 namespace {
 
-void PrintRun(double goal_seconds, const char* csv_dir) {
+void PrintRun(odharness::RunContext& ctx, double goal_seconds) {
   GoalScenarioOptions options;
   options.goal = odsim::SimDuration::Seconds(goal_seconds);
   options.seed = 19;
   GoalScenarioResult result = RunGoalScenario(options);
 
-  if (csv_dir != nullptr) {
-    std::string path = std::string(csv_dir) + "/fig19_goal_" +
-                       std::to_string(static_cast<int>(goal_seconds)) + ".csv";
+  const std::string goal_label =
+      "goal_" + std::to_string(static_cast<int>(goal_seconds));
+  if (!ctx.out_dir().empty()) {
+    std::string path = ctx.out_dir() + "/fig19_" + goal_label + ".csv";
     odutil::CsvWriter csv(path);
     if (csv.ok()) {
       csv.WriteRow({"t_seconds", "supply_joules", "demand_joules"});
@@ -37,6 +40,15 @@ void PrintRun(double goal_seconds, const char* csv_dir) {
       std::fprintf(stderr, "could not open %s\n", path.c_str());
     }
   }
+
+  odharness::TrialSample sample;
+  sample.value = result.residual_joules;
+  sample.breakdown["goal_met"] = result.goal_met ? 1.0 : 0.0;
+  sample.breakdown["elapsed_seconds"] = result.elapsed_seconds;
+  for (const auto& [app, count] : result.adaptations) {
+    sample.breakdown["adaptations_" + app] = count;
+  }
+  ctx.Record(goal_label, options.seed, std::move(sample));
 
   std::printf("--- Goal: %.0f minutes (initial supply %.0f J) ---\n",
               goal_seconds / 60.0, options.initial_joules);
@@ -73,14 +85,15 @@ void PrintRun(double goal_seconds, const char* csv_dir) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const char* csv_dir = argc > 1 ? argv[1] : nullptr;
+ODBENCH_EXPERIMENT(fig19_goal_timeline,
+                   "Figure 19: goal-directed adaptation timelines for 20- and "
+                   "26-minute goals") {
   std::printf(
       "Figure 19: Example of goal-directed adaptation.\n"
       "Estimated demand should track supply closely for both goals; the\n"
       "tighter goal runs lower-priority applications at lower fidelity, and\n"
       "adaptations grow more frequent as energy drains.\n\n");
-  PrintRun(1200.0, csv_dir);
-  PrintRun(1560.0, csv_dir);
+  PrintRun(ctx, 1200.0);
+  PrintRun(ctx, 1560.0);
   return 0;
 }

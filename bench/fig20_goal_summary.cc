@@ -5,13 +5,16 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
 using namespace odapps;
 
-int main() {
+ODBENCH_EXPERIMENT(fig20_goal_summary,
+                   "Figure 20: goal-directed adaptation summary across "
+                   "1200-1560 s goals") {
   odutil::Table table(
       "Figure 20: Summary of goal-directed adaptation (5 trials per row; "
       "mean (stddev))");
@@ -19,34 +22,37 @@ int main() {
                    "Adapt Speech", "Adapt Video", "Adapt Map", "Adapt Web"});
 
   for (double goal_seconds : {1200.0, 1320.0, 1440.0, 1560.0}) {
-    int met = 0;
-    odutil::RunningStats residual, speech, video, map, web;
-    for (uint64_t trial = 0; trial < 5; ++trial) {
-      GoalScenarioOptions options;
-      options.goal = odsim::SimDuration::Seconds(goal_seconds);
-      options.seed = 20000 + trial;
-      GoalScenarioResult result = RunGoalScenario(options);
-      if (result.goal_met) {
-        ++met;
-      }
-      residual.Add(result.residual_joules);
-      speech.Add(result.adaptations.at("Speech"));
-      video.Add(result.adaptations.at("Video"));
-      map.Add(result.adaptations.at("Map"));
-      web.Add(result.adaptations.at("Web"));
-    }
+    odharness::TrialSet set = ctx.RunTrials(
+        "goal_" + odutil::Table::Num(goal_seconds, 0), 5, 20000,
+        [&](uint64_t seed) {
+          GoalScenarioOptions options;
+          options.goal = odsim::SimDuration::Seconds(goal_seconds);
+          options.seed = seed;
+          GoalScenarioResult result = RunGoalScenario(options);
+          odharness::TrialSample sample;
+          sample.value = result.residual_joules;
+          sample.breakdown["goal_met"] = result.goal_met ? 1.0 : 0.0;
+          for (const auto& [app, count] : result.adaptations) {
+            sample.breakdown[app] = count;
+          }
+          return sample;
+        });
+    auto mean_std = [&](const char* key) {
+      const odutil::Summary& s = set.breakdown_summaries.at(key);
+      return odutil::Table::MeanStd(s.mean, s.stddev, 1);
+    };
     table.AddRow({odutil::Table::Num(goal_seconds, 0),
-                  odutil::Table::Pct(met / 5.0, 0),
-                  odutil::Table::MeanStd(residual.mean(), residual.stddev(), 1),
-                  odutil::Table::MeanStd(speech.mean(), speech.stddev(), 1),
-                  odutil::Table::MeanStd(video.mean(), video.stddev(), 1),
-                  odutil::Table::MeanStd(map.mean(), map.stddev(), 1),
-                  odutil::Table::MeanStd(web.mean(), web.stddev(), 1)});
+                  odutil::Table::Pct(set.Mean("goal_met"), 0),
+                  odutil::Table::MeanStd(set.summary.mean, set.summary.stddev, 1),
+                  mean_std("Speech"), mean_std("Video"), mean_std("Map"),
+                  mean_std("Web")});
   }
   table.Print();
 
   double full = MeasurePinnedLifetime(13500.0, false, 999);
   double low = MeasurePinnedLifetime(13500.0, true, 999);
+  ctx.Note("pinned_lifetime_full_seconds", full);
+  ctx.Note("pinned_lifetime_lowest_seconds", low);
   std::printf(
       "Workload lifetime pinned at highest fidelity: %.0f s (%d:%02d); at\n"
       "lowest fidelity: %.0f s (%d:%02d) — a %.0f%% extension (paper: 19:27\n"

@@ -1,16 +1,35 @@
 // Development aid: probes goal-directed dynamics.
 #include <cstdio>
+
+#include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
+
 using namespace odapps;
-int main() {
+
+ODBENCH_EXPERIMENT(goalprobe,
+                   "Development aid: pinned lifetimes and goal-directed "
+                   "dynamics across the Figure 20 goals") {
   double full = MeasurePinnedLifetime(13500, false, 1);
   double low = MeasurePinnedLifetime(13500, true, 1);
+  ctx.Note("pinned_lifetime_full_seconds", full);
+  ctx.Note("pinned_lifetime_lowest_seconds", low);
   std::printf("pinned lifetime: full=%.0fs (%.1f min, %.2fW) low=%.0fs (%.1f min, %.2fW)\n",
               full, full / 60, 13500 / full, low, low / 60, 13500 / low);
   for (double goal_s : {1200.0, 1320.0, 1440.0, 1560.0}) {
     GoalScenarioOptions opt;
     opt.goal = odsim::SimDuration::Seconds(goal_s);
     GoalScenarioResult r = RunGoalScenario(opt);
+    odharness::TrialSample sample;
+    sample.value = r.residual_joules;
+    sample.breakdown["goal_met"] = r.goal_met ? 1.0 : 0.0;
+    for (const auto& [app, count] : r.adaptations) {
+      sample.breakdown["adaptations_" + app] = count;
+    }
+    for (const auto& [app, level] : r.final_fidelity) {
+      sample.breakdown["final_" + app] = level;
+    }
+    ctx.Record("goal_" + odutil::Table::Num(goal_s, 0), opt.seed,
+               std::move(sample));
     std::printf("goal=%4.0fs met=%d residual=%.0fJ elapsed=%.0fs adapts: S=%d V=%d M=%d W=%d final: S=%d V=%d M=%d W=%d\n",
                 goal_s, r.goal_met, r.residual_joules, r.elapsed_seconds,
                 r.adaptations["Speech"], r.adaptations["Video"], r.adaptations["Map"],

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/energy/hysteresis.h"
 #include "src/energy/predictor.h"
 #include "src/energy/smoothing.h"
@@ -115,4 +116,13 @@ BENCHMARK(BM_SimulatedSecondOfOnlineMonitoring);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ODBENCH_EXPERIMENT(micro_overhead,
+                   "Micro-benchmarks of the adaptation machinery hot paths "
+                   "(google-benchmark)") {
+  int argc = 1;
+  char arg0[] = "micro_overhead";
+  char* argv[] = {arg0, nullptr};
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

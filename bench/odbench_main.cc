@@ -1,0 +1,144 @@
+// odbench — the single runner binary behind every experiment in the
+// evaluation suite.  Replaces the per-figure bench mains: each former main
+// is now a registration stub (see ODBENCH_EXPERIMENT) and this binary
+// lists/runs them, parallelizes their trials, and writes a JSON artifact
+// per experiment.
+//
+//   odbench list
+//       Show every registered experiment with its description.
+//   odbench run <name|all> [--trials N] [--seed S] [--jobs J] [--out DIR]
+//       Run one experiment (unique prefixes accepted: `run fig04`) or all
+//       of them.  --trials/--seed override each trial set's paper defaults;
+//       --jobs runs a set's trials concurrently (results are bit-identical
+//       to --jobs 1); --out selects the artifact directory (default
+//       "artifacts", "none" disables).
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/harness/flags.h"
+#include "src/harness/registry.h"
+
+namespace {
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s run <name|all> [--trials N] [--seed S] [--jobs J]"
+               " [--out DIR]\n",
+               prog, prog);
+  return 64;
+}
+
+int List() {
+  const auto experiments = odharness::ExperimentRegistry::Instance().List();
+  size_t width = 0;
+  for (const odharness::Experiment* experiment : experiments) {
+    width = std::max(width, experiment->name.size());
+  }
+  for (const odharness::Experiment* experiment : experiments) {
+    std::printf("%-*s  %s\n", static_cast<int>(width),
+                experiment->name.c_str(), experiment->description.c_str());
+  }
+  std::printf("(%zu experiments)\n", experiments.size());
+  return 0;
+}
+
+int RunOne(const odharness::Experiment& experiment,
+           const odharness::RunOptions& options) {
+  std::printf("=== %s: %s ===\n", experiment.name.c_str(),
+              experiment.description.c_str());
+  odharness::RunContext ctx(experiment.name, options);
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = experiment.run(ctx);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  ctx.artifact().wall_ms = wall_ms;
+  ctx.artifact().exit_code = rc;
+  std::printf("--- %s: rc=%d wall=%.0f ms", experiment.name.c_str(), rc,
+              wall_ms);
+  if (!options.out_dir.empty()) {
+    const std::string path =
+        options.out_dir + "/" + experiment.name + ".json";
+    if (ctx.artifact().WriteFile(path)) {
+      std::printf(" artifact=%s", path.c_str());
+    } else {
+      std::fprintf(stderr, "odbench: could not write %s\n", path.c_str());
+    }
+  }
+  std::printf(" ---\n\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  odharness::Flags flags(argc, argv);
+  const auto& positional = flags.positional();
+  if (positional.empty()) {
+    return Usage(argv[0]);
+  }
+
+  const std::string& command = positional[0];
+  if (command == "list") {
+    return List();
+  }
+  if (command != "run" || positional.size() != 2) {
+    return Usage(argv[0]);
+  }
+  std::string error;
+  if (!flags.Validate({"trials", "seed", "jobs", "out"}, {}, &error)) {
+    std::fprintf(stderr, "odbench: %s\n", error.c_str());
+    return Usage(argv[0]);
+  }
+
+  odharness::RunOptions options;
+  options.trials = flags.GetInt("trials", 0);
+  options.seed = flags.GetUint64("seed", 0);
+  options.jobs = flags.GetInt("jobs", 1);
+  options.out_dir = flags.GetString("out", "artifacts");
+  if (options.out_dir == "none") {
+    options.out_dir.clear();
+  }
+  if (!options.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "odbench: cannot create %s: %s\n",
+                   options.out_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+
+  auto& registry = odharness::ExperimentRegistry::Instance();
+  const std::string& query = positional[1];
+  if (query == "all") {
+    int worst = 0;
+    for (const odharness::Experiment* experiment : registry.List()) {
+      const int rc = RunOne(*experiment, options);
+      worst = std::max(worst, rc);
+    }
+    return worst;
+  }
+
+  std::vector<std::string> matches;
+  const odharness::Experiment* experiment = registry.Resolve(query, &matches);
+  if (experiment == nullptr) {
+    if (matches.size() > 1) {
+      std::fprintf(stderr, "odbench: '%s' is ambiguous:\n", query.c_str());
+      for (const std::string& match : matches) {
+        std::fprintf(stderr, "  %s\n", match.c_str());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "odbench: unknown experiment '%s' (try: odbench list)\n",
+                   query.c_str());
+    }
+    return 64;
+  }
+  return RunOne(*experiment, options);
+}

@@ -1,0 +1,176 @@
+#include "src/harness/artifact.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace odharness {
+
+namespace {
+
+JsonValue MapToJson(const std::map<std::string, double>& map) {
+  JsonValue object = JsonValue::MakeObject();
+  for (const auto& [key, value] : map) {
+    object.Set(key, value);
+  }
+  return object;
+}
+
+std::map<std::string, double> JsonToMap(const JsonValue* json) {
+  std::map<std::string, double> out;
+  if (json != nullptr) {
+    for (const auto& [key, value] : json->object()) {
+      out[key] = value.AsDouble();
+    }
+  }
+  return out;
+}
+
+JsonValue SummaryToJson(const odutil::Summary& summary) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("n", summary.n);
+  object.Set("mean", summary.mean);
+  object.Set("stddev", summary.stddev);
+  object.Set("ci90", summary.ci90_halfwidth);
+  object.Set("min", summary.min);
+  object.Set("max", summary.max);
+  return object;
+}
+
+}  // namespace
+
+void RunArtifact::AddSet(std::string label, TrialSet set) {
+  sets.push_back(LabeledSet{std::move(label), std::move(set)});
+}
+
+void RunArtifact::AddNote(std::string key, double value) {
+  for (auto& [k, v] : notes) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  notes.emplace_back(std::move(key), value);
+}
+
+JsonValue RunArtifact::ToJson() const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("schema_version", kSchemaVersion);
+  root.Set("experiment", experiment);
+  root.Set("jobs", jobs);
+  root.Set("wall_ms", wall_ms);
+  root.Set("exit_code", exit_code);
+
+  JsonValue sets_json = JsonValue::MakeArray();
+  for (const LabeledSet& labeled : sets) {
+    JsonValue set_json = JsonValue::MakeObject();
+    set_json.Set("label", labeled.label);
+    set_json.Set("base_seed", labeled.set.base_seed);
+    JsonValue trials = JsonValue::MakeArray();
+    for (const TrialSample& trial : labeled.set.trials) {
+      JsonValue trial_json = JsonValue::MakeObject();
+      trial_json.Set("value", trial.value);
+      if (!trial.breakdown.empty()) {
+        trial_json.Set("breakdown", MapToJson(trial.breakdown));
+      }
+      if (!trial.components.empty()) {
+        trial_json.Set("components", MapToJson(trial.components));
+      }
+      trials.Append(std::move(trial_json));
+    }
+    set_json.Set("trials", std::move(trials));
+    set_json.Set("summary", SummaryToJson(labeled.set.summary));
+    if (!labeled.set.breakdown_summaries.empty()) {
+      JsonValue means = JsonValue::MakeObject();
+      for (const auto& [key, summary] : labeled.set.breakdown_summaries) {
+        means.Set(key, summary.mean);
+      }
+      set_json.Set("breakdown_means", std::move(means));
+    }
+    sets_json.Append(std::move(set_json));
+  }
+  root.Set("sets", std::move(sets_json));
+
+  JsonValue notes_json = JsonValue::MakeObject();
+  for (const auto& [key, value] : notes) {
+    notes_json.Set(key, value);
+  }
+  root.Set("notes", std::move(notes_json));
+  return root;
+}
+
+std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
+  if (!json.is_object() ||
+      static_cast<int>(json.DoubleAt("schema_version")) != kSchemaVersion) {
+    return std::nullopt;
+  }
+  const JsonValue* name = json.Find("experiment");
+  if (name == nullptr || !name->is_string()) {
+    return std::nullopt;
+  }
+
+  RunArtifact artifact;
+  artifact.experiment = name->AsString();
+  artifact.jobs = static_cast<int>(json.DoubleAt("jobs", 1.0));
+  artifact.wall_ms = json.DoubleAt("wall_ms");
+  artifact.exit_code = static_cast<int>(json.DoubleAt("exit_code"));
+
+  if (const JsonValue* sets = json.Find("sets")) {
+    for (const JsonValue& set_json : sets->array()) {
+      LabeledSet labeled;
+      if (const JsonValue* label = set_json.Find("label")) {
+        labeled.label = label->AsString();
+      }
+      labeled.set.base_seed =
+          static_cast<uint64_t>(set_json.DoubleAt("base_seed"));
+      if (const JsonValue* trials = set_json.Find("trials")) {
+        for (const JsonValue& trial_json : trials->array()) {
+          TrialSample trial;
+          trial.value = trial_json.DoubleAt("value");
+          trial.breakdown = JsonToMap(trial_json.Find("breakdown"));
+          trial.components = JsonToMap(trial_json.Find("components"));
+          labeled.set.trials.push_back(std::move(trial));
+        }
+      }
+      // Summaries are derived data; recompute rather than trust the file.
+      labeled.set.Summarize();
+      artifact.sets.push_back(std::move(labeled));
+    }
+  }
+  if (const JsonValue* notes = json.Find("notes")) {
+    for (const auto& [key, value] : notes->object()) {
+      artifact.notes.emplace_back(key, value.AsDouble());
+    }
+  }
+  return artifact;
+}
+
+bool RunArtifact::WriteFile(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  if (file == nullptr) {
+    return false;
+  }
+  const std::string text = ToJson().Dump(/*indent=*/2);
+  return std::fwrite(text.data(), 1, text.size(), file.get()) == text.size();
+}
+
+std::optional<RunArtifact> RunArtifact::ReadFile(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "r"), &std::fclose);
+  if (file == nullptr) {
+    return std::nullopt;
+  }
+  std::string text;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    text.append(buffer, read);
+  }
+  std::optional<JsonValue> json = JsonValue::Parse(text);
+  if (!json.has_value()) {
+    return std::nullopt;
+  }
+  return FromJson(*json);
+}
+
+}  // namespace odharness

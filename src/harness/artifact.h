@@ -1,0 +1,79 @@
+// Structured run artifacts.
+//
+// Every odbench run emits one JSON document per experiment alongside the
+// ASCII tables: the experiment name, each recorded trial set (per-trial
+// samples with breakdowns, summary mean/stddev/90% CI, cross-trial breakdown
+// means), named scalar notes, and the wall-clock duration of the run.  These
+// files are the machine-readable performance trajectory of the repo.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "experiment": "fig06_video",
+//     "jobs": 8,
+//     "wall_ms": 1234.5,
+//     "exit_code": 0,
+//     "sets": [
+//       {
+//         "label": "Video 1/Combined",
+//         "base_seed": 1000,
+//         "trials": [
+//           {"value": 470.1,
+//            "breakdown": {"Idle": 121.9, ...},
+//            "components": {"CPU": 88.2, ...}},
+//           ...
+//         ],
+//         "summary": {"n": 5, "mean": ..., "stddev": ..., "ci90": ...,
+//                     "min": ..., "max": ...},
+//         "breakdown_means": {"Idle": ..., ...}
+//       }
+//     ],
+//     "notes": {"background_watts": 5.6, ...}
+//   }
+
+#ifndef SRC_HARNESS_ARTIFACT_H_
+#define SRC_HARNESS_ARTIFACT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/harness/json.h"
+#include "src/harness/trial_runner.h"
+
+namespace odharness {
+
+struct RunArtifact {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string experiment;
+  int jobs = 1;
+  double wall_ms = 0.0;
+  int exit_code = 0;
+
+  struct LabeledSet {
+    std::string label;
+    TrialSet set;
+  };
+  std::vector<LabeledSet> sets;
+  // Named scalars (claims, calibration ratios, fit parameters) in
+  // insertion order.
+  std::vector<std::pair<std::string, double>> notes;
+
+  void AddSet(std::string label, TrialSet set);
+  void AddNote(std::string key, double value);
+
+  JsonValue ToJson() const;
+  // Reconstructs an artifact (summaries included) from ToJson() output.
+  // Returns nullopt if `json` does not match the schema.
+  static std::optional<RunArtifact> FromJson(const JsonValue& json);
+
+  // Serializes to `path` (pretty-printed).  Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+  static std::optional<RunArtifact> ReadFile(const std::string& path);
+};
+
+}  // namespace odharness
+
+#endif  // SRC_HARNESS_ARTIFACT_H_

@@ -1,0 +1,127 @@
+#include "src/harness/flags.h"
+
+#include <cstdlib>
+#include <set>
+
+namespace odharness {
+
+namespace {
+
+bool IsFlagToken(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv)
+    : Flags([argc, argv] {
+        std::vector<std::string> args;
+        args.reserve(argc > 1 ? static_cast<size_t>(argc - 1) : 0);
+        for (int i = 1; i < argc; ++i) {
+          args.emplace_back(argv[i]);
+        }
+        return args;
+      }()) {}
+
+Flags::Flags(std::vector<std::string> args) {
+  bool seen_flag = false;
+  for (std::string& arg : args) {
+    if (IsFlagToken(arg)) {
+      seen_flag = true;
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        tokens_.push_back(arg.substr(0, eq));
+        tokens_.push_back(arg.substr(eq + 1));
+        continue;
+      }
+    } else if (!seen_flag) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    tokens_.push_back(std::move(arg));
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  const std::string needle = "--" + name;
+  for (const std::string& token : tokens_) {
+    if (token == needle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::string* Flags::RawValue(const std::string& name) const {
+  const std::string needle = "--" + name;
+  for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+    if (tokens_[i] == needle && !IsFlagToken(tokens_[i + 1])) {
+      return &tokens_[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             std::string fallback) const {
+  const std::string* value = RawValue(name);
+  return value != nullptr ? *value : std::move(fallback);
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const std::string* value = RawValue(name);
+  return value != nullptr ? std::atof(value->c_str()) : fallback;
+}
+
+int Flags::GetInt(const std::string& name, int fallback) const {
+  const std::string* value = RawValue(name);
+  return value != nullptr ? std::atoi(value->c_str()) : fallback;
+}
+
+uint64_t Flags::GetUint64(const std::string& name, uint64_t fallback) const {
+  const std::string* value = RawValue(name);
+  return value != nullptr ? std::strtoull(value->c_str(), nullptr, 10)
+                          : fallback;
+}
+
+bool Flags::Validate(std::initializer_list<const char*> value_flags,
+                     std::initializer_list<const char*> bool_flags,
+                     std::string* error) const {
+  std::set<std::string> values;
+  std::set<std::string> bools;
+  for (const char* f : value_flags) {
+    values.insert(std::string("--") + f);
+  }
+  for (const char* f : bool_flags) {
+    bools.insert(std::string("--") + f);
+  }
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    const std::string& token = tokens_[i];
+    if (!IsFlagToken(token)) {
+      if (error != nullptr) {
+        *error = "unexpected argument '" + token + "'";
+      }
+      return false;
+    }
+    if (values.count(token) > 0) {
+      if (i + 1 >= tokens_.size() || IsFlagToken(tokens_[i + 1])) {
+        if (error != nullptr) {
+          *error = "flag '" + token + "' requires a value";
+        }
+        return false;
+      }
+      ++i;  // Skip the value token.
+      continue;
+    }
+    if (bools.count(token) > 0) {
+      continue;
+    }
+    if (error != nullptr) {
+      *error = "unknown flag '" + token + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace odharness

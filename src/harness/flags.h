@@ -1,0 +1,53 @@
+// Shared command-line flag parsing for the harness binaries.
+//
+// Replaces the hand-rolled strcmp loops that odyssey_cli (and before it,
+// every bench main) grew independently.  The grammar is the one those tools
+// already used: leading positional words (subcommands), then `--flag value`
+// or `--flag=value` pairs, with valueless flags acting as booleans.
+
+#ifndef SRC_HARNESS_FLAGS_H_
+#define SRC_HARNESS_FLAGS_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace odharness {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+  explicit Flags(std::vector<std::string> args);
+
+  // The leading arguments before the first "--" flag (e.g. subcommands).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // True if `--name` appears (with or without a value).
+  bool Has(const std::string& name) const;
+
+  // Value of `--name value` or `--name=value`; `fallback` when absent.
+  std::string GetString(const std::string& name, std::string fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+  uint64_t GetUint64(const std::string& name, uint64_t fallback) const;
+
+  // Verifies that every `--flag` present is a declared one: `value_flags`
+  // must be followed by a value, `bool_flags` must not consume one.  On
+  // failure fills *error with a usage-style message and returns false.
+  bool Validate(std::initializer_list<const char*> value_flags,
+                std::initializer_list<const char*> bool_flags,
+                std::string* error) const;
+
+ private:
+  // Returns the value token for `--name`, or nullptr when absent/valueless.
+  const std::string* RawValue(const std::string& name) const;
+
+  std::vector<std::string> tokens_;
+  std::vector<std::string> positional_;
+  // Tokens rewritten so "--flag=value" is split into "--flag", "value".
+};
+
+}  // namespace odharness
+
+#endif  // SRC_HARNESS_FLAGS_H_

@@ -1,0 +1,117 @@
+#include "src/harness/trial_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "src/util/check.h"
+
+namespace odharness {
+
+namespace {
+
+// Summaries keyed by the union of map keys across trials, gathering values
+// in trial-index order (missing keys contribute 0.0) so the result does not
+// depend on execution order.
+std::map<std::string, odutil::Summary> SummarizeKeyed(
+    const std::vector<TrialSample>& trials,
+    std::map<std::string, double> TrialSample::*field) {
+  std::set<std::string> keys;
+  for (const TrialSample& trial : trials) {
+    for (const auto& [key, value] : trial.*field) {
+      keys.insert(key);
+    }
+  }
+  std::map<std::string, odutil::Summary> out;
+  std::vector<double> values;
+  for (const std::string& key : keys) {
+    values.clear();
+    values.reserve(trials.size());
+    for (const TrialSample& trial : trials) {
+      auto it = (trial.*field).find(key);
+      values.push_back(it != (trial.*field).end() ? it->second : 0.0);
+    }
+    out[key] = odutil::Summarize(values);
+  }
+  return out;
+}
+
+}  // namespace
+
+double TrialSet::Mean(const std::string& key) const {
+  auto it = breakdown_summaries.find(key);
+  return it != breakdown_summaries.end() ? it->second.mean : 0.0;
+}
+
+double TrialSet::ComponentMean(const std::string& key) const {
+  auto it = component_summaries.find(key);
+  return it != component_summaries.end() ? it->second.mean : 0.0;
+}
+
+void TrialSet::Summarize() {
+  std::vector<double> values;
+  values.reserve(trials.size());
+  for (const TrialSample& trial : trials) {
+    values.push_back(trial.value);
+  }
+  summary = odutil::Summarize(values);
+  breakdown_summaries = SummarizeKeyed(trials, &TrialSample::breakdown);
+  component_summaries = SummarizeKeyed(trials, &TrialSample::components);
+}
+
+TrialRunner::TrialRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+TrialSet TrialRunner::Run(int n, uint64_t base_seed,
+                          const TrialFn& measure) const {
+  OD_CHECK(n >= 0);
+  TrialSet set;
+  set.base_seed = base_seed;
+  set.trials.resize(static_cast<size_t>(n));
+
+  const int workers = jobs_ < n ? jobs_ : n;
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) {
+      set.trials[static_cast<size_t>(i)] =
+          measure(base_seed + static_cast<uint64_t>(i));
+    }
+  } else {
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) {
+            return;
+          }
+          try {
+            set.trials[static_cast<size_t>(i)] =
+                measure(base_seed + static_cast<uint64_t>(i));
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!failed.exchange(true)) {
+              error = std::current_exception();
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+
+  set.Summarize();
+  return set;
+}
+
+}  // namespace odharness

@@ -1,0 +1,77 @@
+// Parallel execution of independent seeded trials.
+//
+// The paper reports every figure value as the mean of five or ten trials at
+// distinct seeds.  Each trial builds its own TestBed/Simulator, so trials
+// are embarrassingly parallel; TrialRunner farms them out to a thread pool
+// and collects results *by trial index*, which makes the output bit-identical
+// to a serial run regardless of the job count or completion order.
+//
+// A trial produces a TrialSample: the headline value (usually Joules) plus
+// optional named breakdowns (per-process energy, adaptation counts, ...).
+// TrialSet aggregates a run: per-trial samples, a Summary of the values, and
+// a Summary per breakdown key — which is how the figure benches now report
+// per-process columns as cross-trial means instead of last-trial snapshots.
+
+#ifndef SRC_HARNESS_TRIAL_RUNNER_H_
+#define SRC_HARNESS_TRIAL_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace odharness {
+
+struct TrialSample {
+  TrialSample() = default;
+  explicit TrialSample(double v, std::map<std::string, double> b = {},
+                       std::map<std::string, double> c = {})
+      : value(v), breakdown(std::move(b)), components(std::move(c)) {}
+
+  double value = 0.0;
+  // Named per-trial metrics: per-process energy in the figure benches,
+  // adaptation counts / goal outcomes in the goal benches.
+  std::map<std::string, double> breakdown;
+  // Per-hardware-component energy, when the measurement provides it.
+  std::map<std::string, double> components;
+};
+
+using TrialFn = std::function<TrialSample(uint64_t seed)>;
+
+struct TrialSet {
+  uint64_t base_seed = 0;
+  std::vector<TrialSample> trials;  // Indexed by trial number.
+  odutil::Summary summary;          // Over the trial values.
+  std::map<std::string, odutil::Summary> breakdown_summaries;
+  std::map<std::string, odutil::Summary> component_summaries;
+
+  // Cross-trial mean of a breakdown / component key (0.0 when absent).
+  double Mean(const std::string& key) const;
+  double ComponentMean(const std::string& key) const;
+
+  // Recomputes the summaries from `trials`; used after filling `trials`
+  // directly (artifact round-trip) and by TrialRunner itself.
+  void Summarize();
+};
+
+class TrialRunner {
+ public:
+  // `jobs` <= 1 runs serially on the calling thread.
+  explicit TrialRunner(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  // Runs `measure` at seeds base_seed .. base_seed + n - 1.  Results are
+  // deterministic: the set is identical for any job count.
+  TrialSet Run(int n, uint64_t base_seed, const TrialFn& measure) const;
+
+ private:
+  int jobs_;
+};
+
+}  // namespace odharness
+
+#endif  // SRC_HARNESS_TRIAL_RUNNER_H_

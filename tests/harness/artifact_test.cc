@@ -1,0 +1,126 @@
+#include "src/harness/artifact.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/trial_runner.h"
+
+namespace odharness {
+namespace {
+
+RunArtifact MakeArtifact() {
+  RunArtifact artifact;
+  artifact.experiment = "fig06_video";
+  artifact.jobs = 8;
+  artifact.wall_ms = 1234.5;
+  artifact.exit_code = 0;
+
+  TrialRunner runner(1);
+  TrialSet set = runner.Run(5, 1000, [](uint64_t seed) {
+    TrialSample s;
+    s.value = 400.0 + static_cast<double>(seed % 7) * 1.3;
+    s.breakdown["Idle"] = 120.0 + static_cast<double>(seed % 3);
+    s.breakdown["xanim"] = 250.0 - static_cast<double>(seed % 5);
+    s.components["CPU"] = 88.0 + 0.5 * static_cast<double>(seed % 4);
+    return s;
+  });
+  artifact.AddSet("Video 1/Combined", std::move(set));
+  artifact.AddNote("background_watts", 5.65);
+  artifact.AddNote("claim_ratio", 0.94);
+  return artifact;
+}
+
+void ExpectEqual(const RunArtifact& a, const RunArtifact& b) {
+  EXPECT_EQ(a.experiment, b.experiment);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.wall_ms, b.wall_ms);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  ASSERT_EQ(a.sets.size(), b.sets.size());
+  for (size_t i = 0; i < a.sets.size(); ++i) {
+    EXPECT_EQ(a.sets[i].label, b.sets[i].label);
+    const TrialSet& x = a.sets[i].set;
+    const TrialSet& y = b.sets[i].set;
+    EXPECT_EQ(x.base_seed, y.base_seed);
+    ASSERT_EQ(x.trials.size(), y.trials.size());
+    for (size_t t = 0; t < x.trials.size(); ++t) {
+      EXPECT_EQ(x.trials[t].value, y.trials[t].value);
+      EXPECT_EQ(x.trials[t].breakdown, y.trials[t].breakdown);
+      EXPECT_EQ(x.trials[t].components, y.trials[t].components);
+    }
+    // FromJson recomputes summaries from the trial samples; with exact
+    // double round-tripping they must match bit for bit.
+    EXPECT_EQ(x.summary.n, y.summary.n);
+    EXPECT_EQ(x.summary.mean, y.summary.mean);
+    EXPECT_EQ(x.summary.stddev, y.summary.stddev);
+    EXPECT_EQ(x.summary.ci90_halfwidth, y.summary.ci90_halfwidth);
+    ASSERT_EQ(x.breakdown_summaries.size(), y.breakdown_summaries.size());
+    for (const auto& [key, summary] : x.breakdown_summaries) {
+      ASSERT_TRUE(y.breakdown_summaries.count(key));
+      EXPECT_EQ(summary.mean, y.breakdown_summaries.at(key).mean);
+    }
+  }
+  ASSERT_EQ(a.notes.size(), b.notes.size());
+  for (size_t i = 0; i < a.notes.size(); ++i) {
+    EXPECT_EQ(a.notes[i], b.notes[i]);
+  }
+}
+
+TEST(ArtifactTest, JsonRoundTrip) {
+  RunArtifact artifact = MakeArtifact();
+  auto restored = RunArtifact::FromJson(artifact.ToJson());
+  ASSERT_TRUE(restored.has_value());
+  ExpectEqual(artifact, *restored);
+}
+
+TEST(ArtifactTest, SerializedTextRoundTrip) {
+  RunArtifact artifact = MakeArtifact();
+  std::string text = artifact.ToJson().Dump(2);
+  auto json = JsonValue::Parse(text);
+  ASSERT_TRUE(json.has_value());
+  auto restored = RunArtifact::FromJson(*json);
+  ASSERT_TRUE(restored.has_value());
+  ExpectEqual(artifact, *restored);
+}
+
+TEST(ArtifactTest, JsonCarriesSchemaFields) {
+  JsonValue json = MakeArtifact().ToJson();
+  EXPECT_DOUBLE_EQ(json.DoubleAt("schema_version"),
+                   RunArtifact::kSchemaVersion);
+  ASSERT_NE(json.Find("experiment"), nullptr);
+  EXPECT_EQ(json.Find("experiment")->AsString(), "fig06_video");
+  ASSERT_NE(json.Find("sets"), nullptr);
+  ASSERT_EQ(json.Find("sets")->array().size(), 1u);
+  const JsonValue& set = json.Find("sets")->array()[0];
+  EXPECT_EQ(set.Find("label")->AsString(), "Video 1/Combined");
+  ASSERT_NE(set.Find("summary"), nullptr);
+  EXPECT_DOUBLE_EQ(set.Find("summary")->DoubleAt("n"), 5.0);
+  ASSERT_NE(json.Find("notes"), nullptr);
+  EXPECT_DOUBLE_EQ(json.Find("notes")->DoubleAt("background_watts"), 5.65);
+}
+
+TEST(ArtifactTest, FromJsonRejectsWrongShape) {
+  EXPECT_FALSE(RunArtifact::FromJson(JsonValue(3.0)).has_value());
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("schema_version", 99);
+  obj.Set("experiment", "x");
+  EXPECT_FALSE(RunArtifact::FromJson(obj).has_value());
+}
+
+TEST(ArtifactTest, FileRoundTrip) {
+  RunArtifact artifact = MakeArtifact();
+  std::string path = testing::TempDir() + "/artifact_test.json";
+  ASSERT_TRUE(artifact.WriteFile(path));
+  auto restored = RunArtifact::ReadFile(path);
+  ASSERT_TRUE(restored.has_value());
+  ExpectEqual(artifact, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, ReadFileMissingPath) {
+  EXPECT_FALSE(RunArtifact::ReadFile("/nonexistent/dir/nope.json").has_value());
+}
+
+}  // namespace
+}  // namespace odharness

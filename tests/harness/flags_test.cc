@@ -1,0 +1,65 @@
+#include "src/harness/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace odharness {
+namespace {
+
+TEST(FlagsTest, PositionalThenFlags) {
+  Flags flags({"run", "fig04", "--trials", "3", "--jobs=8"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "fig04");
+  EXPECT_EQ(flags.GetInt("trials", 0), 3);
+  EXPECT_EQ(flags.GetInt("jobs", 1), 8);
+}
+
+TEST(FlagsTest, EqualsAndSpaceFormsAreEquivalent) {
+  Flags space({"--seed", "42"});
+  Flags equals({"--seed=42"});
+  EXPECT_EQ(space.GetUint64("seed", 0), 42u);
+  EXPECT_EQ(equals.GetUint64("seed", 0), 42u);
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags flags({"run"});
+  EXPECT_FALSE(flags.Has("trials"));
+  EXPECT_EQ(flags.GetString("out", "artifacts"), "artifacts");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("minutes", 22.0), 22.0);
+  EXPECT_EQ(flags.GetInt("jobs", 1), 1);
+}
+
+TEST(FlagsTest, BooleanFlagsHaveNoValue) {
+  Flags flags({"lifetime", "--lowest", "--joules", "9000"});
+  EXPECT_TRUE(flags.Has("lowest"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("joules", 0.0), 9000.0);
+}
+
+TEST(FlagsTest, ValidateAcceptsDeclaredFlags) {
+  Flags flags({"goal", "--minutes", "25", "--bursty"});
+  std::string error;
+  EXPECT_TRUE(flags.Validate({"minutes", "joules"}, {"bursty"}, &error));
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(FlagsTest, ValidateRejectsUnknownFlag) {
+  Flags flags({"run", "fig04", "--trails", "3"});
+  std::string error;
+  EXPECT_FALSE(flags.Validate({"trials", "seed"}, {}, &error));
+  EXPECT_NE(error.find("trails"), std::string::npos);
+}
+
+TEST(FlagsTest, ValidateRejectsValueFlagWithoutValue) {
+  Flags flags({"run", "fig04", "--trials"});
+  std::string error;
+  EXPECT_FALSE(flags.Validate({"trials"}, {}, &error));
+}
+
+TEST(FlagsTest, GetStringForValuelessFlagReturnsFallback) {
+  Flags flags({"--bursty"});
+  EXPECT_TRUE(flags.Has("bursty"));
+  EXPECT_EQ(flags.GetString("bursty", "x"), "x");
+}
+
+}  // namespace
+}  // namespace odharness

@@ -1,0 +1,100 @@
+#include "src/harness/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace odharness {
+namespace {
+
+// Experiments registered from this translation unit via the macro.  This
+// test binary does NOT link bench/, so the registry holds only these.
+ODBENCH_EXPERIMENT(test_alpha, "first test experiment") {
+  ctx.Note("alpha_ran", 1.0);
+  return 0;
+}
+
+ODBENCH_EXPERIMENT(test_beta, "second test experiment") {
+  TrialSet set = ctx.RunTrials("main", 4, 100, [](uint64_t seed) {
+    TrialSample s;
+    s.value = static_cast<double>(seed);
+    return s;
+  });
+  return set.trials.size() == 4 ? 0 : 1;
+}
+
+TEST(RegistryTest, MacroRegistersExperiments) {
+  auto& registry = ExperimentRegistry::Instance();
+  const Experiment* alpha = registry.Find("test_alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->name, "test_alpha");
+  EXPECT_EQ(alpha->description, "first test experiment");
+  ASSERT_NE(registry.Find("test_beta"), nullptr);
+  EXPECT_EQ(registry.Find("test_gamma"), nullptr);
+}
+
+TEST(RegistryTest, ListIsSortedByName) {
+  auto list = ExperimentRegistry::Instance().List();
+  ASSERT_GE(list.size(), 2u);
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_LT(list[i - 1]->name, list[i]->name);
+  }
+}
+
+TEST(RegistryTest, ResolveExactAndUniquePrefix) {
+  auto& registry = ExperimentRegistry::Instance();
+  EXPECT_EQ(registry.Resolve("test_alpha"), registry.Find("test_alpha"));
+  EXPECT_EQ(registry.Resolve("test_a"), registry.Find("test_alpha"));
+  EXPECT_EQ(registry.Resolve("test_b"), registry.Find("test_beta"));
+}
+
+TEST(RegistryTest, ResolveAmbiguousPrefixListsCandidates) {
+  std::vector<std::string> matches;
+  EXPECT_EQ(ExperimentRegistry::Instance().Resolve("test_", &matches), nullptr);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], "test_alpha");
+  EXPECT_EQ(matches[1], "test_beta");
+}
+
+TEST(RegistryTest, ResolveUnknownName) {
+  std::vector<std::string> matches;
+  EXPECT_EQ(ExperimentRegistry::Instance().Resolve("nope", &matches), nullptr);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(RegistryTest, RunContextRecordsTrialSetsInArtifact) {
+  RunOptions options;
+  RunContext ctx("test_beta", options);
+  const Experiment* beta = ExperimentRegistry::Instance().Find("test_beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(beta->run(ctx), 0);
+  ASSERT_EQ(ctx.artifact().sets.size(), 1u);
+  EXPECT_EQ(ctx.artifact().sets[0].label, "main");
+  EXPECT_EQ(ctx.artifact().sets[0].set.trials.size(), 4u);
+  EXPECT_EQ(ctx.artifact().sets[0].set.base_seed, 100u);
+}
+
+TEST(RegistryTest, TrialsAndSeedOverridesApply) {
+  RunOptions options;
+  options.trials = 2;
+  options.seed = 777;
+  RunContext ctx("test_beta", options);
+  TrialSet set = ctx.RunTrials("main", 4, 100, [](uint64_t seed) {
+    TrialSample s;
+    s.value = static_cast<double>(seed);
+    return s;
+  });
+  ASSERT_EQ(set.trials.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.trials[0].value, 777.0);
+}
+
+TEST(RegistryTest, NotesAccumulateInOrder) {
+  RunOptions options;
+  RunContext ctx("test_alpha", options);
+  ctx.Note("first", 1.0);
+  ctx.Note("second", 2.0);
+  ASSERT_EQ(ctx.artifact().notes.size(), 2u);
+  EXPECT_EQ(ctx.artifact().notes[0].first, "first");
+  EXPECT_EQ(ctx.artifact().notes[1].first, "second");
+}
+
+}  // namespace
+}  // namespace odharness

@@ -1,0 +1,104 @@
+#include "src/harness/trial_runner.h"
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace odharness {
+namespace {
+
+// A cheap deterministic "measurement": value and breakdown derived only from
+// the seed, with a little busy variance in completion order when threaded.
+TrialSample FakeMeasure(uint64_t seed) {
+  TrialSample sample;
+  sample.value = static_cast<double>(seed * 7 % 101) + 0.25;
+  sample.breakdown["even"] = static_cast<double>(seed % 2);
+  sample.breakdown["scaled"] = static_cast<double>(seed) * 1.5;
+  sample.components["cpu"] = static_cast<double>(seed % 5);
+  return sample;
+}
+
+TEST(TrialRunnerTest, SeedsAreConsecutiveFromBase) {
+  TrialRunner runner(1);
+  TrialSet set = runner.Run(4, 1000, [](uint64_t seed) {
+    TrialSample s;
+    s.value = static_cast<double>(seed);
+    return s;
+  });
+  ASSERT_EQ(set.trials.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(set.trials[i].value, 1000.0 + i);
+  }
+  EXPECT_EQ(set.base_seed, 1000u);
+}
+
+TEST(TrialRunnerTest, ParallelMatchesSerialBitForBit) {
+  TrialRunner serial(1);
+  TrialRunner threaded(8);
+  TrialSet a = serial.Run(64, 5000, FakeMeasure);
+  TrialSet b = threaded.Run(64, 5000, FakeMeasure);
+
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].value, b.trials[i].value);
+    EXPECT_EQ(a.trials[i].breakdown, b.trials[i].breakdown);
+    EXPECT_EQ(a.trials[i].components, b.trials[i].components);
+  }
+  EXPECT_EQ(a.summary.mean, b.summary.mean);
+  EXPECT_EQ(a.summary.stddev, b.summary.stddev);
+  EXPECT_EQ(a.summary.ci90_halfwidth, b.summary.ci90_halfwidth);
+  ASSERT_EQ(a.breakdown_summaries.size(), b.breakdown_summaries.size());
+  for (const auto& [key, summary] : a.breakdown_summaries) {
+    ASSERT_TRUE(b.breakdown_summaries.count(key));
+    EXPECT_EQ(summary.mean, b.breakdown_summaries.at(key).mean);
+  }
+}
+
+TEST(TrialRunnerTest, MoreJobsThanTrials) {
+  TrialRunner runner(16);
+  TrialSet set = runner.Run(3, 1, FakeMeasure);
+  ASSERT_EQ(set.trials.size(), 3u);
+  EXPECT_EQ(set.summary.n, 3u);
+}
+
+TEST(TrialRunnerTest, RunsEveryTrialExactlyOnce) {
+  std::atomic<int> calls{0};
+  TrialRunner runner(8);
+  TrialSet set = runner.Run(40, 0, [&calls](uint64_t seed) {
+    calls.fetch_add(1);
+    TrialSample s;
+    s.value = static_cast<double>(seed);
+    return s;
+  });
+  EXPECT_EQ(calls.load(), 40);
+  EXPECT_EQ(set.trials.size(), 40u);
+}
+
+TEST(TrialRunnerTest, BreakdownSummariesAreCrossTrialMeans) {
+  TrialRunner runner(1);
+  TrialSet set = runner.Run(4, 10, FakeMeasure);  // seeds 10..13
+  // "scaled" = 1.5 * seed -> mean over {15, 16.5, 18, 19.5} = 17.25.
+  EXPECT_DOUBLE_EQ(set.Mean("scaled"), 17.25);
+  // "even" over seeds 10..13 -> {0, 1, 0, 1} -> mean 0.5.
+  EXPECT_DOUBLE_EQ(set.Mean("even"), 0.5);
+  EXPECT_DOUBLE_EQ(set.Mean("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(set.ComponentMean("cpu"),
+                   (10 % 5 + 11 % 5 + 12 % 5 + 13 % 5) / 4.0);
+}
+
+TEST(TrialRunnerTest, TrialExceptionPropagates) {
+  TrialRunner runner(4);
+  EXPECT_THROW(runner.Run(8, 0,
+                          [](uint64_t seed) -> TrialSample {
+                            if (seed == 5) {
+                              throw std::runtime_error("boom");
+                            }
+                            return TrialSample{};
+                          }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odharness

@@ -10,35 +10,19 @@
 //   odyssey_cli goal [--minutes M] [--joules J] [--seed S] [--bursty]
 //               [--loss P] [--smart-battery] [--extend-at-min T --extend-min E]
 //       Run goal-directed adaptation and report the outcome.
+//
+// Flag parsing is the shared odharness::Flags (the same parser odbench
+// uses), not a hand-rolled strcmp loop.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "src/apps/goal_scenario.h"
 #include "src/apps/testbed.h"
+#include "src/harness/flags.h"
 #include "src/powerscope/profiler.h"
 
 namespace {
-
-double FlagValue(int argc, char** argv, const char* flag, double fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      return std::atof(argv[i + 1]);
-    }
-  }
-  return fallback;
-}
-
-bool HasFlag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      return true;
-    }
-  }
-  return false;
-}
 
 int PowerTable() {
   odsim::Simulator sim;
@@ -59,8 +43,8 @@ int PowerTable() {
   return 0;
 }
 
-int Profile(int argc, char** argv) {
-  double seconds = FlagValue(argc, argv, "--seconds", 60.0);
+int Profile(const odharness::Flags& flags) {
+  double seconds = flags.GetDouble("seconds", 60.0);
   odapps::TestBed bed;
   odscope::Profiler profiler(&bed.sim(), &bed.laptop().machine());
   profiler.Start();
@@ -78,9 +62,9 @@ int Profile(int argc, char** argv) {
   return 0;
 }
 
-int Lifetime(int argc, char** argv) {
-  double joules = FlagValue(argc, argv, "--joules", 13500.0);
-  bool lowest = HasFlag(argc, argv, "--lowest");
+int Lifetime(const odharness::Flags& flags) {
+  double joules = flags.GetDouble("joules", 13500.0);
+  bool lowest = flags.Has("lowest");
   double seconds = odapps::MeasurePinnedLifetime(joules, lowest, 1);
   std::printf("%s fidelity on %.0f J: %.0f s (%d:%02d)\n",
               lowest ? "lowest" : "highest", joules, seconds,
@@ -88,17 +72,16 @@ int Lifetime(int argc, char** argv) {
   return 0;
 }
 
-int Goal(int argc, char** argv) {
+int Goal(const odharness::Flags& flags) {
   odapps::GoalScenarioOptions options;
-  options.initial_joules = FlagValue(argc, argv, "--joules", 13500.0);
-  options.goal =
-      odsim::SimDuration::Minutes(FlagValue(argc, argv, "--minutes", 22.0));
-  options.seed = static_cast<uint64_t>(FlagValue(argc, argv, "--seed", 1.0));
-  options.bursty = HasFlag(argc, argv, "--bursty");
-  options.use_smart_battery = HasFlag(argc, argv, "--smart-battery");
-  options.rpc_loss_probability = FlagValue(argc, argv, "--loss", 0.0);
-  double extend_at = FlagValue(argc, argv, "--extend-at-min", 0.0);
-  double extend_by = FlagValue(argc, argv, "--extend-min", 0.0);
+  options.initial_joules = flags.GetDouble("joules", 13500.0);
+  options.goal = odsim::SimDuration::Minutes(flags.GetDouble("minutes", 22.0));
+  options.seed = flags.GetUint64("seed", 1);
+  options.bursty = flags.Has("bursty");
+  options.use_smart_battery = flags.Has("smart-battery");
+  options.rpc_loss_probability = flags.GetDouble("loss", 0.0);
+  double extend_at = flags.GetDouble("extend-at-min", 0.0);
+  double extend_by = flags.GetDouble("extend-min", 0.0);
   if (extend_at > 0.0 && extend_by > 0.0) {
     options.extend_at = odsim::SimDuration::Minutes(extend_at);
     options.extend_by = odsim::SimDuration::Minutes(extend_by);
@@ -134,21 +117,40 @@ int Usage(const char* prog) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  odharness::Flags flags(argc, argv);
+  if (flags.positional().size() != 1) {
     return Usage(argv[0]);
   }
-  std::string command = argv[1];
+  const std::string& command = flags.positional()[0];
+
+  std::string error;
+  bool flags_ok = true;
+  if (command == "power-table") {
+    flags_ok = flags.Validate({}, {}, &error);
+  } else if (command == "profile") {
+    flags_ok = flags.Validate({"seconds"}, {}, &error);
+  } else if (command == "lifetime") {
+    flags_ok = flags.Validate({"joules"}, {"lowest"}, &error);
+  } else if (command == "goal") {
+    flags_ok = flags.Validate(
+        {"minutes", "joules", "seed", "loss", "extend-at-min", "extend-min"},
+        {"bursty", "smart-battery"}, &error);
+  } else {
+    return Usage(argv[0]);
+  }
+  if (!flags_ok) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return Usage(argv[0]);
+  }
+
   if (command == "power-table") {
     return PowerTable();
   }
   if (command == "profile") {
-    return Profile(argc, argv);
+    return Profile(flags);
   }
   if (command == "lifetime") {
-    return Lifetime(argc, argv);
+    return Lifetime(flags);
   }
-  if (command == "goal") {
-    return Goal(argc, argv);
-  }
-  return Usage(argv[0]);
+  return Goal(flags);
 }
