@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/testbed.h"
+#include "src/harness/sweep_runner.h"
 #include "src/util/table.h"
 
 using namespace odapps;
@@ -42,27 +43,44 @@ Row Measure(double speed, bool display_off) {
 ODBENCH_EXPERIMENT(ablate_cpu_scaling,
                    "Ablation: CPU clock scaling vs race-to-idle on the "
                    "speech workload") {
-  for (bool display_off : {true, false}) {
+  // The full clock ladder (2 display states x 4 speeds) is one sweep:
+  // every cell builds its own TestBed, so the eight measurements run
+  // concurrently under --jobs.
+  odharness::Sweep sweep(ctx);
+  size_t cells[2][4];
+  const double speeds[] = {1.0, 0.75, 0.5, 0.33};
+  for (int d = 0; d < 2; ++d) {
+    const bool display_off = d == 0;
+    for (int s = 0; s < 4; ++s) {
+      const double speed = speeds[s];
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s/clock%.0f%%",
+                    display_off ? "display_off" : "display_bright",
+                    100.0 * speed);
+      cells[d][s] = sweep.Add(label, 77, [speed, display_off] {
+        Row row = Measure(speed, display_off);
+        return odharness::TrialSample{row.total_joules,
+                                      {{"cpu_joules", row.cpu_joules},
+                                       {"wall_seconds", row.seconds}}};
+      });
+    }
+  }
+  sweep.Run();
+
+  for (int d = 0; d < 2; ++d) {
+    const bool display_off = d == 0;
     odutil::Table table(display_off
                             ? "CPU scaling, speech recognition (display off — the "
                               "paper's speech configuration)"
                             : "CPU scaling, speech recognition (display bright — "
                               "interactive)");
     table.SetHeader({"Clock", "Total (J)", "CPU (J)", "Wall (s)"});
-    for (double speed : {1.0, 0.75, 0.5, 0.33}) {
-      Row row = Measure(speed, display_off);
-      char label[64];
-      std::snprintf(label, sizeof(label), "%s/clock%.0f%%",
-                    display_off ? "display_off" : "display_bright",
-                    100.0 * speed);
-      ctx.Record(label, 77,
-                 odharness::TrialSample{row.total_joules,
-                                        {{"cpu_joules", row.cpu_joules},
-                                         {"wall_seconds", row.seconds}}});
-      table.AddRow({odutil::Table::Pct(row.speed, 0),
-                    odutil::Table::Num(row.total_joules, 1),
-                    odutil::Table::Num(row.cpu_joules, 1),
-                    odutil::Table::Num(row.seconds, 1)});
+    for (int s = 0; s < 4; ++s) {
+      const odharness::TrialSample& sample = sweep.Sample(cells[d][s]);
+      table.AddRow({odutil::Table::Pct(speeds[s], 0),
+                    odutil::Table::Num(sample.value, 1),
+                    odutil::Table::Num(sample.breakdown.at("cpu_joules"), 1),
+                    odutil::Table::Num(sample.breakdown.at("wall_seconds"), 1)});
     }
     table.Print();
   }

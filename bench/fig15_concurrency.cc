@@ -6,6 +6,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/experiments.h"
+#include "src/harness/sweep_runner.h"
 
 using odapps::RunCompositeExperiment;
 
@@ -29,18 +30,31 @@ ODBENCH_EXPERIMENT(fig15_concurrency,
   table.SetHeader({"Case", "Composite alone", "With background video",
                    "Marginal cost"});
 
-  double pm_video = 0.0, low_video = 0.0, pm_alone = 0.0, low_alone = 0.0;
-  for (const Case& c : cases) {
-    odharness::TrialSet alone = ctx.RunTrials(
-        std::string(c.label) + "/alone", 5, 7000, [&](uint64_t seed) {
+  // All six trial sets (3 cases x alone/with_video) are sweep cells, so
+  // the whole figure — not just the trials within one set — shares the
+  // --jobs worker budget.
+  odharness::Sweep sweep(ctx);
+  size_t alone_cells[3], video_cells[3];
+  for (int i = 0; i < 3; ++i) {
+    const Case& c = cases[i];
+    alone_cells[i] = sweep.AddTrials(
+        std::string(c.label) + "/alone", 5, 7000, [&c](uint64_t seed) {
           return odbench::EnergySample(
               RunCompositeExperiment(6, c.lowest, c.hw_pm, false, seed));
         });
-    odharness::TrialSet with_video = ctx.RunTrials(
-        std::string(c.label) + "/with_video", 5, 7000, [&](uint64_t seed) {
+    video_cells[i] = sweep.AddTrials(
+        std::string(c.label) + "/with_video", 5, 7000, [&c](uint64_t seed) {
           return odbench::EnergySample(
               RunCompositeExperiment(6, c.lowest, c.hw_pm, true, seed));
         });
+  }
+  sweep.Run();
+
+  double pm_video = 0.0, low_video = 0.0, pm_alone = 0.0, low_alone = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    const Case& c = cases[i];
+    const odharness::TrialSet& alone = sweep.Set(alone_cells[i]);
+    const odharness::TrialSet& with_video = sweep.Set(video_cells[i]);
     double add = with_video.summary.mean / alone.summary.mean - 1.0;
     table.AddRow({c.label, odbench::MeanCi(alone.summary, 0),
                   odbench::MeanCi(with_video.summary, 0),

@@ -2,12 +2,19 @@
 // over the four data objects of each application) for baseline, hardware
 // power management, fidelity reduction, and both combined — plus the
 // Section 3.8 / abstract claims computed from the same sweep.
+//
+// The 16-object matrix (40 cells counting the think-time variants) is
+// submitted to a Sweep: each cell measures one data object's baseline,
+// hardware-PM, and lowest-fidelity energy independently, so the whole
+// matrix runs in parallel under --jobs with output identical to serial.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/experiments.h"
+#include "src/harness/sweep_runner.h"
 #include "src/util/stats.h"
 
 using namespace odapps;
@@ -26,7 +33,7 @@ void AddObject(Ratios& r, double base, double pm, double low) {
   r.combined.push_back(low / base);
 }
 
-void AddRow(odutil::Table& table, const char* app, const char* think,
+void AddRow(odutil::Table& table, const char* app, const std::string& think,
             const Ratios& r) {
   auto range = [](const std::vector<double>& v) {
     odutil::Summary s = odutil::Summarize(v);
@@ -34,6 +41,13 @@ void AddRow(odutil::Table& table, const char* app, const char* think,
   };
   table.AddRow({app, think, "1.00", range(r.hw), range(r.fidelity),
                 range(r.combined)});
+}
+
+// A cell's result: the combined ratio as the headline value, with the
+// three absolute measurements as breakdown for the artifact.
+odharness::TrialSample ObjectSample(double base, double pm, double low) {
+  return odharness::TrialSample{
+      low / base, {{"base", base}, {"pm", pm}, {"low", low}}};
 }
 
 }  // namespace
@@ -47,89 +61,114 @@ ODBENCH_EXPERIMENT(fig16_summary,
   table.SetHeader({"Application", "Think (s)", "Baseline", "Hardware Power Mgmt.",
                    "Fidelity Reduction", "Combined"});
 
-  Ratios all;  // Pooled across applications for the Section 3.8 claims.
+  // One table row per (application, think time); four sweep cells per row.
+  // Only the think-5 rows of map/web contribute to the pooled Section 3.8
+  // claims and the artifact, matching the paper's accounting.
+  struct Row {
+    const char* app;
+    std::string think;
+    bool pooled = false;
+    size_t cells[4] = {};
+  };
+  std::vector<Row> rows;
+  odharness::Sweep sweep(ctx);
 
   {
-    Ratios r;
+    Row row{"Video", "N/A", /*pooled=*/true};
     for (size_t i = 0; i < 4; ++i) {
       const VideoClip& clip = StandardVideoClips()[i];
-      uint64_t seed = 8000 + i;
-      double base =
-          RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, false, seed).joules;
-      double pm =
-          RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, true, seed).joules;
-      double low =
-          RunVideoExperiment(clip, VideoTrack::kPremiereC, 0.5, true, seed).joules;
-      AddObject(r, base, pm, low);
-      AddObject(all, base, pm, low);
-      ctx.Record(std::string("Video/") + clip.name, seed,
-                 odharness::TrialSample{
-                     low / base, {{"base", base}, {"pm", pm}, {"low", low}}});
+      const uint64_t seed = 8000 + i;
+      row.cells[i] = sweep.Add(
+          std::string("Video/") + clip.name, seed, [&clip, seed] {
+            double base =
+                RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, false, seed)
+                    .joules;
+            double pm =
+                RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, true, seed)
+                    .joules;
+            double low =
+                RunVideoExperiment(clip, VideoTrack::kPremiereC, 0.5, true, seed)
+                    .joules;
+            return ObjectSample(base, pm, low);
+          });
     }
-    AddRow(table, "Video", "N/A", r);
+    rows.push_back(std::move(row));
   }
   {
-    Ratios r;
+    Row row{"Speech", "N/A", /*pooled=*/true};
     for (size_t i = 0; i < 4; ++i) {
       const Utterance& u = StandardUtterances()[i];
-      uint64_t seed = 8100 + i;
-      double base =
-          RunSpeechExperiment(u, SpeechMode::kLocal, false, false, seed).joules;
-      double pm =
-          RunSpeechExperiment(u, SpeechMode::kLocal, false, true, seed).joules;
-      double low =
-          RunSpeechExperiment(u, SpeechMode::kHybrid, true, true, seed).joules;
-      AddObject(r, base, pm, low);
-      AddObject(all, base, pm, low);
-      ctx.Record(std::string("Speech/") + u.name, seed,
-                 odharness::TrialSample{
-                     low / base, {{"base", base}, {"pm", pm}, {"low", low}}});
+      const uint64_t seed = 8100 + i;
+      row.cells[i] = sweep.Add(std::string("Speech/") + u.name, seed, [&u, seed] {
+        double base =
+            RunSpeechExperiment(u, SpeechMode::kLocal, false, false, seed).joules;
+        double pm =
+            RunSpeechExperiment(u, SpeechMode::kLocal, false, true, seed).joules;
+        double low =
+            RunSpeechExperiment(u, SpeechMode::kHybrid, true, true, seed).joules;
+        return ObjectSample(base, pm, low);
+      });
     }
-    AddRow(table, "Speech", "N/A", r);
+    rows.push_back(std::move(row));
   }
   for (double think : {0.0, 5.0, 10.0, 20.0}) {
-    Ratios r;
+    Row row{"Map", odutil::Table::Num(think, 0), /*pooled=*/think == 5.0};
     for (size_t i = 0; i < 4; ++i) {
       const MapObject& map = StandardMaps()[i];
-      uint64_t seed = 8200 + i;
-      double base = RunMapExperiment(map, MapFidelity::kFull, think, false, seed)
-                        .joules;
-      double pm =
-          RunMapExperiment(map, MapFidelity::kFull, think, true, seed).joules;
-      double low = RunMapExperiment(map, MapFidelity::kCroppedSecondary, think,
-                                    true, seed)
-                       .joules;
-      AddObject(r, base, pm, low);
-      if (think == 5.0) {
-        AddObject(all, base, pm, low);
-        ctx.Record(std::string("Map/") + map.name, seed,
-                   odharness::TrialSample{
-                       low / base, {{"base", base}, {"pm", pm}, {"low", low}}});
-      }
+      const uint64_t seed = 8200 + i;
+      auto cell = [&map, think, seed] {
+        double base =
+            RunMapExperiment(map, MapFidelity::kFull, think, false, seed).joules;
+        double pm =
+            RunMapExperiment(map, MapFidelity::kFull, think, true, seed).joules;
+        double low = RunMapExperiment(map, MapFidelity::kCroppedSecondary, think,
+                                      true, seed)
+                         .joules;
+        return ObjectSample(base, pm, low);
+      };
+      row.cells[i] = row.pooled
+                         ? sweep.Add(std::string("Map/") + map.name, seed, cell)
+                         : sweep.AddHidden(cell);
     }
-    AddRow(table, "Map", odutil::Table::Num(think, 0).c_str(), r);
+    rows.push_back(std::move(row));
   }
   for (double think : {0.0, 5.0, 10.0, 20.0}) {
-    Ratios r;
+    Row row{"Web", odutil::Table::Num(think, 0), /*pooled=*/think == 5.0};
     for (size_t i = 0; i < 4; ++i) {
       const WebImage& image = StandardWebImages()[i];
-      uint64_t seed = 8300 + i;
-      double base =
-          RunWebExperiment(image, WebFidelity::kOriginal, think, false, seed)
-              .joules;
-      double pm =
-          RunWebExperiment(image, WebFidelity::kOriginal, think, true, seed).joules;
-      double low =
-          RunWebExperiment(image, WebFidelity::kJpeg5, think, true, seed).joules;
-      AddObject(r, base, pm, low);
-      if (think == 5.0) {
-        AddObject(all, base, pm, low);
-        ctx.Record(std::string("Web/") + image.name, seed,
-                   odharness::TrialSample{
-                       low / base, {{"base", base}, {"pm", pm}, {"low", low}}});
+      const uint64_t seed = 8300 + i;
+      auto cell = [&image, think, seed] {
+        double base =
+            RunWebExperiment(image, WebFidelity::kOriginal, think, false, seed)
+                .joules;
+        double pm =
+            RunWebExperiment(image, WebFidelity::kOriginal, think, true, seed)
+                .joules;
+        double low =
+            RunWebExperiment(image, WebFidelity::kJpeg5, think, true, seed)
+                .joules;
+        return ObjectSample(base, pm, low);
+      };
+      row.cells[i] = row.pooled
+                         ? sweep.Add(std::string("Web/") + image.name, seed, cell)
+                         : sweep.AddHidden(cell);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  sweep.Run();
+
+  Ratios all;  // Pooled across applications for the Section 3.8 claims.
+  for (const Row& row : rows) {
+    Ratios r;
+    for (size_t cell : row.cells) {
+      const auto& b = sweep.Sample(cell).breakdown;
+      AddObject(r, b.at("base"), b.at("pm"), b.at("low"));
+      if (row.pooled) {
+        AddObject(all, b.at("base"), b.at("pm"), b.at("low"));
       }
     }
-    AddRow(table, "Web", odutil::Table::Num(think, 0).c_str(), r);
+    AddRow(table, row.app, row.think, r);
   }
   table.Print();
 

@@ -1,11 +1,18 @@
 // Regenerates Figure 18: projected energy impact of zoned backlighting for
 // the video and map applications, normalized to their baselines, for
 // no-zoning, 4-zone, and 8-zone displays at full and lowest fidelity.
+//
+// Two sweep phases: the five normalization baselines run first (in
+// parallel), then all thirty zoned cells divide by their row's baseline —
+// every cell independent, so the grid parallelizes under --jobs with
+// output identical to serial.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/experiments.h"
+#include "src/harness/sweep_runner.h"
 
 using namespace odapps;
 
@@ -19,48 +26,87 @@ ODBENCH_EXPERIMENT(fig18_zoned,
                    "HW-PM 8 zones", "Lowest no zones", "Lowest 4 zones",
                    "Lowest 8 zones"});
 
-  {
-    const VideoClip& clip = StandardVideoClips()[0];
-    double base =
-        RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, false, 9000).joules;
-    auto at = [&](VideoTrack track, double window, int zones) {
-      auto m = RunZonedVideoExperiment(clip, track, window, zones, 9000);
-      double ratio = m.joules / base;
-      char label[64];
-      std::snprintf(label, sizeof(label), "Video/%s/zones%d",
-                    track == VideoTrack::kBaseline ? "full" : "lowest", zones);
-      ctx.Record(label, 9000, odharness::TrialSample{ratio});
-      return ratio;
-    };
-    table.AddRow({"Video", "N/A",
-                  odutil::Table::Num(at(VideoTrack::kBaseline, 1.0, 0), 2),
-                  odutil::Table::Num(at(VideoTrack::kBaseline, 1.0, 4), 2),
-                  odutil::Table::Num(at(VideoTrack::kBaseline, 1.0, 8), 2),
-                  odutil::Table::Num(at(VideoTrack::kPremiereC, 0.5, 0), 2),
-                  odutil::Table::Num(at(VideoTrack::kPremiereC, 0.5, 4), 2),
-                  odutil::Table::Num(at(VideoTrack::kPremiereC, 0.5, 8), 2)});
-  }
-
+  odharness::Sweep sweep(ctx);
+  const VideoClip& clip = StandardVideoClips()[0];
   const MapObject& map = StandardMaps()[0];
-  for (double think : {0.0, 5.0, 10.0, 20.0}) {
-    double base =
-        RunMapExperiment(map, MapFidelity::kFull, think, false, 9100).joules;
-    auto at = [&](MapFidelity fidelity, int zones) {
-      auto m = RunZonedMapExperiment(map, fidelity, think, zones, 9100);
-      double ratio = m.joules / base;
-      char label[64];
-      std::snprintf(label, sizeof(label), "Map/think%.0f/%s/zones%d", think,
-                    fidelity == MapFidelity::kFull ? "full" : "lowest", zones);
-      ctx.Record(label, 9100, odharness::TrialSample{ratio});
-      return ratio;
-    };
-    table.AddRow({"Map", odutil::Table::Num(think, 0),
-                  odutil::Table::Num(at(MapFidelity::kFull, 0), 2),
-                  odutil::Table::Num(at(MapFidelity::kFull, 4), 2),
-                  odutil::Table::Num(at(MapFidelity::kFull, 8), 2),
-                  odutil::Table::Num(at(MapFidelity::kCroppedSecondary, 0), 2),
-                  odutil::Table::Num(at(MapFidelity::kCroppedSecondary, 4), 2),
-                  odutil::Table::Num(at(MapFidelity::kCroppedSecondary, 8), 2)});
+  const double thinks[] = {0.0, 5.0, 10.0, 20.0};
+
+  // Phase 1: each row's baseline energy.
+  size_t video_base = sweep.AddHidden([&clip] {
+    return odharness::TrialSample{
+        RunVideoExperiment(clip, VideoTrack::kBaseline, 1.0, false, 9000).joules};
+  });
+  size_t map_base[4];
+  for (size_t t = 0; t < 4; ++t) {
+    const double think = thinks[t];
+    map_base[t] = sweep.AddHidden([&map, think] {
+      return odharness::TrialSample{
+          RunMapExperiment(map, MapFidelity::kFull, think, false, 9100).joules};
+    });
+  }
+  sweep.Run();
+
+  // Phase 2: the zoned grid, each cell normalized by its baseline.
+  struct VideoCase {
+    VideoTrack track;
+    double window;
+    int zones;
+  };
+  std::vector<size_t> video_cells;
+  for (const VideoCase& c :
+       {VideoCase{VideoTrack::kBaseline, 1.0, 0},
+        VideoCase{VideoTrack::kBaseline, 1.0, 4},
+        VideoCase{VideoTrack::kBaseline, 1.0, 8},
+        VideoCase{VideoTrack::kPremiereC, 0.5, 0},
+        VideoCase{VideoTrack::kPremiereC, 0.5, 4},
+        VideoCase{VideoTrack::kPremiereC, 0.5, 8}}) {
+    double base = sweep.Value(video_base);
+    char label[64];
+    std::snprintf(label, sizeof(label), "Video/%s/zones%d",
+                  c.track == VideoTrack::kBaseline ? "full" : "lowest",
+                  c.zones);
+    video_cells.push_back(sweep.Add(label, 9000, [&clip, c, base] {
+      auto m = RunZonedVideoExperiment(clip, c.track, c.window, c.zones, 9000);
+      return odharness::TrialSample{m.joules / base};
+    }));
+  }
+  size_t map_cells[4][6];
+  for (size_t t = 0; t < 4; ++t) {
+    const double think = thinks[t];
+    const double base = sweep.Value(map_base[t]);
+    int cell = 0;
+    for (MapFidelity fidelity :
+         {MapFidelity::kFull, MapFidelity::kCroppedSecondary}) {
+      for (int zones : {0, 4, 8}) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "Map/think%.0f/%s/zones%d", think,
+                      fidelity == MapFidelity::kFull ? "full" : "lowest",
+                      zones);
+        map_cells[t][cell++] =
+            sweep.Add(label, 9100, [&map, fidelity, think, zones, base] {
+              auto m = RunZonedMapExperiment(map, fidelity, think, zones, 9100);
+              return odharness::TrialSample{m.joules / base};
+            });
+      }
+    }
+  }
+  sweep.Run();
+
+  table.AddRow({"Video", "N/A",
+                odutil::Table::Num(sweep.Value(video_cells[0]), 2),
+                odutil::Table::Num(sweep.Value(video_cells[1]), 2),
+                odutil::Table::Num(sweep.Value(video_cells[2]), 2),
+                odutil::Table::Num(sweep.Value(video_cells[3]), 2),
+                odutil::Table::Num(sweep.Value(video_cells[4]), 2),
+                odutil::Table::Num(sweep.Value(video_cells[5]), 2)});
+  for (size_t t = 0; t < 4; ++t) {
+    table.AddRow({"Map", odutil::Table::Num(thinks[t], 0),
+                  odutil::Table::Num(sweep.Value(map_cells[t][0]), 2),
+                  odutil::Table::Num(sweep.Value(map_cells[t][1]), 2),
+                  odutil::Table::Num(sweep.Value(map_cells[t][2]), 2),
+                  odutil::Table::Num(sweep.Value(map_cells[t][3]), 2),
+                  odutil::Table::Num(sweep.Value(map_cells[t][4]), 2),
+                  odutil::Table::Num(sweep.Value(map_cells[t][5]), 2)});
   }
   table.Print();
 

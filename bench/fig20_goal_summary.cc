@@ -7,24 +7,33 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
+#include "src/harness/sweep_runner.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
 using namespace odapps;
 
-ODBENCH_EXPERIMENT(fig20_goal_summary,
-                   "Figure 20: goal-directed adaptation summary across "
-                   "1200-1560 s goals") {
+ODBENCH_EXPERIMENT_COST(fig20_goal_summary,
+                        "Figure 20: goal-directed adaptation summary across "
+                        "1200-1560 s goals",
+                        300) {
   odutil::Table table(
       "Figure 20: Summary of goal-directed adaptation (5 trials per row; "
       "mean (stddev))");
   table.SetHeader({"Specified Duration (s)", "Goal Met", "Residual (J)",
                    "Adapt Speech", "Adapt Video", "Adapt Map", "Adapt Web"});
 
-  for (double goal_seconds : {1200.0, 1320.0, 1440.0, 1560.0}) {
-    odharness::TrialSet set = ctx.RunTrials(
+  // The four goal sweeps and the two pinned-lifetime measurements are all
+  // independent; submit everything as sweep cells so the figure runs wide
+  // under --jobs instead of goal-by-goal.
+  odharness::Sweep sweep(ctx);
+  const double goals[] = {1200.0, 1320.0, 1440.0, 1560.0};
+  size_t goal_cells[4];
+  for (int g = 0; g < 4; ++g) {
+    const double goal_seconds = goals[g];
+    goal_cells[g] = sweep.AddTrials(
         "goal_" + odutil::Table::Num(goal_seconds, 0), 5, 20000,
-        [&](uint64_t seed) {
+        [goal_seconds](uint64_t seed) {
           GoalScenarioOptions options;
           options.goal = odsim::SimDuration::Seconds(goal_seconds);
           options.seed = seed;
@@ -37,11 +46,22 @@ ODBENCH_EXPERIMENT(fig20_goal_summary,
           }
           return sample;
         });
-    auto mean_std = [&](const char* key) {
+  }
+  size_t full_cell = sweep.AddHidden([] {
+    return odharness::TrialSample{MeasurePinnedLifetime(13500.0, false, 999)};
+  });
+  size_t low_cell = sweep.AddHidden([] {
+    return odharness::TrialSample{MeasurePinnedLifetime(13500.0, true, 999)};
+  });
+  sweep.Run();
+
+  for (int g = 0; g < 4; ++g) {
+    const odharness::TrialSet& set = sweep.Set(goal_cells[g]);
+    auto mean_std = [&set](const char* key) {
       const odutil::Summary& s = set.breakdown_summaries.at(key);
       return odutil::Table::MeanStd(s.mean, s.stddev, 1);
     };
-    table.AddRow({odutil::Table::Num(goal_seconds, 0),
+    table.AddRow({odutil::Table::Num(goals[g], 0),
                   odutil::Table::Pct(set.Mean("goal_met"), 0),
                   odutil::Table::MeanStd(set.summary.mean, set.summary.stddev, 1),
                   mean_std("Speech"), mean_std("Video"), mean_std("Map"),
@@ -49,8 +69,8 @@ ODBENCH_EXPERIMENT(fig20_goal_summary,
   }
   table.Print();
 
-  double full = MeasurePinnedLifetime(13500.0, false, 999);
-  double low = MeasurePinnedLifetime(13500.0, true, 999);
+  double full = sweep.Value(full_cell);
+  double low = sweep.Value(low_cell);
   ctx.Note("pinned_lifetime_full_seconds", full);
   ctx.Note("pinned_lifetime_lowest_seconds", low);
   std::printf(

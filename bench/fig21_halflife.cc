@@ -11,9 +11,10 @@
 
 using namespace odapps;
 
-ODBENCH_EXPERIMENT(fig21_halflife,
-                   "Figure 21: sensitivity to the smoothing half-life "
-                   "(1-15% of time remaining)") {
+ODBENCH_EXPERIMENT_COST(fig21_halflife,
+                        "Figure 21: sensitivity to the smoothing half-life "
+                        "(1-15% of time remaining)",
+                        250) {
   odutil::Table table(
       "Figure 21: Sensitivity to half-life (13,000 J supply, 1320 s goal; "
       "5 trials per row; mean (stddev))");

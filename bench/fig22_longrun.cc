@@ -11,9 +11,10 @@
 
 using namespace odapps;
 
-ODBENCH_EXPERIMENT(fig22_longrun,
-                   "Figure 22: longer-duration goal-directed adaptation "
-                   "(bursty workload, goal extension)") {
+ODBENCH_EXPERIMENT_COST(fig22_longrun,
+                        "Figure 22: longer-duration goal-directed adaptation "
+                        "(bursty workload, goal extension)",
+                        400) {
   odutil::Table table(
       "Figure 22: Longer-duration goal-directed adaptation (90,000 J; goal "
       "2:45 h, +30 min at the end of the first hour; bursty workload)");

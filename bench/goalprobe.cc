@@ -6,9 +6,10 @@
 
 using namespace odapps;
 
-ODBENCH_EXPERIMENT(goalprobe,
-                   "Development aid: pinned lifetimes and goal-directed "
-                   "dynamics across the Figure 20 goals") {
+ODBENCH_EXPERIMENT_COST(goalprobe,
+                        "Development aid: pinned lifetimes and goal-directed "
+                        "dynamics across the Figure 20 goals",
+                        70) {
   double full = MeasurePinnedLifetime(13500, false, 1);
   double low = MeasurePinnedLifetime(13500, true, 1);
   ctx.Note("pinned_lifetime_full_seconds", full);

@@ -10,9 +10,10 @@
 
 using namespace odapps;
 
-ODBENCH_EXPERIMENT(lifetime,
-                   "Untethered lifetime of the Section 5 workload pinned at "
-                   "highest vs lowest fidelity") {
+ODBENCH_EXPERIMENT_COST(lifetime,
+                        "Untethered lifetime of the Section 5 workload pinned "
+                        "at highest vs lowest fidelity",
+                        60) {
   odutil::Table table(
       "Pinned-fidelity lifetime (13,500 J supply; mean of 3 seeds ±90% CI)");
   table.SetHeader({"Fidelity", "Lifetime (s)", "Lifetime (min)",

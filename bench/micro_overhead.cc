@@ -116,9 +116,10 @@ BENCHMARK(BM_SimulatedSecondOfOnlineMonitoring);
 
 }  // namespace
 
-ODBENCH_EXPERIMENT(micro_overhead,
-                   "Micro-benchmarks of the adaptation machinery hot paths "
-                   "(google-benchmark)") {
+ODBENCH_EXPERIMENT_COST(micro_overhead,
+                        "Micro-benchmarks of the adaptation machinery hot "
+                        "paths (google-benchmark)",
+                        6700) {
   int argc = 1;
   char arg0[] = "micro_overhead";
   char* argv[] = {arg0, nullptr};

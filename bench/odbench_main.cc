@@ -1,19 +1,20 @@
 // odbench — the single runner binary behind every experiment in the
 // evaluation suite.  Replaces the per-figure bench mains: each former main
 // is now a registration stub (see ODBENCH_EXPERIMENT) and this binary
-// lists/runs them, parallelizes their trials, and writes a JSON artifact
-// per experiment.
+// lists/runs them, parallelizes their trials and sweeps, and writes a JSON
+// artifact per experiment.
 //
 //   odbench list
 //       Show every registered experiment with its description.
 //   odbench run <name|all> [--trials N] [--seed S] [--jobs J] [--out DIR]
 //       Run one experiment (unique prefixes accepted: `run fig04`) or all
 //       of them.  --trials/--seed override each trial set's paper defaults;
-//       --jobs runs a set's trials concurrently (results are bit-identical
-//       to --jobs 1); --out selects the artifact directory (default
-//       "artifacts", "none" disables).
+//       --jobs bounds the total worker count across experiment processes,
+//       trial pools, and sweep cells (results are bit-identical to
+//       --jobs 1); --out selects the artifact directory (default
+//       "artifacts", "none" disables).  Flags and positionals may be
+//       interleaved: `odbench run --jobs 4 all` works.
 
-#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include "src/harness/flags.h"
 #include "src/harness/registry.h"
+#include "src/harness/scheduler.h"
 
 namespace {
 
@@ -47,50 +49,29 @@ int List() {
   return 0;
 }
 
-int RunOne(const odharness::Experiment& experiment,
-           const odharness::RunOptions& options) {
-  std::printf("=== %s: %s ===\n", experiment.name.c_str(),
-              experiment.description.c_str());
-  odharness::RunContext ctx(experiment.name, options);
-  const auto start = std::chrono::steady_clock::now();
-  const int rc = experiment.run(ctx);
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(elapsed).count();
-  ctx.artifact().wall_ms = wall_ms;
-  ctx.artifact().exit_code = rc;
-  std::printf("--- %s: rc=%d wall=%.0f ms", experiment.name.c_str(), rc,
-              wall_ms);
-  if (!options.out_dir.empty()) {
-    const std::string path =
-        options.out_dir + "/" + experiment.name + ".json";
-    if (ctx.artifact().WriteFile(path)) {
-      std::printf(" artifact=%s", path.c_str());
-    } else {
-      std::fprintf(stderr, "odbench: could not write %s\n", path.c_str());
-    }
-  }
-  std::printf(" ---\n\n");
-  return rc;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
+int Main(int argc, char** argv) {
   odharness::Flags flags(argc, argv);
   const auto& positional = flags.positional();
   if (positional.empty()) {
     return Usage(argv[0]);
   }
 
+  // Every subcommand validates its flags; `odbench list --bogus` is an
+  // error, not a silently ignored typo.
   const std::string& command = positional[0];
+  std::string error;
   if (command == "list") {
+    if (positional.size() != 1 || !flags.Validate({}, {}, &error)) {
+      if (!error.empty()) {
+        std::fprintf(stderr, "odbench: %s\n", error.c_str());
+      }
+      return Usage(argv[0]);
+    }
     return List();
   }
   if (command != "run" || positional.size() != 2) {
     return Usage(argv[0]);
   }
-  std::string error;
   if (!flags.Validate({"trials", "seed", "jobs", "out"}, {}, &error)) {
     std::fprintf(stderr, "odbench: %s\n", error.c_str());
     return Usage(argv[0]);
@@ -117,12 +98,7 @@ int main(int argc, char** argv) {
   auto& registry = odharness::ExperimentRegistry::Instance();
   const std::string& query = positional[1];
   if (query == "all") {
-    int worst = 0;
-    for (const odharness::Experiment* experiment : registry.List()) {
-      const int rc = RunOne(*experiment, options);
-      worst = std::max(worst, rc);
-    }
-    return worst;
+    return odharness::RunExperiments(registry.List(), options);
   }
 
   std::vector<std::string> matches;
@@ -140,5 +116,16 @@ int main(int argc, char** argv) {
     }
     return 64;
   }
-  return RunOne(*experiment, options);
+  return odharness::RunExperiment(*experiment, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Main(argc, argv);
+  } catch (const odharness::FlagError& e) {
+    std::fprintf(stderr, "odbench: %s\n", e.what());
+    return Usage(argv[0]);
+  }
 }

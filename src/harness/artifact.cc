@@ -56,8 +56,6 @@ JsonValue RunArtifact::ToJson() const {
   JsonValue root = JsonValue::MakeObject();
   root.Set("schema_version", kSchemaVersion);
   root.Set("experiment", experiment);
-  root.Set("jobs", jobs);
-  root.Set("wall_ms", wall_ms);
   root.Set("exit_code", exit_code);
 
   JsonValue sets_json = JsonValue::MakeArray();
@@ -110,8 +108,6 @@ std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
 
   RunArtifact artifact;
   artifact.experiment = name->AsString();
-  artifact.jobs = static_cast<int>(json.DoubleAt("jobs", 1.0));
-  artifact.wall_ms = json.DoubleAt("wall_ms");
   artifact.exit_code = static_cast<int>(json.DoubleAt("exit_code"));
 
   if (const JsonValue* sets = json.Find("sets")) {

@@ -3,15 +3,18 @@
 // Every odbench run emits one JSON document per experiment alongside the
 // ASCII tables: the experiment name, each recorded trial set (per-trial
 // samples with breakdowns, summary mean/stddev/90% CI, cross-trial breakdown
-// means), named scalar notes, and the wall-clock duration of the run.  These
-// files are the machine-readable performance trajectory of the repo.
+// means), and named scalar notes.  These files are the machine-readable
+// performance trajectory of the repo.
 //
-// Schema (version 1):
+// The document contains *measured content only* — deliberately no wall
+// clock and no job count — so an artifact is byte-identical for any --jobs
+// value and diffable across runs (the scheduler's determinism contract; CI
+// enforces it).  Wall-clock timings go to the console.
+//
+// Schema (version 2):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "experiment": "fig06_video",
-//     "jobs": 8,
-//     "wall_ms": 1234.5,
 //     "exit_code": 0,
 //     "sets": [
 //       {
@@ -45,11 +48,9 @@
 namespace odharness {
 
 struct RunArtifact {
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
   std::string experiment;
-  int jobs = 1;
-  double wall_ms = 0.0;
   int exit_code = 0;
 
   struct LabeledSet {

@@ -1,7 +1,8 @@
 #include "src/harness/flags.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdlib>
-#include <set>
 
 namespace odharness {
 
@@ -9,6 +10,12 @@ namespace {
 
 bool IsFlagToken(const std::string& token) {
   return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+[[noreturn]] void ThrowBadValue(const char* kind, const std::string& name,
+                                const std::string& value) {
+  throw FlagError("invalid " + std::string(kind) + " for --" + name + ": '" +
+                  value + "'");
 }
 
 }  // namespace
@@ -24,28 +31,43 @@ Flags::Flags(int argc, char** argv)
       }()) {}
 
 Flags::Flags(std::vector<std::string> args) {
-  bool seen_flag = false;
+  bool end_of_flags = false;
+  bool expect_value = false;  // Previous token was a bare "--flag".
   for (std::string& arg : args) {
-    if (IsFlagToken(arg)) {
-      seen_flag = true;
-      size_t eq = arg.find('=');
-      if (eq != std::string::npos) {
-        tokens_.push_back(arg.substr(0, eq));
-        tokens_.push_back(arg.substr(eq + 1));
-        continue;
-      }
-    } else if (!seen_flag) {
+    if (end_of_flags) {
       positional_.push_back(std::move(arg));
       continue;
     }
-    tokens_.push_back(std::move(arg));
+    if (arg == "--") {
+      end_of_flags = true;
+      expect_value = false;
+      continue;
+    }
+    if (IsFlagToken(arg)) {
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        tokens_.push_back(Token{arg.substr(0, eq), /*is_flag_name=*/true});
+        tokens_.push_back(Token{arg.substr(eq + 1), /*is_flag_name=*/false});
+        expect_value = false;
+      } else {
+        tokens_.push_back(Token{std::move(arg), /*is_flag_name=*/true});
+        expect_value = true;
+      }
+      continue;
+    }
+    if (expect_value) {
+      tokens_.push_back(Token{std::move(arg), /*is_flag_name=*/false});
+      expect_value = false;
+    } else {
+      positional_.push_back(std::move(arg));
+    }
   }
 }
 
 bool Flags::Has(const std::string& name) const {
   const std::string needle = "--" + name;
-  for (const std::string& token : tokens_) {
-    if (token == needle) {
+  for (const Token& token : tokens_) {
+    if (token.is_flag_name && token.text == needle) {
       return true;
     }
   }
@@ -54,9 +76,12 @@ bool Flags::Has(const std::string& name) const {
 
 const std::string* Flags::RawValue(const std::string& name) const {
   const std::string needle = "--" + name;
-  for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
-    if (tokens_[i] == needle && !IsFlagToken(tokens_[i + 1])) {
-      return &tokens_[i + 1];
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].is_flag_name && tokens_[i].text == needle) {
+      if (i + 1 < tokens_.size() && !tokens_[i + 1].is_flag_name) {
+        return &tokens_[i + 1].text;
+      }
+      return nullptr;
     }
   }
   return nullptr;
@@ -70,56 +95,91 @@ std::string Flags::GetString(const std::string& name,
 
 double Flags::GetDouble(const std::string& name, double fallback) const {
   const std::string* value = RawValue(name);
-  return value != nullptr ? std::atof(value->c_str()) : fallback;
+  if (value == nullptr) {
+    return fallback;
+  }
+  if (value->empty()) {
+    ThrowBadValue("number", name, *value);
+  }
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(value->c_str(), &end);
+  if (errno != 0 || end != value->c_str() + value->size()) {
+    ThrowBadValue("number", name, *value);
+  }
+  return parsed;
 }
 
 int Flags::GetInt(const std::string& name, int fallback) const {
   const std::string* value = RawValue(name);
-  return value != nullptr ? std::atoi(value->c_str()) : fallback;
+  if (value == nullptr) {
+    return fallback;
+  }
+  int parsed = 0;
+  auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc() || ptr != value->data() + value->size()) {
+    ThrowBadValue("integer", name, *value);
+  }
+  return parsed;
 }
 
 uint64_t Flags::GetUint64(const std::string& name, uint64_t fallback) const {
   const std::string* value = RawValue(name);
-  return value != nullptr ? std::strtoull(value->c_str(), nullptr, 10)
-                          : fallback;
+  if (value == nullptr) {
+    return fallback;
+  }
+  uint64_t parsed = 0;
+  auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc() || ptr != value->data() + value->size()) {
+    ThrowBadValue("unsigned integer", name, *value);
+  }
+  return parsed;
 }
 
 bool Flags::Validate(std::initializer_list<const char*> value_flags,
                      std::initializer_list<const char*> bool_flags,
                      std::string* error) const {
-  std::set<std::string> values;
-  std::set<std::string> bools;
-  for (const char* f : value_flags) {
-    values.insert(std::string("--") + f);
-  }
-  for (const char* f : bool_flags) {
-    bools.insert(std::string("--") + f);
-  }
-  for (size_t i = 0; i < tokens_.size(); ++i) {
-    const std::string& token = tokens_[i];
-    if (!IsFlagToken(token)) {
-      if (error != nullptr) {
-        *error = "unexpected argument '" + token + "'";
-      }
-      return false;
-    }
-    if (values.count(token) > 0) {
-      if (i + 1 >= tokens_.size() || IsFlagToken(tokens_[i + 1])) {
-        if (error != nullptr) {
-          *error = "flag '" + token + "' requires a value";
-        }
-        return false;
-      }
-      ++i;  // Skip the value token.
-      continue;
-    }
-    if (bools.count(token) > 0) {
-      continue;
-    }
+  auto fail = [error](std::string message) {
     if (error != nullptr) {
-      *error = "unknown flag '" + token + "'";
+      *error = std::move(message);
     }
     return false;
+  };
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    const Token& token = tokens_[i];
+    // Value tokens are consumed alongside their flag below; by construction
+    // every top-of-loop token is a flag name.
+    const bool has_value = i + 1 < tokens_.size() && !tokens_[i + 1].is_flag_name;
+    bool declared = false;
+    for (const char* f : value_flags) {
+      if (token.text.compare(2, std::string::npos, f) == 0) {
+        if (!has_value) {
+          return fail("flag '" + token.text + "' requires a value");
+        }
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      for (const char* f : bool_flags) {
+        if (token.text.compare(2, std::string::npos, f) == 0) {
+          if (has_value) {
+            return fail("flag '" + token.text + "' does not take a value (got '" +
+                        tokens_[i + 1].text + "'; use -- before positionals)");
+          }
+          declared = true;
+          break;
+        }
+      }
+    }
+    if (!declared) {
+      return fail("unknown flag '" + token.text + "'");
+    }
+    if (has_value) {
+      ++i;  // Skip the value token.
+    }
   }
   return true;
 }

@@ -1,0 +1,146 @@
+#include "src/harness/job_budget.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "src/util/check.h"
+
+namespace odharness {
+
+JobBudget& JobBudget::Global() {
+  static JobBudget* budget = new JobBudget();
+  return *budget;
+}
+
+void JobBudget::ConfigureLocal(int tokens) {
+  if (mode_ == Mode::kPipe) {
+    return;  // Children of the run-all scheduler keep the inherited pipe.
+  }
+  mode_ = Mode::kLocal;
+  local_tokens_.store(tokens < 0 ? 0 : tokens, std::memory_order_relaxed);
+}
+
+void JobBudget::ConfigurePipe(int read_fd, int write_fd) {
+  mode_ = Mode::kPipe;
+  read_fd_ = read_fd;
+  write_fd_ = write_fd;
+}
+
+void JobBudget::Reset() {
+  mode_ = Mode::kUnconfigured;
+  local_tokens_.store(0, std::memory_order_relaxed);
+  read_fd_ = -1;
+  write_fd_ = -1;
+}
+
+bool JobBudget::TryAcquire() {
+  switch (mode_) {
+    case Mode::kUnconfigured:
+      return true;
+    case Mode::kLocal: {
+      int available = local_tokens_.load(std::memory_order_relaxed);
+      while (available > 0) {
+        if (local_tokens_.compare_exchange_weak(available, available - 1,
+                                                std::memory_order_relaxed)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Mode::kPipe: {
+#ifndef _WIN32
+      char token = 0;
+      return ::read(read_fd_, &token, 1) == 1;  // O_NONBLOCK: EAGAIN -> 0.
+#else
+      return true;
+#endif
+    }
+  }
+  return true;
+}
+
+void JobBudget::Release() {
+  switch (mode_) {
+    case Mode::kUnconfigured:
+      break;
+    case Mode::kLocal:
+      local_tokens_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Mode::kPipe: {
+#ifndef _WIN32
+      char token = '+';
+      // A jobserver pipe never fills past its initial stock, so a short
+      // write here means the fd is gone — nothing sane to do but drop it.
+      [[maybe_unused]] ssize_t rc = ::write(write_fd_, &token, 1);
+#endif
+      break;
+    }
+  }
+}
+
+void ParallelFor(int n, int max_workers,
+                 const std::function<void(int)>& task) {
+  OD_CHECK(n >= 0);
+  if (n == 0) {
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  // Exceptions recorded per task index; the lowest-index one wins so the
+  // propagated error does not depend on thread completion order.
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(n));
+  std::mutex error_mutex;
+
+  auto work = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        errors[static_cast<size_t>(i)] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int wanted = (max_workers < n ? max_workers : n) - 1;
+  std::vector<std::thread> helpers;
+  if (wanted > 0) {
+    JobBudget& budget = JobBudget::Global();
+    helpers.reserve(static_cast<size_t>(wanted));
+    for (int w = 0; w < wanted; ++w) {
+      if (next.load(std::memory_order_relaxed) >= n || !budget.TryAcquire()) {
+        break;  // Tasks exhausted, or no token free: the caller works alone.
+      }
+      helpers.emplace_back([&budget, &work] {
+        work();
+        budget.Release();
+      });
+    }
+  }
+  work();
+  for (std::thread& helper : helpers) {
+    helper.join();
+  }
+
+  if (failed.load(std::memory_order_relaxed)) {
+    for (std::exception_ptr& error : errors) {
+      if (error != nullptr) {
+        std::rethrow_exception(error);
+      }
+    }
+  }
+}
+
+}  // namespace odharness

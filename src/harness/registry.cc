@@ -1,5 +1,6 @@
 #include "src/harness/registry.h"
 
+#include "src/harness/job_budget.h"
 #include "src/util/check.h"
 
 namespace odharness {
@@ -9,7 +10,11 @@ RunContext::RunContext(std::string experiment_name, const RunOptions& options)
       options_(options),
       runner_(options.jobs) {
   artifact_.experiment = name_;
-  artifact_.jobs = runner_.jobs();
+  // All parallelism below this context — trial pools, sweep cells, nested
+  // combinations — shares one budget of jobs-1 helper threads (the calling
+  // thread is the jobs-th worker).  Inside a run-all child this is a no-op:
+  // the inherited jobserver pipe already spans every sibling process.
+  JobBudget::Global().ConfigureLocal(runner_.jobs() - 1);
 }
 
 TrialSet RunContext::RunTrials(const std::string& label, int default_n,
@@ -81,9 +86,9 @@ std::vector<const Experiment*> ExperimentRegistry::List() const {
 }
 
 Registrar::Registrar(const char* name, const char* description,
-                     int (*run)(RunContext&)) {
+                     int (*run)(RunContext&), double cost_hint) {
   ExperimentRegistry::Instance().Register(
-      Experiment{name, description, run});
+      Experiment{name, description, run, cost_hint});
 }
 
 }  // namespace odharness

@@ -1,0 +1,247 @@
+#include "src/harness/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define ODHARNESS_HAS_FORK 1
+#endif
+
+#include "src/harness/job_budget.h"
+
+namespace odharness {
+
+namespace {
+
+// Streams `path` to stdout and deletes it.  Used to replay a finished
+// child's captured output in registry order.
+void ReplayLog(const std::string& path) {
+  if (std::FILE* log = std::fopen(path.c_str(), "r")) {
+    char buffer[1 << 14];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), log)) > 0) {
+      std::fwrite(buffer, 1, n, stdout);
+    }
+    std::fclose(log);
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+int SerialLoop(const std::vector<const Experiment*>& experiments,
+               const RunOptions& options) {
+  int worst = 0;
+  for (const Experiment* experiment : experiments) {
+    worst = std::max(worst, RunExperiment(*experiment, options));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int RunExperiment(const Experiment& experiment, const RunOptions& options) {
+  std::printf("=== %s: %s ===\n", experiment.name.c_str(),
+              experiment.description.c_str());
+  RunContext ctx(experiment.name, options);
+  const auto start = std::chrono::steady_clock::now();
+  int rc = experiment.run(ctx);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  ctx.artifact().exit_code = rc;
+  std::printf("--- %s: rc=%d wall=%.0f ms", experiment.name.c_str(), rc,
+              wall_ms);
+  if (!options.out_dir.empty()) {
+    const std::string path = options.out_dir + "/" + experiment.name + ".json";
+    if (ctx.artifact().WriteFile(path)) {
+      std::printf(" artifact=%s", path.c_str());
+    } else {
+      std::fprintf(stderr, "odbench: could not write %s\n", path.c_str());
+      rc = std::max(rc, 74);  // EX_IOERR: a missing artifact must fail CI.
+    }
+  }
+  std::printf(" ---\n\n");
+  return rc;
+}
+
+#ifdef ODHARNESS_HAS_FORK
+
+int RunExperiments(const std::vector<const Experiment*>& experiments,
+                   const RunOptions& options) {
+  const size_t n = experiments.size();
+  if (options.jobs <= 1 || n <= 1) {
+    return SerialLoop(experiments, options);
+  }
+
+  // Captured per-experiment logs; replayed to stdout in list order.
+  std::error_code ec;
+  std::string log_dir =
+      (options.out_dir.empty()
+           ? std::filesystem::temp_directory_path(ec).string()
+           : options.out_dir) +
+      "/.odbench-logs-" + std::to_string(::getpid());
+  std::filesystem::create_directories(log_dir, ec);
+  if (ec) {
+    return SerialLoop(experiments, options);
+  }
+  auto log_path = [&](size_t i) {
+    return log_dir + "/" + experiments[i]->name + ".log";
+  };
+
+  // The jobserver pipe: one byte per worker slot.  The read end is
+  // non-blocking — every layer acquires tokens opportunistically.
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return SerialLoop(experiments, options);
+  }
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  for (int i = 0; i < options.jobs; ++i) {
+    char token = '+';
+    if (::write(fds[1], &token, 1) != 1) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return SerialLoop(experiments, options);
+    }
+  }
+  JobBudget::Global().ConfigurePipe(fds[0], fds[1]);
+
+  // Start order: most expensive first so fig22_longrun/micro_overhead
+  // overlap the short tail.  Purely a scheduling choice — output replay
+  // and artifacts follow the caller's (registry) order.
+  std::vector<size_t> queue(n);
+  for (size_t i = 0; i < n; ++i) {
+    queue[i] = i;
+  }
+  std::stable_sort(queue.begin(), queue.end(), [&](size_t a, size_t b) {
+    return experiments[a]->cost_hint > experiments[b]->cost_hint;
+  });
+
+  std::vector<int> rcs(n, 0);
+  std::vector<bool> done(n, false);
+  std::map<pid_t, size_t> running;
+  size_t next_in_queue = 0;
+  size_t next_to_print = 0;
+  int worst = 0;
+
+  auto flush_done = [&] {
+    while (next_to_print < n && done[next_to_print]) {
+      ReplayLog(log_path(next_to_print));
+      ++next_to_print;
+    }
+  };
+
+  // Runs one experiment in the parent, output still captured to its log so
+  // the replay order holds.  Fallback for fork failure / lost tokens.
+  auto run_inline = [&](size_t index) {
+    int saved_out = ::dup(1);
+    int saved_err = ::dup(2);
+    std::fflush(nullptr);
+    std::FILE* log = std::fopen(log_path(index).c_str(), "w");
+    if (log != nullptr) {
+      ::dup2(::fileno(log), 1);
+      ::dup2(::fileno(log), 2);
+    }
+    rcs[index] = RunExperiment(*experiments[index], options);
+    std::fflush(nullptr);
+    if (log != nullptr) {
+      std::fclose(log);
+    }
+    ::dup2(saved_out, 1);
+    ::dup2(saved_err, 2);
+    ::close(saved_out);
+    ::close(saved_err);
+    worst = std::max(worst, rcs[index]);
+    done[index] = true;
+    flush_done();
+  };
+
+  while (next_in_queue < n || !running.empty()) {
+    bool progressed = false;
+
+    // Reap any finished children, returning their main-thread tokens.
+    while (!running.empty()) {
+      int status = 0;
+      pid_t pid = ::waitpid(-1, &status, WNOHANG);
+      if (pid <= 0) {
+        break;
+      }
+      auto it = running.find(pid);
+      if (it == running.end()) {
+        continue;
+      }
+      const size_t index = it->second;
+      running.erase(it);
+      rcs[index] = WIFEXITED(status) ? WEXITSTATUS(status)
+                                     : 128 + WTERMSIG(status);
+      worst = std::max(worst, rcs[index]);
+      done[index] = true;
+      JobBudget::Global().Release();
+      flush_done();
+      progressed = true;
+    }
+
+    // Launch further experiments while worker tokens are free.
+    while (next_in_queue < n && JobBudget::Global().TryAcquire()) {
+      const size_t index = queue[next_in_queue++];
+      progressed = true;
+      // Flush before forking: the child inherits stdio buffers and shares
+      // our file offsets, so any pending bytes would be written twice.
+      std::fflush(nullptr);
+      pid_t pid = ::fork();
+      if (pid == 0) {
+        // Child: capture all output, run the one experiment, exit raw.
+        std::FILE* log = std::freopen(log_path(index).c_str(), "w", stdout);
+        if (log != nullptr) {
+          ::dup2(::fileno(stdout), 2);
+        }
+        int rc = RunExperiment(*experiments[index], options);
+        std::fflush(nullptr);
+        ::_exit(rc < 0 || rc > 125 ? 125 : rc);
+      }
+      if (pid > 0) {
+        running.emplace(pid, index);
+        continue;
+      }
+      run_inline(index);  // Fork failed; degrade gracefully.
+      JobBudget::Global().Release();
+    }
+
+    if (!progressed) {
+      if (running.empty() && next_in_queue < n) {
+        // No child is running and no token surfaced — tokens were lost
+        // (a crashed child takes its helpers' tokens with it).  Degrade to
+        // inline execution rather than spinning forever.
+        run_inline(queue[next_in_queue++]);
+        continue;
+      }
+      // Tokens are all in flight inside children; wait for movement.
+      ::usleep(2000);
+    }
+  }
+
+  flush_done();
+  JobBudget::Global().Reset();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  std::filesystem::remove(log_dir, ec);
+  return worst;
+}
+
+#else  // !ODHARNESS_HAS_FORK
+
+int RunExperiments(const std::vector<const Experiment*>& experiments,
+                   const RunOptions& options) {
+  return SerialLoop(experiments, options);
+}
+
+#endif
+
+}  // namespace odharness

@@ -1,0 +1,87 @@
+#include "src/harness/sweep_runner.h"
+
+#include <utility>
+
+#include "src/harness/job_budget.h"
+#include "src/harness/registry.h"
+#include "src/util/check.h"
+
+namespace odharness {
+
+size_t Sweep::Add(std::string label, uint64_t seed, CellFn fn) {
+  Cell cell;
+  cell.kind = Kind::kSample;
+  cell.label = std::move(label);
+  cell.seed = seed;
+  cell.fn = std::move(fn);
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+size_t Sweep::AddHidden(CellFn fn) {
+  Cell cell;
+  cell.kind = Kind::kHidden;
+  cell.fn = std::move(fn);
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+size_t Sweep::AddTrials(std::string label, int default_n,
+                        uint64_t default_seed, TrialFn fn) {
+  const RunOptions& options = ctx_.options();
+  Cell cell;
+  cell.kind = Kind::kTrialSet;
+  cell.label = std::move(label);
+  cell.seed = options.seed > 0 ? options.seed : default_seed;
+  cell.trials = options.trials > 0 ? options.trials : default_n;
+  cell.trial_fn = std::move(fn);
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+void Sweep::Run() {
+  const size_t begin = executed_;
+  const size_t n = cells_.size() - begin;
+  if (n == 0) {
+    return;
+  }
+
+  ParallelFor(static_cast<int>(n), ctx_.jobs(), [&](int i) {
+    Cell& cell = cells_[begin + static_cast<size_t>(i)];
+    if (cell.kind == Kind::kTrialSet) {
+      TrialRunner runner(ctx_.jobs());
+      cell.result = runner.Run(cell.trials, cell.seed, cell.trial_fn);
+    } else {
+      cell.result.base_seed = cell.seed;
+      cell.result.trials.push_back(cell.fn());
+      cell.result.Summarize();
+    }
+    cell.done = true;
+  });
+
+  // Every cell completed (ParallelFor would have thrown otherwise); record
+  // in submission order so the artifact is independent of scheduling.
+  for (size_t i = begin; i < cells_.size(); ++i) {
+    Cell& cell = cells_[i];
+    if (cell.kind != Kind::kHidden) {
+      ctx_.artifact().AddSet(cell.label, cell.result);
+    }
+  }
+  executed_ = cells_.size();
+}
+
+const TrialSample& Sweep::Sample(size_t index) const {
+  OD_CHECK(index < cells_.size());
+  const Cell& cell = cells_[index];
+  OD_CHECK(cell.done);  // Run() must come before result access.
+  OD_CHECK(!cell.result.trials.empty());
+  return cell.result.trials.front();
+}
+
+const TrialSet& Sweep::Set(size_t index) const {
+  OD_CHECK(index < cells_.size());
+  OD_CHECK(cells_[index].done);
+  return cells_[index].result;
+}
+
+}  // namespace odharness

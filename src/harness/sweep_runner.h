@@ -1,0 +1,93 @@
+// Deterministic parallel execution of heterogeneous sweep cells.
+//
+// RunTrials covers the N-trials-at-consecutive-seeds shape, but several
+// experiments sweep something else entirely: fig16_summary measures a
+// 16-object matrix, fig18_zoned a zone-count grid, ablate_cpu_scaling a
+// clock ladder.  Those used to run serially.  A Sweep lets an experiment
+// submit each independent cell — a labeled closure returning a TrialSample,
+// or a whole RunTrials-shaped set — and then execute all of them on the
+// shared worker budget.  Results are collected and recorded in the run
+// artifact strictly by submission index, so tables and JSON artifacts are
+// bit-identical to a serial run for any --jobs value: the same guarantee
+// TrialRunner gives for trials.
+//
+//   odharness::Sweep sweep(ctx);
+//   auto base = sweep.AddHidden([=] { return Measure(full); });
+//   auto low  = sweep.Add("Video/lowest", seed, [=] { return Measure(low); });
+//   sweep.Run();
+//   double ratio = sweep.Value(low) / sweep.Value(base);
+//
+// Cells may nest trial sets (AddTrials): the inner pool draws helpers from
+// the same global JobBudget, so --jobs J bounds total threads even when a
+// sweep cell is itself parallel.
+
+#ifndef SRC_HARNESS_SWEEP_RUNNER_H_
+#define SRC_HARNESS_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/harness/trial_runner.h"
+
+namespace odharness {
+
+class RunContext;
+
+class Sweep {
+ public:
+  using CellFn = std::function<TrialSample()>;
+
+  explicit Sweep(RunContext& ctx) : ctx_(ctx) {}
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  // Submits one cell; its sample is recorded in the artifact as a
+  // single-trial set labeled `label` at `seed`.  Returns the submission
+  // index, valid after Run() in Sample()/Value()/Set().
+  size_t Add(std::string label, uint64_t seed, CellFn fn);
+
+  // Submits a cell whose result feeds later computation (a normalization
+  // baseline, say) but is not recorded in the artifact.
+  size_t AddHidden(CellFn fn);
+
+  // Submits a whole trial set as one cell: the RunTrials shape (n seeded
+  // trials, --trials/--seed overrides apply), recorded under `label`.
+  // The set's own trials run in parallel within the shared budget.
+  size_t AddTrials(std::string label, int default_n, uint64_t default_seed,
+                   TrialFn fn);
+
+  // Executes every pending cell (calling thread + budgeted helpers) and
+  // records results in submission order.  If any cell throws, no result is
+  // recorded and the lowest-index exception propagates.  Run() may be
+  // called repeatedly; each call executes the cells added since the last.
+  void Run();
+
+  // Result accessors; a trial-set cell's Sample() is its first trial.
+  const TrialSample& Sample(size_t index) const;
+  double Value(size_t index) const { return Sample(index).value; }
+  const TrialSet& Set(size_t index) const;
+
+ private:
+  enum class Kind { kSample, kTrialSet, kHidden };
+
+  struct Cell {
+    Kind kind = Kind::kSample;
+    std::string label;
+    uint64_t seed = 0;
+    CellFn fn;                 // kSample / kHidden.
+    int trials = 0;            // kTrialSet (after overrides).
+    TrialFn trial_fn;          // kTrialSet.
+    TrialSet result;
+    bool done = false;
+  };
+
+  RunContext& ctx_;
+  std::vector<Cell> cells_;
+  size_t executed_ = 0;  // Cells already run and recorded.
+};
+
+}  // namespace odharness
+
+#endif  // SRC_HARNESS_SWEEP_RUNNER_H_

@@ -1,11 +1,8 @@
 #include "src/harness/trial_runner.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <set>
-#include <thread>
 
+#include "src/harness/job_budget.h"
 #include "src/util/check.h"
 
 namespace odharness {
@@ -70,45 +67,10 @@ TrialSet TrialRunner::Run(int n, uint64_t base_seed,
   set.base_seed = base_seed;
   set.trials.resize(static_cast<size_t>(n));
 
-  const int workers = jobs_ < n ? jobs_ : n;
-  if (workers <= 1) {
-    for (int i = 0; i < n; ++i) {
-      set.trials[static_cast<size_t>(i)] =
-          measure(base_seed + static_cast<uint64_t>(i));
-    }
-  } else {
-    std::atomic<int> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        while (!failed.load(std::memory_order_relaxed)) {
-          const int i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) {
-            return;
-          }
-          try {
-            set.trials[static_cast<size_t>(i)] =
-                measure(base_seed + static_cast<uint64_t>(i));
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!failed.exchange(true)) {
-              error = std::current_exception();
-            }
-          }
-        }
-      });
-    }
-    for (std::thread& t : pool) {
-      t.join();
-    }
-    if (error != nullptr) {
-      std::rethrow_exception(error);
-    }
-  }
+  ParallelFor(n, jobs_, [&](int i) {
+    set.trials[static_cast<size_t>(i)] =
+        measure(base_seed + static_cast<uint64_t>(i));
+  });
 
   set.Summarize();
   return set;

@@ -13,8 +13,6 @@ namespace {
 RunArtifact MakeArtifact() {
   RunArtifact artifact;
   artifact.experiment = "fig06_video";
-  artifact.jobs = 8;
-  artifact.wall_ms = 1234.5;
   artifact.exit_code = 0;
 
   TrialRunner runner(1);
@@ -34,8 +32,6 @@ RunArtifact MakeArtifact() {
 
 void ExpectEqual(const RunArtifact& a, const RunArtifact& b) {
   EXPECT_EQ(a.experiment, b.experiment);
-  EXPECT_EQ(a.jobs, b.jobs);
-  EXPECT_EQ(a.wall_ms, b.wall_ms);
   EXPECT_EQ(a.exit_code, b.exit_code);
   ASSERT_EQ(a.sets.size(), b.sets.size());
   for (size_t i = 0; i < a.sets.size(); ++i) {
@@ -98,6 +94,14 @@ TEST(ArtifactTest, JsonCarriesSchemaFields) {
   EXPECT_DOUBLE_EQ(set.Find("summary")->DoubleAt("n"), 5.0);
   ASSERT_NE(json.Find("notes"), nullptr);
   EXPECT_DOUBLE_EQ(json.Find("notes")->DoubleAt("background_watts"), 5.65);
+}
+
+TEST(ArtifactTest, JsonOmitsNondeterministicRunMetadata) {
+  // The determinism contract: artifact bytes must not depend on --jobs or
+  // wall clock, so neither may appear in the document.
+  JsonValue json = MakeArtifact().ToJson();
+  EXPECT_EQ(json.Find("jobs"), nullptr);
+  EXPECT_EQ(json.Find("wall_ms"), nullptr);
 }
 
 TEST(ArtifactTest, FromJsonRejectsWrongShape) {

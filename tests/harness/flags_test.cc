@@ -61,5 +61,70 @@ TEST(FlagsTest, GetStringForValuelessFlagReturnsFallback) {
   EXPECT_EQ(flags.GetString("bursty", "x"), "x");
 }
 
+// Regression: positionals after a flag pair used to be rejected, forcing
+// `odbench run all --jobs 4` word order.  Both orders must now parse.
+TEST(FlagsTest, PositionalsInterleaveWithFlags) {
+  Flags flags({"run", "--jobs", "4", "all", "--trials=3"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "all");
+  EXPECT_EQ(flags.GetInt("jobs", 1), 4);
+  EXPECT_EQ(flags.GetInt("trials", 0), 3);
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  Flags flags({"run", "--jobs", "2", "--", "--trials", "fig04"});
+  EXPECT_EQ(flags.GetInt("jobs", 1), 2);
+  EXPECT_FALSE(flags.Has("trials"));
+  ASSERT_EQ(flags.positional().size(), 3u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "--trials");
+  EXPECT_EQ(flags.positional()[2], "fig04");
+}
+
+// Regression: Has() used to scan value tokens too, so `--out=--trials`
+// made Has("trials") true.  Only flag-name tokens may match.
+TEST(FlagsTest, ValueTokensAreNotFlagNames) {
+  Flags flags({"--out=--trials"});
+  EXPECT_TRUE(flags.Has("out"));
+  EXPECT_FALSE(flags.Has("trials"));
+  EXPECT_EQ(flags.GetString("out", ""), "--trials");
+}
+
+// Regression: GetInt used atoi and silently returned 0 for garbage, so
+// `--trials five` ran zero-trial experiments instead of failing.
+TEST(FlagsTest, GetIntRejectsGarbage) {
+  EXPECT_THROW(Flags({"--trials", "five"}).GetInt("trials", 5), FlagError);
+  EXPECT_THROW(Flags({"--trials", "12abc"}).GetInt("trials", 5), FlagError);
+  EXPECT_THROW(Flags({"--trials="}).GetInt("trials", 5), FlagError);
+  EXPECT_THROW(Flags({"--trials", "99999999999999999999"}).GetInt("trials", 5),
+               FlagError);
+  EXPECT_EQ(Flags({"--trials", "-2"}).GetInt("trials", 5), -2);
+}
+
+TEST(FlagsTest, GetDoubleRejectsGarbage) {
+  EXPECT_THROW(Flags({"--minutes", "abc"}).GetDouble("minutes", 1.0),
+               FlagError);
+  EXPECT_THROW(Flags({"--minutes", "1.5x"}).GetDouble("minutes", 1.0),
+               FlagError);
+  EXPECT_THROW(Flags({"--minutes="}).GetDouble("minutes", 1.0), FlagError);
+  EXPECT_DOUBLE_EQ(Flags({"--minutes", "22.5"}).GetDouble("minutes", 1.0),
+                   22.5);
+}
+
+TEST(FlagsTest, GetUint64RejectsGarbageAndNegatives) {
+  EXPECT_THROW(Flags({"--seed", "xyz"}).GetUint64("seed", 1), FlagError);
+  EXPECT_THROW(Flags({"--seed", "-3"}).GetUint64("seed", 1), FlagError);
+  EXPECT_EQ(Flags({"--seed", "18446744073709551615"}).GetUint64("seed", 1),
+            18446744073709551615ull);
+}
+
+TEST(FlagsTest, ValidateRejectsBoolFlagWithValue) {
+  Flags flags({"--lowest=yes"});
+  std::string error;
+  EXPECT_FALSE(flags.Validate({}, {"lowest"}, &error));
+  EXPECT_NE(error.find("does not take a value"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace odharness

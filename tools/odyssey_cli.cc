@@ -114,9 +114,7 @@ int Usage(const char* prog) {
   return 64;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int Main(int argc, char** argv) {
   odharness::Flags flags(argc, argv);
   if (flags.positional().size() != 1) {
     return Usage(argv[0]);
@@ -153,4 +151,15 @@ int main(int argc, char** argv) {
     return Lifetime(flags);
   }
   return Goal(flags);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Main(argc, argv);
+  } catch (const odharness::FlagError& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return Usage(argv[0]);
+  }
 }
