@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/apps/calibration.h"
 #include "src/apps/experiments.h"
 
 using odapps::RunVideoExperiment;
@@ -26,8 +27,10 @@ constexpr Bar kBars[] = {
     {"Hardware-Only Power Mgmt.", VideoTrack::kBaseline, 1.0, true},
     {"Premiere-B", VideoTrack::kPremiereB, 1.0, true},
     {"Premiere-C", VideoTrack::kPremiereC, 1.0, true},
-    {"Reduced Window", VideoTrack::kBaseline, 0.5, true},
-    {"Combined", VideoTrack::kPremiereC, 0.5, true},
+    {"Reduced Window", VideoTrack::kBaseline,
+     odapps::kVideoCal.reduced_window_scale, true},
+    {"Combined", VideoTrack::kPremiereC,
+     odapps::kVideoCal.reduced_window_scale, true},
 };
 
 }  // namespace

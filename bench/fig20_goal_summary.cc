@@ -41,6 +41,7 @@ ODBENCH_EXPERIMENT_COST(fig20_goal_summary,
           odharness::TrialSample sample;
           sample.value = result.residual_joules;
           sample.breakdown["goal_met"] = result.goal_met ? 1.0 : 0.0;
+          sample.breakdown["elapsed_seconds"] = result.elapsed_seconds;
           for (const auto& [app, count] : result.adaptations) {
             sample.breakdown[app] = count;
           }

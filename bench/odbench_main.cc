@@ -14,12 +14,20 @@
 //       --jobs 1); --out selects the artifact directory (default
 //       "artifacts", "none" disables).  Flags and positionals may be
 //       interleaved: `odbench run --jobs 4 all` works.
+//   odbench diff <a.json> <b.json> [--rtol R] [--atol A]
+//       Structurally compare two run artifacts (sets by label, notes by
+//       key).  Exit 0: identical measurements; 1: numeric drift, all
+//       within |a-b| <= atol + rtol*max(|a|,|b|); 2: out-of-tolerance or
+//       structural changes; 64: usage; 66: unreadable artifact.
 
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/apps/calibration.h"
+#include "src/harness/artifact_diff.h"
 #include "src/harness/flags.h"
 #include "src/harness/registry.h"
 #include "src/harness/scheduler.h"
@@ -30,8 +38,9 @@ int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s list\n"
                "       %s run <name|all> [--trials N] [--seed S] [--jobs J]"
-               " [--out DIR]\n",
-               prog, prog);
+               " [--out DIR]\n"
+               "       %s diff <a.json> <b.json> [--rtol R] [--atol A]\n",
+               prog, prog, prog);
   return 64;
 }
 
@@ -49,7 +58,43 @@ int List() {
   return 0;
 }
 
+int Diff(const odharness::Flags& flags, const char* prog) {
+  const auto& positional = flags.positional();
+  std::string error;
+  if (positional.size() != 3 || !flags.Validate({"rtol", "atol"}, {}, &error)) {
+    if (!error.empty()) {
+      std::fprintf(stderr, "odbench: %s\n", error.c_str());
+    }
+    return Usage(prog);
+  }
+  odharness::DiffOptions options;
+  options.rtol = flags.GetDouble("rtol", 0.0);
+  options.atol = flags.GetDouble("atol", 0.0);
+
+  auto read = [](const std::string& path)
+      -> std::optional<odharness::RunArtifact> {
+    auto artifact = odharness::RunArtifact::ReadFile(path);
+    if (!artifact.has_value()) {
+      std::fprintf(stderr, "odbench: cannot read artifact %s\n", path.c_str());
+    }
+    return artifact;
+  };
+  auto a = read(positional[1]);
+  auto b = read(positional[2]);
+  if (!a.has_value() || !b.has_value()) {
+    return 66;  // EX_NOINPUT
+  }
+
+  odharness::ArtifactDiff diff = odharness::DiffArtifacts(*a, *b, options);
+  odharness::PrintArtifactDiff(diff, stdout);
+  return diff.ExitCode();
+}
+
 int Main(int argc, char** argv) {
+  // Stamp the application-layer calibration constants into every artifact's
+  // provenance before anything runs (children inherit this across fork).
+  odharness::SetProvenanceCalibration(odapps::CalibrationConstants());
+
   odharness::Flags flags(argc, argv);
   const auto& positional = flags.positional();
   if (positional.empty()) {
@@ -68,6 +113,9 @@ int Main(int argc, char** argv) {
       return Usage(argv[0]);
     }
     return List();
+  }
+  if (command == "diff") {
+    return Diff(flags, argv[0]);
   }
   if (command != "run" || positional.size() != 2) {
     return Usage(argv[0]);

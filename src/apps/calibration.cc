@@ -1,0 +1,44 @@
+#include "src/apps/calibration.h"
+
+namespace odapps {
+
+std::vector<std::pair<std::string, double>> CalibrationConstants() {
+  // Keep in sync with the structs in calibration.h: a constant missing here
+  // is invisible to artifact provenance (and to diff's perturbation hints).
+  return {
+      {"video.chunk_seconds", kVideoCal.chunk_seconds},
+      {"video.xserver_busy_full_window", kVideoCal.xserver_busy_full_window},
+      {"video.odyssey_busy", kVideoCal.odyssey_busy},
+      {"video.reduced_window_scale", kVideoCal.reduced_window_scale},
+      {"speech.waveform_bytes_per_second",
+       kSpeechCal.waveform_bytes_per_second},
+      {"speech.frontend_rtf", kSpeechCal.frontend_rtf},
+      {"speech.local_rtf_full", kSpeechCal.local_rtf_full},
+      {"speech.local_rtf_reduced", kSpeechCal.local_rtf_reduced},
+      {"speech.server_rtf_full", kSpeechCal.server_rtf_full},
+      {"speech.server_rtf_reduced", kSpeechCal.server_rtf_reduced},
+      {"speech.hybrid_local_rtf_full", kSpeechCal.hybrid_local_rtf_full},
+      {"speech.hybrid_local_rtf_reduced", kSpeechCal.hybrid_local_rtf_reduced},
+      {"speech.hybrid_compression", kSpeechCal.hybrid_compression},
+      {"speech.hybrid_server_rtf_full", kSpeechCal.hybrid_server_rtf_full},
+      {"speech.hybrid_server_rtf_reduced",
+       kSpeechCal.hybrid_server_rtf_reduced},
+      {"speech.reply_bytes", static_cast<double>(kSpeechCal.reply_bytes)},
+      {"speech.full_vocab_disk_fraction", kSpeechCal.full_vocab_disk_fraction},
+      {"map.server_seconds", kMapCal.server_seconds},
+      {"map.request_bytes", static_cast<double>(kMapCal.request_bytes)},
+      {"map.render_cpu_seconds_per_mb", kMapCal.render_cpu_seconds_per_mb},
+      {"map.think_seconds", kMapCal.think_seconds},
+      {"web.distill_seconds_per_mb", kWebCal.distill_seconds_per_mb},
+      {"web.request_bytes", static_cast<double>(kWebCal.request_bytes)},
+      {"web.html_bytes", static_cast<double>(kWebCal.html_bytes)},
+      {"web.render_cpu_seconds_per_mb", kWebCal.render_cpu_seconds_per_mb},
+      {"web.think_seconds", kWebCal.think_seconds},
+      {"web.jpeg75_scale", kWebCal.jpeg75_scale},
+      {"web.jpeg50_scale", kWebCal.jpeg50_scale},
+      {"web.jpeg25_scale", kWebCal.jpeg25_scale},
+      {"web.jpeg5_scale", kWebCal.jpeg5_scale},
+  };
+}
+
+}  // namespace odapps

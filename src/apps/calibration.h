@@ -9,8 +9,16 @@
 #define SRC_APPS_CALIBRATION_H_
 
 #include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace odapps {
+
+// Every constant below as ordered ("<app>.<field>", value) pairs — the
+// calibration block odbench stamps into artifact provenance so a recorded
+// run is self-describing and `odbench diff` can name a perturbed constant.
+std::vector<std::pair<std::string, double>> CalibrationConstants();
 
 // ---------------------------------------------------------------------------
 // Video player (Section 3.3)

@@ -1,11 +1,23 @@
 #include "src/harness/artifact.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <utility>
 
 namespace odharness {
 
 namespace {
+
+#ifndef ODHARNESS_GIT_REVISION
+#define ODHARNESS_GIT_REVISION "unknown"
+#endif
+
+std::vector<std::pair<std::string, double>>& CalibrationStore() {
+  static auto* store = new std::vector<std::pair<std::string, double>>();
+  return *store;
+}
 
 JsonValue MapToJson(const std::map<std::string, double>& map) {
   JsonValue object = JsonValue::MakeObject();
@@ -38,6 +50,17 @@ JsonValue SummaryToJson(const odutil::Summary& summary) {
 
 }  // namespace
 
+void SetProvenanceCalibration(
+    std::vector<std::pair<std::string, double>> constants) {
+  CalibrationStore() = std::move(constants);
+}
+
+const std::vector<std::pair<std::string, double>>& ProvenanceCalibration() {
+  return CalibrationStore();
+}
+
+std::string BuildGitRevision() { return ODHARNESS_GIT_REVISION; }
+
 void RunArtifact::AddSet(std::string label, TrialSet set) {
   sets.push_back(LabeledSet{std::move(label), std::move(set)});
 }
@@ -52,11 +75,43 @@ void RunArtifact::AddNote(std::string key, double value) {
   notes.emplace_back(std::move(key), value);
 }
 
+const RunArtifact::LabeledSet* RunArtifact::FindSet(
+    const std::string& label) const {
+  for (const LabeledSet& labeled : sets) {
+    if (labeled.label == label) {
+      return &labeled;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<double> RunArtifact::FindNote(const std::string& key) const {
+  for (const auto& [k, v] : notes) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
 JsonValue RunArtifact::ToJson() const {
   JsonValue root = JsonValue::MakeObject();
   root.Set("schema_version", kSchemaVersion);
   root.Set("experiment", experiment);
   root.Set("exit_code", exit_code);
+
+  JsonValue prov = JsonValue::MakeObject();
+  prov.Set("git_revision", provenance.git_revision);
+  JsonValue seed_policy = JsonValue::MakeObject();
+  seed_policy.Set("trials_override", provenance.trials_override);
+  seed_policy.Set("seed_override", provenance.seed_override);
+  prov.Set("seed_policy", std::move(seed_policy));
+  JsonValue calibration = JsonValue::MakeObject();
+  for (const auto& [key, value] : provenance.calibration) {
+    calibration.Set(key, value);
+  }
+  prov.Set("calibration", std::move(calibration));
+  root.Set("provenance", std::move(prov));
 
   JsonValue sets_json = JsonValue::MakeArray();
   for (const LabeledSet& labeled : sets) {
@@ -97,8 +152,15 @@ JsonValue RunArtifact::ToJson() const {
 }
 
 std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
-  if (!json.is_object() ||
-      static_cast<int>(json.DoubleAt("schema_version")) != kSchemaVersion) {
+  if (!json.is_object()) {
+    return std::nullopt;
+  }
+  const JsonValue* version = json.Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return std::nullopt;
+  }
+  const int schema = static_cast<int>(version->AsDouble());
+  if (schema < kMinReadSchemaVersion || schema > kSchemaVersion) {
     return std::nullopt;
   }
   const JsonValue* name = json.Find("experiment");
@@ -110,22 +172,54 @@ std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
   artifact.experiment = name->AsString();
   artifact.exit_code = static_cast<int>(json.DoubleAt("exit_code"));
 
-  if (const JsonValue* sets = json.Find("sets")) {
-    for (const JsonValue& set_json : sets->array()) {
-      LabeledSet labeled;
-      if (const JsonValue* label = set_json.Find("label")) {
-        labeled.label = label->AsString();
+  // v2 documents predate provenance; leave the defaults in place.
+  if (const JsonValue* prov = json.Find("provenance")) {
+    if (!prov->is_object()) {
+      return std::nullopt;
+    }
+    if (const JsonValue* rev = prov->Find("git_revision")) {
+      artifact.provenance.git_revision = rev->AsString();
+    }
+    if (const JsonValue* seed_policy = prov->Find("seed_policy")) {
+      artifact.provenance.trials_override =
+          static_cast<int>(seed_policy->DoubleAt("trials_override"));
+      artifact.provenance.seed_override =
+          static_cast<uint64_t>(seed_policy->DoubleAt("seed_override"));
+    }
+    if (const JsonValue* calibration = prov->Find("calibration")) {
+      for (const auto& [key, value] : calibration->object()) {
+        artifact.provenance.calibration.emplace_back(key, value.AsDouble());
       }
+    }
+  }
+
+  if (const JsonValue* sets = json.Find("sets")) {
+    if (!sets->is_array()) {
+      return std::nullopt;
+    }
+    for (const JsonValue& set_json : sets->array()) {
+      // Every recorded set carries a label, a trials array, and a summary;
+      // anything else is a malformed (e.g. hand-edited) document.
+      const JsonValue* label = set_json.Find("label");
+      const JsonValue* trials = set_json.Find("trials");
+      const JsonValue* summary = set_json.Find("summary");
+      if (label == nullptr || !label->is_string() || trials == nullptr ||
+          !trials->is_array() || summary == nullptr || !summary->is_object()) {
+        return std::nullopt;
+      }
+      LabeledSet labeled;
+      labeled.label = label->AsString();
       labeled.set.base_seed =
           static_cast<uint64_t>(set_json.DoubleAt("base_seed"));
-      if (const JsonValue* trials = set_json.Find("trials")) {
-        for (const JsonValue& trial_json : trials->array()) {
-          TrialSample trial;
-          trial.value = trial_json.DoubleAt("value");
-          trial.breakdown = JsonToMap(trial_json.Find("breakdown"));
-          trial.components = JsonToMap(trial_json.Find("components"));
-          labeled.set.trials.push_back(std::move(trial));
+      for (const JsonValue& trial_json : trials->array()) {
+        if (!trial_json.is_object()) {
+          return std::nullopt;
         }
+        TrialSample trial;
+        trial.value = trial_json.DoubleAt("value");
+        trial.breakdown = JsonToMap(trial_json.Find("breakdown"));
+        trial.components = JsonToMap(trial_json.Find("components"));
+        labeled.set.trials.push_back(std::move(trial));
       }
       // Summaries are derived data; recompute rather than trust the file.
       labeled.set.Summarize();
@@ -141,13 +235,28 @@ std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
 }
 
 bool RunArtifact::WriteFile(const std::string& path) const {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "w"), &std::fclose);
-  if (file == nullptr) {
+  // Write-then-rename: a child killed mid-write (run-all schedules each
+  // experiment in its own process) must never leave a truncated artifact
+  // that a later diff or replay would consume as truth.
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+        std::fopen(tmp.c_str(), "w"), &std::fclose);
+    if (file == nullptr) {
+      return false;
+    }
+    const std::string text = ToJson().Dump(/*indent=*/2);
+    if (std::fwrite(text.data(), 1, text.size(), file.get()) != text.size() ||
+        std::fflush(file.get()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     return false;
   }
-  const std::string text = ToJson().Dump(/*indent=*/2);
-  return std::fwrite(text.data(), 1, text.size(), file.get()) == text.size();
+  return true;
 }
 
 std::optional<RunArtifact> RunArtifact::ReadFile(const std::string& path) {

@@ -4,18 +4,30 @@
 // ASCII tables: the experiment name, each recorded trial set (per-trial
 // samples with breakdowns, summary mean/stddev/90% CI, cross-trial breakdown
 // means), and named scalar notes.  These files are the machine-readable
-// performance trajectory of the repo.
+// performance trajectory of the repo and the regression oracle that
+// `odbench diff` (src/harness/artifact_diff.h) and the replay-mode repro
+// tests (src/harness/artifact_replay.h) consume.
 //
 // The document contains *measured content only* — deliberately no wall
 // clock and no job count — so an artifact is byte-identical for any --jobs
 // value and diffable across runs (the scheduler's determinism contract; CI
-// enforces it).  Wall-clock timings go to the console.
+// enforces it).  Wall-clock timings go to the console.  The provenance
+// block records *how* the numbers were produced (calibration constants,
+// git revision, seed policy); it is self-describing metadata, not measured
+// content, and artifact diffs report it informationally without letting it
+// affect the comparison verdict.
 //
-// Schema (version 2):
+// Schema (version 3; version-2 documents, which lack "provenance", are
+// still readable):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "experiment": "fig06_video",
 //     "exit_code": 0,
+//     "provenance": {
+//       "git_revision": "c54b220",
+//       "seed_policy": {"trials_override": 0, "seed_override": 0},
+//       "calibration": {"video.chunk_seconds": 0.5, ...}
+//     },
 //     "sets": [
 //       {
 //         "label": "Video 1/Combined",
@@ -47,11 +59,42 @@
 
 namespace odharness {
 
+// How an artifact's numbers were produced: the calibration constants in
+// effect, the git revision of the build, and whether --trials/--seed
+// overrode the experiments' paper defaults.  Equal measurements with
+// different provenance are still equal — diffs surface provenance drift as
+// information, never as a regression by itself.
+struct Provenance {
+  std::string git_revision = "unknown";
+  // The --trials / --seed overrides (0 = paper defaults everywhere).
+  int trials_override = 0;
+  uint64_t seed_override = 0;
+  // Calibration constants in registration order (see
+  // SetProvenanceCalibration); empty when no application layer registered.
+  std::vector<std::pair<std::string, double>> calibration;
+};
+
+// Registers the process-wide calibration constants stamped into every
+// artifact's provenance.  The application layer owns the constants (the
+// harness cannot depend on it), so odbench's main() calls this once with
+// odapps::CalibrationConstants() before running anything.
+void SetProvenanceCalibration(
+    std::vector<std::pair<std::string, double>> constants);
+const std::vector<std::pair<std::string, double>>& ProvenanceCalibration();
+
+// The git revision compiled into this binary (CMake configure time), or
+// "unknown" outside a git checkout.
+std::string BuildGitRevision();
+
 struct RunArtifact {
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
+  // Oldest schema FromJson still accepts; v2 documents predate provenance
+  // and read back with a default-constructed block.
+  static constexpr int kMinReadSchemaVersion = 2;
 
   std::string experiment;
   int exit_code = 0;
+  Provenance provenance;
 
   struct LabeledSet {
     std::string label;
@@ -65,12 +108,22 @@ struct RunArtifact {
   void AddSet(std::string label, TrialSet set);
   void AddNote(std::string key, double value);
 
+  // The recorded set with this label, or nullptr.  Labels are unique per
+  // artifact; lookup is what the diff and replay layers match sets by.
+  const LabeledSet* FindSet(const std::string& label) const;
+  // The recorded note value, when present.
+  std::optional<double> FindNote(const std::string& key) const;
+
   JsonValue ToJson() const;
   // Reconstructs an artifact (summaries included) from ToJson() output.
-  // Returns nullopt if `json` does not match the schema.
+  // Accepts schema versions kMinReadSchemaVersion..kSchemaVersion; returns
+  // nullopt — never crashes — when `json` does not match the schema
+  // (wrong version, missing experiment, malformed set entries).
   static std::optional<RunArtifact> FromJson(const JsonValue& json);
 
-  // Serializes to `path` (pretty-printed).  Returns false on I/O failure.
+  // Serializes to `path` (pretty-printed) via a temp file + rename, so a
+  // crashed or killed writer never leaves a truncated document for a later
+  // diff or replay to consume.  Returns false on I/O failure.
   bool WriteFile(const std::string& path) const;
   static std::optional<RunArtifact> ReadFile(const std::string& path);
 };

@@ -1,0 +1,278 @@
+#include "src/harness/artifact_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace odharness {
+
+namespace {
+
+using Change = ArtifactDiff::Change;
+using Kind = ArtifactDiff::Change::Kind;
+using Severity = ArtifactDiff::Severity;
+
+// Bit-equality with NaN == NaN: the "no change at all" predicate.
+bool SameValue(double x, double y) {
+  return x == y || (std::isnan(x) && std::isnan(y));
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+class DiffBuilder {
+ public:
+  explicit DiffBuilder(const DiffOptions& options) : options_(options) {}
+
+  void Compare(const std::string& path, double a, double b) {
+    if (SameValue(a, b)) {
+      return;
+    }
+    Change change;
+    change.kind = Kind::kChanged;
+    change.path = path;
+    change.a = a;
+    change.b = b;
+    change.within = WithinTolerance(a, b, options_);
+    Raise(change.within ? Severity::kDrift : Severity::kRegression);
+    diff_.changes.push_back(std::move(change));
+  }
+
+  void OneSided(Kind kind, const std::string& path, double value) {
+    Change change;
+    change.kind = kind;
+    change.path = path;
+    change.detail = (kind == Kind::kAddedInB ? "only in second: "
+                                             : "only in first: ") +
+                    FormatValue(value);
+    Raise(Severity::kRegression);
+    diff_.changes.push_back(std::move(change));
+  }
+
+  void Structural(const std::string& path, std::string detail) {
+    Change change;
+    change.kind = Kind::kStructural;
+    change.path = path;
+    change.detail = std::move(detail);
+    Raise(Severity::kRegression);
+    diff_.changes.push_back(std::move(change));
+  }
+
+  // Compares two string-keyed maps cell by cell (used for per-trial
+  // breakdowns and components).
+  void CompareMaps(const std::string& path,
+                   const std::map<std::string, double>& a,
+                   const std::map<std::string, double>& b) {
+    for (const auto& [key, value] : a) {
+      auto it = b.find(key);
+      if (it == b.end()) {
+        OneSided(Kind::kRemovedInB, path + "[" + key + "]", value);
+      } else {
+        Compare(path + "[" + key + "]", value, it->second);
+      }
+    }
+    for (const auto& [key, value] : b) {
+      if (a.find(key) == a.end()) {
+        OneSided(Kind::kAddedInB, path + "[" + key + "]", value);
+      }
+    }
+  }
+
+  void Hint(std::string text) {
+    diff_.provenance_hints.push_back(std::move(text));
+  }
+
+  ArtifactDiff Take() { return std::move(diff_); }
+
+ private:
+  void Raise(Severity severity) {
+    diff_.severity = std::max(diff_.severity, severity);
+  }
+
+  DiffOptions options_;
+  ArtifactDiff diff_;
+};
+
+void DiffProvenance(const Provenance& a, const Provenance& b,
+                    DiffBuilder& builder) {
+  if (a.git_revision != b.git_revision) {
+    builder.Hint("git_revision: " + a.git_revision + " vs " + b.git_revision);
+  }
+  if (a.trials_override != b.trials_override) {
+    builder.Hint("seed_policy.trials_override: " +
+                 std::to_string(a.trials_override) + " vs " +
+                 std::to_string(b.trials_override));
+  }
+  if (a.seed_override != b.seed_override) {
+    builder.Hint("seed_policy.seed_override: " +
+                 std::to_string(a.seed_override) + " vs " +
+                 std::to_string(b.seed_override));
+  }
+  std::map<std::string, double> b_calibration(b.calibration.begin(),
+                                              b.calibration.end());
+  std::set<std::string> seen;
+  for (const auto& [key, value] : a.calibration) {
+    seen.insert(key);
+    auto it = b_calibration.find(key);
+    if (it == b_calibration.end()) {
+      builder.Hint("calibration." + key + ": only in first (" +
+                   FormatValue(value) + ")");
+    } else if (!SameValue(value, it->second)) {
+      builder.Hint("calibration." + key + ": " + FormatValue(value) + " vs " +
+                   FormatValue(it->second));
+    }
+  }
+  for (const auto& [key, value] : b_calibration) {
+    if (seen.find(key) == seen.end()) {
+      builder.Hint("calibration." + key + ": only in second (" +
+                   FormatValue(value) + ")");
+    }
+  }
+}
+
+void DiffSet(const std::string& path, const TrialSet& a, const TrialSet& b,
+             DiffBuilder& builder) {
+  if (a.base_seed != b.base_seed) {
+    builder.Structural(path + ".base_seed",
+                       "seed " + std::to_string(a.base_seed) + " vs " +
+                           std::to_string(b.base_seed));
+    return;  // Different seeds measure different things; values would only
+             // drown the report in noise.
+  }
+  if (a.trials.size() != b.trials.size()) {
+    builder.Structural(path + ".trials",
+                       std::to_string(a.trials.size()) + " vs " +
+                           std::to_string(b.trials.size()) + " trials");
+    return;
+  }
+  for (size_t t = 0; t < a.trials.size(); ++t) {
+    const std::string trial_path = path + ".trials[" + std::to_string(t) + "]";
+    builder.Compare(trial_path + ".value", a.trials[t].value,
+                    b.trials[t].value);
+    builder.CompareMaps(trial_path + ".breakdown", a.trials[t].breakdown,
+                        b.trials[t].breakdown);
+    builder.CompareMaps(trial_path + ".components", a.trials[t].components,
+                        b.trials[t].components);
+  }
+}
+
+}  // namespace
+
+bool WithinTolerance(double x, double y, const DiffOptions& options) {
+  if (SameValue(x, y)) {
+    return true;
+  }
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    return false;  // NaN vs number, opposite infinities, inf vs finite.
+  }
+  return std::abs(x - y) <=
+         options.atol + options.rtol * std::max(std::abs(x), std::abs(y));
+}
+
+ArtifactDiff DiffArtifacts(const RunArtifact& a, const RunArtifact& b,
+                           const DiffOptions& options) {
+  DiffBuilder builder(options);
+
+  if (a.experiment != b.experiment) {
+    builder.Structural("experiment",
+                       "\"" + a.experiment + "\" vs \"" + b.experiment + "\"");
+  }
+  if (a.exit_code != b.exit_code) {
+    builder.Structural("exit_code", std::to_string(a.exit_code) + " vs " +
+                                        std::to_string(b.exit_code));
+  }
+  DiffProvenance(a.provenance, b.provenance, builder);
+
+  // Sets match by label, not position: a reordered document is not a
+  // change.  Labels are unique within an artifact (RunContext appends in
+  // execution order and experiments never reuse one).
+  for (const RunArtifact::LabeledSet& labeled : a.sets) {
+    const std::string path = "sets[" + labeled.label + "]";
+    const RunArtifact::LabeledSet* other = b.FindSet(labeled.label);
+    if (other == nullptr) {
+      builder.OneSided(Kind::kRemovedInB, path, labeled.set.summary.mean);
+    } else {
+      DiffSet(path, labeled.set, other->set, builder);
+    }
+  }
+  for (const RunArtifact::LabeledSet& labeled : b.sets) {
+    if (a.FindSet(labeled.label) == nullptr) {
+      builder.OneSided(Kind::kAddedInB, "sets[" + labeled.label + "]",
+                       labeled.set.summary.mean);
+    }
+  }
+
+  for (const auto& [key, value] : a.notes) {
+    std::optional<double> other = b.FindNote(key);
+    if (!other.has_value()) {
+      builder.OneSided(Kind::kRemovedInB, "notes[" + key + "]", value);
+    } else {
+      builder.Compare("notes[" + key + "]", value, *other);
+    }
+  }
+  for (const auto& [key, value] : b.notes) {
+    if (!a.FindNote(key).has_value()) {
+      builder.OneSided(Kind::kAddedInB, "notes[" + key + "]", value);
+    }
+  }
+
+  return builder.Take();
+}
+
+void PrintArtifactDiff(const ArtifactDiff& diff, std::FILE* out) {
+  size_t out_of_tolerance = 0;
+  for (const Change& change : diff.changes) {
+    switch (change.kind) {
+      case Kind::kChanged:
+        std::fprintf(out, "changed    %s: %s -> %s%s\n", change.path.c_str(),
+                     FormatValue(change.a).c_str(),
+                     FormatValue(change.b).c_str(),
+                     change.within ? " (within tolerance)"
+                                   : " (OUT OF TOLERANCE)");
+        if (!change.within) {
+          ++out_of_tolerance;
+        }
+        break;
+      case Kind::kAddedInB:
+        std::fprintf(out, "added      %s (%s)\n", change.path.c_str(),
+                     change.detail.c_str());
+        ++out_of_tolerance;
+        break;
+      case Kind::kRemovedInB:
+        std::fprintf(out, "removed    %s (%s)\n", change.path.c_str(),
+                     change.detail.c_str());
+        ++out_of_tolerance;
+        break;
+      case Kind::kStructural:
+        std::fprintf(out, "structural %s: %s\n", change.path.c_str(),
+                     change.detail.c_str());
+        ++out_of_tolerance;
+        break;
+    }
+  }
+  for (const std::string& hint : diff.provenance_hints) {
+    std::fprintf(out, "provenance %s\n", hint.c_str());
+  }
+  switch (diff.severity) {
+    case Severity::kIdentical:
+      if (!diff.provenance_hints.empty()) {
+        std::fprintf(out,
+                     "identical measurements (provenance differs, see above)\n");
+      }
+      break;
+    case Severity::kDrift:
+      std::fprintf(out, "%zu cell(s) drifted, all within tolerance\n",
+                   diff.changes.size());
+      break;
+    case Severity::kRegression:
+      std::fprintf(out, "%zu cell(s) differ, %zu out of tolerance\n",
+                   diff.changes.size(), out_of_tolerance);
+      break;
+  }
+}
+
+}  // namespace odharness

@@ -1,0 +1,89 @@
+#include "src/harness/artifact_replay.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace odharness {
+
+ArtifactReplay::ArtifactReplay(std::string dir) : dir_(std::move(dir)) {}
+
+const ArtifactReplay& ArtifactReplay::Env() {
+  static const ArtifactReplay* instance = [] {
+    const char* dir = std::getenv("ODBENCH_ARTIFACT_DIR");
+    return new ArtifactReplay(dir != nullptr ? dir : "");
+  }();
+  return *instance;
+}
+
+const RunArtifact* ArtifactReplay::Get(const std::string& experiment) const {
+  if (!enabled()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(experiment);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(experiment,
+                      RunArtifact::ReadFile(dir_ + "/" + experiment + ".json"))
+             .first;
+  }
+  return it->second.has_value() ? &*it->second : nullptr;
+}
+
+const TrialSet* ArtifactReplay::FindSet(const std::string& experiment,
+                                        const std::string& label) const {
+  const RunArtifact* artifact = Get(experiment);
+  if (artifact == nullptr) {
+    return nullptr;
+  }
+  const RunArtifact::LabeledSet* labeled = artifact->FindSet(label);
+  return labeled != nullptr ? &labeled->set : nullptr;
+}
+
+std::optional<double> ArtifactReplay::SetMean(const std::string& experiment,
+                                              const std::string& label) const {
+  const TrialSet* set = FindSet(experiment, label);
+  if (set == nullptr || set->trials.empty()) {
+    return std::nullopt;
+  }
+  return set->summary.mean;
+}
+
+std::optional<double> ArtifactReplay::BreakdownMean(
+    const std::string& experiment, const std::string& label,
+    const std::string& key) const {
+  const TrialSet* set = FindSet(experiment, label);
+  if (set == nullptr) {
+    return std::nullopt;
+  }
+  auto it = set->breakdown_summaries.find(key);
+  if (it == set->breakdown_summaries.end()) {
+    return std::nullopt;
+  }
+  return it->second.mean;
+}
+
+std::optional<double> ArtifactReplay::ComponentMean(
+    const std::string& experiment, const std::string& label,
+    const std::string& key) const {
+  const TrialSet* set = FindSet(experiment, label);
+  if (set == nullptr) {
+    return std::nullopt;
+  }
+  auto it = set->component_summaries.find(key);
+  if (it == set->component_summaries.end()) {
+    return std::nullopt;
+  }
+  return it->second.mean;
+}
+
+std::optional<double> ArtifactReplay::Note(const std::string& experiment,
+                                           const std::string& key) const {
+  const RunArtifact* artifact = Get(experiment);
+  if (artifact == nullptr) {
+    return std::nullopt;
+  }
+  return artifact->FindNote(key);
+}
+
+}  // namespace odharness

@@ -10,6 +10,12 @@ RunContext::RunContext(std::string experiment_name, const RunOptions& options)
       options_(options),
       runner_(options.jobs) {
   artifact_.experiment = name_;
+  // Stamp how this run's numbers are being produced.  Identical for every
+  // experiment and every --jobs value, so the determinism contract holds.
+  artifact_.provenance.git_revision = BuildGitRevision();
+  artifact_.provenance.trials_override = options.trials;
+  artifact_.provenance.seed_override = options.seed;
+  artifact_.provenance.calibration = ProvenanceCalibration();
   // All parallelism below this context — trial pools, sweep cells, nested
   // combinations — shares one budget of jobs-1 helper threads (the calling
   // thread is the jobs-th worker).  Inside a run-all child this is a no-op:

@@ -1,0 +1,104 @@
+#include "src/harness/artifact_replay.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/artifact.h"
+#include "src/harness/trial_runner.h"
+
+namespace odharness {
+namespace {
+
+class ArtifactReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/replay_test";
+    std::string cmd = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+    RunArtifact artifact;
+    artifact.experiment = "fig06_video";
+    TrialSet set;
+    set.base_seed = 1000;
+    for (double v : {470.0, 472.0, 468.0}) {
+      TrialSample sample;
+      sample.value = v;
+      sample.breakdown["Idle"] = v / 4.0;
+      sample.components["Disk"] = v / 10.0;
+      set.trials.push_back(std::move(sample));
+    }
+    set.Summarize();
+    artifact.AddSet("Video 1/Combined", std::move(set));
+    artifact.AddNote("claim_ratio", 0.94);
+    ASSERT_TRUE(artifact.WriteFile(dir_ + "/fig06_video.json"));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ArtifactReplayTest, DisabledWhenDirEmpty) {
+  ArtifactReplay replay("");
+  EXPECT_FALSE(replay.enabled());
+  EXPECT_EQ(replay.Get("fig06_video"), nullptr);
+  EXPECT_FALSE(replay.SetMean("fig06_video", "Video 1/Combined").has_value());
+}
+
+TEST_F(ArtifactReplayTest, SetMeanIsCrossTrialMean) {
+  ArtifactReplay replay(dir_);
+  EXPECT_TRUE(replay.enabled());
+  auto mean = replay.SetMean("fig06_video", "Video 1/Combined");
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_DOUBLE_EQ(*mean, 470.0);
+}
+
+TEST_F(ArtifactReplayTest, BreakdownComponentAndNoteLookups) {
+  ArtifactReplay replay(dir_);
+  auto idle = replay.BreakdownMean("fig06_video", "Video 1/Combined", "Idle");
+  ASSERT_TRUE(idle.has_value());
+  EXPECT_DOUBLE_EQ(*idle, 470.0 / 4.0);
+  auto disk = replay.ComponentMean("fig06_video", "Video 1/Combined", "Disk");
+  ASSERT_TRUE(disk.has_value());
+  EXPECT_DOUBLE_EQ(*disk, 47.0);
+  auto note = replay.Note("fig06_video", "claim_ratio");
+  ASSERT_TRUE(note.has_value());
+  EXPECT_DOUBLE_EQ(*note, 0.94);
+}
+
+TEST_F(ArtifactReplayTest, AbsentPiecesReturnNullopt) {
+  // Each miss — experiment, set, key, note — is the caller's signal to
+  // fall back to live simulation, so none of them may throw.
+  ArtifactReplay replay(dir_);
+  EXPECT_EQ(replay.Get("no_such_experiment"), nullptr);
+  EXPECT_FALSE(replay.SetMean("no_such_experiment", "x").has_value());
+  EXPECT_FALSE(replay.SetMean("fig06_video", "No/Such Set").has_value());
+  EXPECT_FALSE(replay.BreakdownMean("fig06_video", "Video 1/Combined", "nope")
+                   .has_value());
+  EXPECT_FALSE(replay.Note("fig06_video", "nope").has_value());
+}
+
+TEST_F(ArtifactReplayTest, MalformedArtifactReadsAsAbsent) {
+  std::string path = dir_ + "/broken.json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("{\"schema_version\": 3, \"experiment\"", file);
+  std::fclose(file);
+  ArtifactReplay replay(dir_);
+  EXPECT_EQ(replay.Get("broken"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactReplayTest, CachesParsedArtifactAcrossLookups) {
+  ArtifactReplay replay(dir_);
+  const RunArtifact* first = replay.Get("fig06_video");
+  ASSERT_NE(first, nullptr);
+  // Delete the file: a second lookup must serve the cached parse.
+  ASSERT_EQ(std::remove((dir_ + "/fig06_video.json").c_str()), 0);
+  EXPECT_EQ(replay.Get("fig06_video"), first);
+  ASSERT_TRUE(replay.SetMean("fig06_video", "Video 1/Combined").has_value());
+}
+
+}  // namespace
+}  // namespace odharness

@@ -104,12 +104,93 @@ TEST(ArtifactTest, JsonOmitsNondeterministicRunMetadata) {
   EXPECT_EQ(json.Find("wall_ms"), nullptr);
 }
 
+TEST(ArtifactTest, ProvenanceRoundTrip) {
+  RunArtifact artifact = MakeArtifact();
+  artifact.provenance.git_revision = "abc1234";
+  artifact.provenance.trials_override = 7;
+  artifact.provenance.seed_override = 42;
+  artifact.provenance.calibration = {{"video.chunk_seconds", 0.5},
+                                     {"web.jpeg5_scale", 0.05}};
+  auto restored = RunArtifact::FromJson(artifact.ToJson());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->provenance.git_revision, "abc1234");
+  EXPECT_EQ(restored->provenance.trials_override, 7);
+  EXPECT_EQ(restored->provenance.seed_override, 42u);
+  EXPECT_EQ(restored->provenance.calibration, artifact.provenance.calibration);
+}
+
+TEST(ArtifactTest, VersionTwoDocumentReadsWithDefaultProvenance) {
+  // v2 artifacts predate the provenance block; they must stay readable and
+  // come back with the default-constructed provenance.
+  JsonValue json = MakeArtifact().ToJson();
+  json.Set("schema_version", 2);
+  ASSERT_TRUE(json.Remove("provenance"));
+  auto restored = RunArtifact::FromJson(json);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->provenance.git_revision, "unknown");
+  EXPECT_EQ(restored->provenance.trials_override, 0);
+  EXPECT_TRUE(restored->provenance.calibration.empty());
+  EXPECT_EQ(restored->experiment, "fig06_video");
+  ASSERT_EQ(restored->sets.size(), 1u);
+}
+
 TEST(ArtifactTest, FromJsonRejectsWrongShape) {
   EXPECT_FALSE(RunArtifact::FromJson(JsonValue(3.0)).has_value());
   JsonValue obj = JsonValue::MakeObject();
   obj.Set("schema_version", 99);
   obj.Set("experiment", "x");
   EXPECT_FALSE(RunArtifact::FromJson(obj).has_value());
+}
+
+TEST(ArtifactTest, FromJsonRejectsUnsupportedVersions) {
+  JsonValue json = MakeArtifact().ToJson();
+  json.Set("schema_version", 1);  // Below kMinReadSchemaVersion.
+  EXPECT_FALSE(RunArtifact::FromJson(json).has_value());
+  json.Set("schema_version", RunArtifact::kSchemaVersion + 1);
+  EXPECT_FALSE(RunArtifact::FromJson(json).has_value());
+  json.Set("schema_version", "3");  // Must be a number, not a string.
+  EXPECT_FALSE(RunArtifact::FromJson(json).has_value());
+  json.Set("schema_version", RunArtifact::kSchemaVersion);
+  EXPECT_TRUE(RunArtifact::FromJson(json).has_value());
+}
+
+TEST(ArtifactTest, FromJsonRejectsMissingExperiment) {
+  JsonValue json = MakeArtifact().ToJson();
+  ASSERT_TRUE(json.Remove("experiment"));
+  EXPECT_FALSE(RunArtifact::FromJson(json).has_value());
+}
+
+TEST(ArtifactTest, FromJsonRejectsMalformedSets) {
+  {
+    JsonValue json = MakeArtifact().ToJson();
+    json.Find("sets")->array()[0].Remove("summary");
+    EXPECT_FALSE(RunArtifact::FromJson(json).has_value());
+  }
+  {
+    JsonValue json = MakeArtifact().ToJson();
+    json.Find("sets")->array()[0].Remove("label");
+    EXPECT_FALSE(RunArtifact::FromJson(json).has_value());
+  }
+  {
+    // A trial entry that is not an object.
+    JsonValue json = MakeArtifact().ToJson();
+    json.Find("sets")->array()[0].Find("trials")->array()[0] = JsonValue(1.0);
+    EXPECT_FALSE(RunArtifact::FromJson(json).has_value());
+  }
+}
+
+TEST(ArtifactTest, ReadFileRejectsTruncatedDocument) {
+  // The torn-write scenario atomic replacement prevents; a byte-level
+  // truncation must read back as nullopt, not garbage.
+  RunArtifact artifact = MakeArtifact();
+  std::string text = artifact.ToJson().Dump(2);
+  std::string path = testing::TempDir() + "/truncated_artifact.json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fwrite(text.data(), 1, text.size() / 2, file);
+  std::fclose(file);
+  EXPECT_FALSE(RunArtifact::ReadFile(path).has_value());
+  std::remove(path.c_str());
 }
 
 TEST(ArtifactTest, FileRoundTrip) {

@@ -1,0 +1,124 @@
+// End-to-end tests of `odbench diff`, driving the real binary against the
+// committed golden artifacts in tests/data/artifacts/.  These are the same
+// goldens CI compares fresh runs against, so DiffFreshRunAgainstGolden is
+// the in-tree proof that the golden workflow holds: regenerate, diff,
+// exit 0 — even though the goldens were recorded at a different git
+// revision (provenance is informational, never a verdict).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/artifact.h"
+
+namespace odharness {
+namespace {
+
+const std::string kBinary = ODBENCH_BINARY;
+const std::string kGoldenDir = ODBENCH_GOLDEN_DIR;
+
+struct CommandResult {
+  int exit_code;
+  std::string output;  // stdout + stderr.
+};
+
+CommandResult RunCommand(const std::string& args) {
+  // Pid-unique so parallel ctest shards never share a capture file.
+  const std::string out_path = testing::TempDir() + "/odbench_diff_out_" +
+                               std::to_string(getpid()) + ".txt";
+  const std::string command =
+      kBinary + " " + args + " > " + out_path + " 2>&1";
+  int status = std::system(command.c_str());
+  CommandResult result;
+  result.exit_code = WEXITSTATUS(status);
+  std::ifstream in(out_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  std::remove(out_path.c_str());
+  return result;
+}
+
+std::string Golden(const std::string& name) {
+  return kGoldenDir + "/" + name + ".json";
+}
+
+TEST(OdbenchDiffTest, GoldenAgainstItselfExitsZero) {
+  CommandResult result =
+      RunCommand("diff " + Golden("fig04_power_table") + " " +
+          Golden("fig04_power_table"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(OdbenchDiffTest, DiffFreshRunAgainstGolden) {
+  // Regenerate each golden experiment and diff it against the committed
+  // fixture: measured content must be bit-identical.
+  const std::string out_dir = testing::TempDir() + "/odbench_diff_fresh";
+  for (const char* name :
+       {"fig02_profile", "fig04_power_table", "calibrate", "fig06_video"}) {
+    CommandResult run =
+        RunCommand("run " + std::string(name) + " --out " + out_dir);
+    ASSERT_EQ(run.exit_code, 0) << run.output;
+    CommandResult diff = RunCommand("diff " + Golden(name) + " " + out_dir + "/" +
+                             name + ".json");
+    EXPECT_EQ(diff.exit_code, 0) << name << ":\n" << diff.output;
+  }
+}
+
+TEST(OdbenchDiffTest, PerturbedValueExitsTwoAndNamesTheSet) {
+  auto artifact = RunArtifact::ReadFile(Golden("fig06_video"));
+  ASSERT_TRUE(artifact.has_value());
+  ASSERT_FALSE(artifact->sets.empty());
+  ASSERT_FALSE(artifact->sets[0].set.trials.empty());
+  artifact->sets[0].set.trials[0].value += 100.0;
+  const std::string perturbed = testing::TempDir() + "/perturbed.json";
+  ASSERT_TRUE(artifact->WriteFile(perturbed));
+
+  CommandResult result =
+      RunCommand("diff " + Golden("fig06_video") + " " + perturbed);
+  EXPECT_EQ(result.exit_code, 2);
+  // The report names the offending set and flags the tolerance violation.
+  EXPECT_NE(result.output.find(artifact->sets[0].label), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("OUT OF TOLERANCE"), std::string::npos);
+  std::remove(perturbed.c_str());
+}
+
+TEST(OdbenchDiffTest, SmallDriftWithinToleranceExitsOne) {
+  auto artifact = RunArtifact::ReadFile(Golden("fig06_video"));
+  ASSERT_TRUE(artifact.has_value());
+  artifact->sets[0].set.trials[0].value += 1e-9;
+  const std::string drifted = testing::TempDir() + "/drifted.json";
+  ASSERT_TRUE(artifact->WriteFile(drifted));
+
+  CommandResult strict =
+      RunCommand("diff " + Golden("fig06_video") + " " + drifted);
+  EXPECT_EQ(strict.exit_code, 2);
+  CommandResult tolerant = RunCommand("diff --rtol 1e-6 " +
+                               Golden("fig06_video") + " " + drifted);
+  EXPECT_EQ(tolerant.exit_code, 1) << tolerant.output;
+  EXPECT_NE(tolerant.output.find("within tolerance"), std::string::npos);
+  std::remove(drifted.c_str());
+}
+
+TEST(OdbenchDiffTest, UsageErrorsExitSixtyFour) {
+  EXPECT_EQ(RunCommand("diff only_one.json").exit_code, 64);
+  EXPECT_EQ(RunCommand("diff a.json b.json c.json").exit_code, 64);
+  EXPECT_EQ(RunCommand("diff --bogus 1 a.json b.json").exit_code, 64);
+}
+
+TEST(OdbenchDiffTest, UnreadableArtifactExitsSixtySix) {
+  CommandResult result = RunCommand("diff " + Golden("fig04_power_table") +
+                             " /nonexistent/missing.json");
+  EXPECT_EQ(result.exit_code, 66);
+  EXPECT_NE(result.output.find("cannot read artifact"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odharness
