@@ -1,0 +1,135 @@
+// Degradation curve under the odfault disturbance ladder: the fixed
+// adaptive workload (browse + map + looping video, see
+// src/fault/fault_scenario.h) run under fault plans of increasing
+// severity.  The measured claim is graceful degradation: every rung keeps
+// the workload live (completed = 1), useful work falls monotonically-ish
+// with severity instead of collapsing, and the outage rungs clamp to
+// lowest fidelity and recover.
+//
+// With --fault-plan the ladder is replaced by that single plan (label
+// "custom"), which is how a perturbation lands in a diffable artifact.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/fault_scenario.h"
+#include "src/util/check.h"
+#include "src/util/table.h"
+
+namespace {
+
+struct Rung {
+  const char* label;
+  const char* spec;  // odfault plan grammar; "" = clean baseline.
+};
+
+}  // namespace
+
+ODBENCH_EXPERIMENT(fault_sweep,
+                   "Degradation curve: adaptive workload under fault plans "
+                   "of increasing severity") {
+  // Severity ladder: clean baseline, single disturbances, then a storm
+  // that overlaps all five fault kinds.  Every window sits inside the
+  // 120 s scenario with slack after it, so recovery is part of the record.
+  std::vector<Rung> rungs = {
+      {"clean", ""},
+      {"loss burst", "loss@30+40=0.3"},
+      {"bandwidth crash", "bandwidth@30+40=0.1"},
+      {"server stall", "stall@30+25"},
+      {"disk spike", "disk@30+40=8"},
+      {"link outage", "outage@30+25"},
+      {"storm",
+       "bandwidth@20+30=0.2;loss@35+20=0.3;outage@60+20;stall@85+15;"
+       "disk@20+80=4"},
+  };
+  if (!ctx.options().fault_plan.empty()) {
+    rungs = {{"custom", ctx.options().fault_plan.c_str()}};
+  }
+
+  // The plan(s) this artifact was disturbed by, in canonical spelling.
+  std::string stamped;
+  for (const Rung& rung : rungs) {
+    odfault::FaultPlan plan;
+    std::string error;
+    OD_CHECK_MSG(odfault::FaultPlan::Parse(rung.spec, &plan, &error),
+                 error.c_str());
+    if (plan.empty()) {
+      continue;
+    }
+    if (!stamped.empty()) {
+      stamped += " | ";
+    }
+    stamped += plan.ToString();
+  }
+  ctx.artifact().provenance.fault_plan = stamped;
+
+  odutil::Table table(
+      "Fault sweep: 120 s adaptive workload per plan (3 trials; means)");
+  table.SetHeader({"Plan", "Joules", "Pages", "Maps", "Chunks", "Degraded",
+                   "Failed", "Clamp s", "Live"});
+
+  int worst = 0;
+  for (const Rung& rung : rungs) {
+    odfault::FaultPlan plan;
+    std::string error;
+    OD_CHECK_MSG(odfault::FaultPlan::Parse(rung.spec, &plan, &error),
+                 error.c_str());
+    odharness::TrialSet set =
+        ctx.RunTrials(rung.label, 3, 42000, [&](uint64_t seed) {
+          odfault::FaultScenarioOptions options;
+          options.seed = seed;
+          options.plan = plan;
+          options.duration = odsim::SimDuration::Seconds(120);
+          odfault::FaultScenarioResult result = RunFaultScenario(options);
+          odharness::TrialSample sample;
+          sample.value = result.joules;
+          sample.breakdown["pages_browsed"] = result.pages_browsed;
+          sample.breakdown["maps_viewed"] = result.maps_viewed;
+          sample.breakdown["utterances"] = result.utterances_recognized;
+          sample.breakdown["chunks_played"] =
+              static_cast<double>(result.chunks_played);
+          sample.breakdown["chunks_dropped"] =
+              static_cast<double>(result.chunks_dropped);
+          sample.breakdown["degraded"] =
+              result.pages_degraded + result.maps_degraded;
+          sample.breakdown["failed_fetches"] = result.failed_fetches;
+          sample.breakdown["retransmissions"] = result.retransmissions;
+          sample.breakdown["retries_exhausted"] = result.retries_exhausted;
+          sample.breakdown["deadlines_exceeded"] = result.deadlines_exceeded;
+          sample.breakdown["outage_clamps"] = result.outage_clamps;
+          sample.breakdown["clamped_seconds"] = result.clamped_seconds;
+          sample.breakdown["min_fidelity"] =
+              std::min(result.min_video_fidelity,
+                       std::min(result.min_web_fidelity,
+                                result.min_map_fidelity));
+          sample.breakdown["recovered"] =
+              result.clamped_at_end ? 0.0 : 1.0;
+          sample.breakdown["completed"] = result.completed ? 1.0 : 0.0;
+          return sample;
+        });
+    // Liveness is the non-negotiable part of the claim: a plan that
+    // wedges any loop fails the experiment, not just the table.
+    const bool live = set.Mean("completed") == 1.0;
+    if (!live) {
+      worst = 1;
+    }
+    table.AddRow({rung.label, odutil::Table::Num(set.summary.mean, 1),
+                  odutil::Table::Num(set.Mean("pages_browsed"), 1),
+                  odutil::Table::Num(set.Mean("maps_viewed"), 1),
+                  odutil::Table::Num(set.Mean("chunks_played"), 1),
+                  odutil::Table::Num(set.Mean("degraded"), 1),
+                  odutil::Table::Num(set.Mean("failed_fetches"), 1),
+                  odutil::Table::Num(set.Mean("clamped_seconds"), 1),
+                  live ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: every rung stays live; the outage rungs clamp to\n"
+      "fidelity 0 and recover by scenario end; degraded/failed counts grow\n"
+      "with severity while energy stays bounded (no retry storms).\n");
+  return worst;
+}

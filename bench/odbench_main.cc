@@ -12,8 +12,13 @@
 //       --jobs bounds the total worker count across experiment processes,
 //       trial pools, and sweep cells (results are bit-identical to
 //       --jobs 1); --out selects the artifact directory (default
-//       "artifacts", "none" disables).  Flags and positionals may be
-//       interleaved: `odbench run --jobs 4 all` works.
+//       "artifacts", "none" disables).  --compact writes single-line
+//       artifact JSON (the committed golden fixtures use it);
+//       --experiment-timeout SIGKILLs any forked run-all child that
+//       exceeds the per-experiment wall-clock budget (reported as rc 124);
+//       --fault-plan offers an odfault disturbance spec (see
+//       src/fault/fault_plan.h) to fault-aware experiments.  Flags and
+//       positionals may be interleaved: `odbench run --jobs 4 all` works.
 //   odbench diff <a.json> <b.json> [--rtol R] [--atol A]
 //       Structurally compare two run artifacts (sets by label, notes by
 //       key).  Exit 0: identical measurements; 1: numeric drift, all
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "src/apps/calibration.h"
+#include "src/fault/fault_plan.h"
 #include "src/harness/artifact_diff.h"
 #include "src/harness/flags.h"
 #include "src/harness/registry.h"
@@ -39,6 +45,8 @@ int Usage(const char* prog) {
                "usage: %s list\n"
                "       %s run <name|all> [--trials N] [--seed S] [--jobs J]"
                " [--out DIR]\n"
+               "           [--compact] [--experiment-timeout SECONDS]"
+               " [--fault-plan SPEC]\n"
                "       %s diff <a.json> <b.json> [--rtol R] [--atol A]\n",
                prog, prog, prog);
   return 64;
@@ -120,7 +128,10 @@ int Main(int argc, char** argv) {
   if (command != "run" || positional.size() != 2) {
     return Usage(argv[0]);
   }
-  if (!flags.Validate({"trials", "seed", "jobs", "out"}, {}, &error)) {
+  if (!flags.Validate(
+          {"trials", "seed", "jobs", "out", "experiment-timeout",
+           "fault-plan"},
+          {"compact"}, &error)) {
     std::fprintf(stderr, "odbench: %s\n", error.c_str());
     return Usage(argv[0]);
   }
@@ -130,6 +141,22 @@ int Main(int argc, char** argv) {
   options.seed = flags.GetUint64("seed", 0);
   options.jobs = flags.GetInt("jobs", 1);
   options.out_dir = flags.GetString("out", "artifacts");
+  options.compact_artifacts = flags.Has("compact");
+  options.experiment_timeout_seconds =
+      flags.GetDouble("experiment-timeout", 0.0);
+  if (options.experiment_timeout_seconds < 0) {
+    std::fprintf(stderr, "odbench: --experiment-timeout must be >= 0\n");
+    return Usage(argv[0]);
+  }
+  options.fault_plan = flags.GetString("fault-plan", "");
+  if (!options.fault_plan.empty()) {
+    odfault::FaultPlan plan;
+    if (!odfault::FaultPlan::Parse(options.fault_plan, &plan, &error)) {
+      std::fprintf(stderr, "odbench: --fault-plan: %s\n", error.c_str());
+      return Usage(argv[0]);
+    }
+    options.fault_plan = plan.ToString();  // Canonical spelling everywhere.
+  }
   if (options.out_dir == "none") {
     options.out_dir.clear();
   }

@@ -85,12 +85,22 @@ void MapViewer::ViewMap(const MapObject& map, odsim::EventFn on_done) {
   double server = kMapCal.server_seconds * rng_->Uniform(0.85, 1.15);
   odsim::Simulator* sim = viceroy_->sim();
 
-  warden_->FetchMap(
+  warden_->FetchMapWithStatus(
       kMapCal.request_bytes, bytes, odsim::SimDuration::Seconds(server),
-      [this, bytes, sim, on_done = std::move(on_done)]() mutable {
+      [this, bytes, sim,
+       on_done = std::move(on_done)](odnet::RpcStatus status) mutable {
+        size_t rendered_bytes = bytes;
+        if (status != odnet::RpcStatus::kOk) {
+          // Fetch failed: redraw the cached map (possibly nothing, early in
+          // a session) rather than wait on a dead channel.
+          ++maps_degraded_;
+          rendered_bytes = cached_map_bytes_;
+        } else {
+          cached_map_bytes_ = bytes;
+        }
         // Render: Anvil builds the layers, the X server draws them; both
         // costs scale with the amount of map data.
-        double mb = static_cast<double>(bytes) / 1.0e6;
+        double mb = static_cast<double>(rendered_bytes) / 1.0e6;
         double render = kMapCal.render_cpu_seconds_per_mb * mb *
                         rng_->Uniform(0.97, 1.03);
         sim->SubmitWork(

@@ -54,10 +54,16 @@ class MapViewer : public odyssey::AdaptiveApplication {
   void set_think_seconds(double seconds) { think_seconds_ = seconds; }
   double think_seconds() const { return think_seconds_; }
 
-  // Fetches, renders, and views one map (including think time).
+  // Fetches, renders, and views one map (including think time).  If the
+  // fetch fails (retries exhausted, deadline in an outage), the viewer
+  // redraws the most recently fetched map — stale data beats no data for
+  // navigation — and still completes.
   void ViewMap(const MapObject& map, odsim::EventFn on_done);
 
   bool busy() const { return busy_; }
+
+  // Views served from the stale cached map because the fetch failed.
+  int maps_degraded() const { return maps_degraded_; }
 
   // Transfer size for a map at a fidelity level.
   static size_t BytesAtFidelity(const MapObject& map, MapFidelity fidelity);
@@ -79,6 +85,8 @@ class MapViewer : public odyssey::AdaptiveApplication {
   int fidelity_;
   double think_seconds_ = kMapCal.think_seconds;
   bool busy_ = false;
+  int maps_degraded_ = 0;
+  size_t cached_map_bytes_ = 0;  // Last successfully fetched map.
 
   MapWarden* warden_;
   odsim::ProcessId anvil_pid_;

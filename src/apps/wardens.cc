@@ -54,12 +54,24 @@ void MapWarden::FetchMap(size_t request_bytes, size_t map_bytes,
   Fetch(request_bytes, map_bytes, server_time, std::move(on_done));
 }
 
+void MapWarden::FetchMapWithStatus(size_t request_bytes, size_t map_bytes,
+                                   odsim::SimDuration server_time,
+                                   odnet::RpcClient::StatusFn on_done) {
+  FetchWithStatus(request_bytes, map_bytes, server_time, std::move(on_done));
+}
+
 WebWarden::WebWarden(odsim::Simulator* sim)
     : OdysseyWardenBase("web", sim, "_distill_Fetch") {}
 
 void WebWarden::FetchImage(size_t request_bytes, size_t image_bytes,
                            odsim::SimDuration distill_time, odsim::EventFn on_done) {
   Fetch(request_bytes, image_bytes, distill_time, std::move(on_done));
+}
+
+void WebWarden::FetchImageWithStatus(size_t request_bytes, size_t image_bytes,
+                                     odsim::SimDuration distill_time,
+                                     odnet::RpcClient::StatusFn on_done) {
+  FetchWithStatus(request_bytes, image_bytes, distill_time, std::move(on_done));
 }
 
 }  // namespace odapps

@@ -58,6 +58,12 @@ class MapWarden : public OdysseyWardenBase {
 
   void FetchMap(size_t request_bytes, size_t map_bytes,
                 odsim::SimDuration server_time, odsim::EventFn on_done);
+
+  // Typed variant: the viewer falls back to its cached map when the fetch
+  // fails instead of waiting on a dead channel.
+  void FetchMapWithStatus(size_t request_bytes, size_t map_bytes,
+                          odsim::SimDuration server_time,
+                          odnet::RpcClient::StatusFn on_done);
 };
 
 // Fetches Web images through the distillation server.
@@ -67,6 +73,12 @@ class WebWarden : public OdysseyWardenBase {
 
   void FetchImage(size_t request_bytes, size_t image_bytes,
                   odsim::SimDuration distill_time, odsim::EventFn on_done);
+
+  // Typed variant: the browser renders a text-only page when the image
+  // never arrives.
+  void FetchImageWithStatus(size_t request_bytes, size_t image_bytes,
+                            odsim::SimDuration distill_time,
+                            odnet::RpcClient::StatusFn on_done);
 };
 
 }  // namespace odapps

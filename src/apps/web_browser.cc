@@ -74,10 +74,18 @@ void WebBrowser::BrowsePage(const WebImage& image, odsim::EventFn on_done) {
   }
   odsim::Simulator* sim = viceroy_->sim();
 
-  warden_->FetchImage(
+  warden_->FetchImageWithStatus(
       kWebCal.request_bytes, bytes, odsim::SimDuration::Seconds(distill),
-      [this, bytes, sim, on_done = std::move(on_done)]() mutable {
-        double mb = static_cast<double>(bytes) / 1.0e6;
+      [this, bytes, sim,
+       on_done = std::move(on_done)](odnet::RpcStatus status) mutable {
+        size_t rendered_bytes = bytes;
+        if (status != odnet::RpcStatus::kOk) {
+          // The image never arrived; lay out the text-only page so the
+          // browsing loop keeps moving instead of wedging on a dead link.
+          ++pages_degraded_;
+          rendered_bytes = kWebCal.html_bytes;
+        }
+        double mb = static_cast<double>(rendered_bytes) / 1.0e6;
         double render =
             kWebCal.render_cpu_seconds_per_mb * mb * rng_->Uniform(0.97, 1.03);
         // The proxy relays, Netscape lays out, the X server paints.

@@ -53,9 +53,15 @@ class WebBrowser : public odyssey::AdaptiveApplication {
   double think_seconds() const { return think_seconds_; }
 
   // Fetches and displays one page (an image plus HTML), then think time.
+  // If the image fetch fails (retries exhausted, deadline in an outage),
+  // the browser degrades to a text-only layout rather than stall: the page
+  // still completes and think time still elapses.
   void BrowsePage(const WebImage& image, odsim::EventFn on_done);
 
   bool busy() const { return busy_; }
+
+  // Pages that rendered without their image because the fetch failed.
+  int pages_degraded() const { return pages_degraded_; }
 
   // Distilled size of an image at a fidelity level.
   static size_t BytesAtFidelity(const WebImage& image, WebFidelity fidelity);
@@ -70,6 +76,7 @@ class WebBrowser : public odyssey::AdaptiveApplication {
   int fidelity_;
   double think_seconds_ = kWebCal.think_seconds;
   bool busy_ = false;
+  int pages_degraded_ = 0;
 
   WebWarden* warden_;
   odsim::ProcessId netscape_pid_;

@@ -1,0 +1,129 @@
+#include "src/fault/fault_injector.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace odfault {
+
+FaultInjector::FaultInjector(odsim::Simulator* sim, FaultTargets targets)
+    : sim_(sim), targets_(std::move(targets)) {
+  OD_CHECK(sim != nullptr);
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  OD_CHECK_MSG(!armed_, "FaultInjector::Arm called twice");
+  armed_ = true;
+  for (const FaultEvent& event : plan.events) {
+    switch (event.kind) {
+      case FaultKind::kBandwidth:
+      case FaultKind::kOutage:
+        OD_CHECK_MSG(targets_.link != nullptr, "fault plan needs a link target");
+        break;
+      case FaultKind::kLossBurst:
+        OD_CHECK_MSG(targets_.rpc != nullptr, "fault plan needs an rpc target");
+        break;
+      case FaultKind::kServerStall:
+        OD_CHECK_MSG(!targets_.servers.empty(),
+                     "fault plan needs server targets");
+        break;
+      case FaultKind::kDiskLatency:
+        OD_CHECK_MSG(targets_.pm != nullptr,
+                     "fault plan needs a power-manager target");
+        break;
+    }
+    sim_->Schedule(event.at, [this, event] { Begin(event); });
+    sim_->Schedule(event.at + event.duration, [this, event] { End(event); });
+  }
+}
+
+int FaultInjector::active_windows() const {
+  int total = 0;
+  for (int count : active_) {
+    total += count;
+  }
+  return total;
+}
+
+void FaultInjector::Begin(const FaultEvent& event) {
+  int& count = active_[Index(event.kind)];
+  bool first = count == 0;
+  ++count;
+  ++windows_begun_;
+  OD_LOG_DEBUG("fault begin t=%.1fs %s mag=%g", sim_->Now().seconds(),
+               FaultKindName(event.kind), event.magnitude);
+  switch (event.kind) {
+    case FaultKind::kBandwidth:
+      if (first) {
+        nominal_bandwidth_bps_ = targets_.link->bandwidth_bps();
+      }
+      targets_.link->set_bandwidth_bps(nominal_bandwidth_bps_ * event.magnitude);
+      break;
+    case FaultKind::kOutage:
+      targets_.link->SetOutage(true);
+      break;
+    case FaultKind::kLossBurst: {
+      odnet::RpcConfig config = targets_.rpc->config();
+      if (first) {
+        nominal_loss_probability_ = config.loss_probability;
+      }
+      config.loss_probability = event.magnitude;
+      targets_.rpc->set_config(config);
+      break;
+    }
+    case FaultKind::kServerStall:
+      for (odyssey::RemoteServer* server : targets_.servers) {
+        server->SetStalled(true);
+      }
+      break;
+    case FaultKind::kDiskLatency:
+      if (first) {
+        nominal_disk_scale_ = targets_.pm->disk_latency_scale();
+      }
+      targets_.pm->set_disk_latency_scale(event.magnitude);
+      break;
+  }
+}
+
+void FaultInjector::End(const FaultEvent& event) {
+  int& count = active_[Index(event.kind)];
+  OD_CHECK(count > 0);
+  --count;
+  bool last = count == 0;
+  OD_LOG_DEBUG("fault end t=%.1fs %s", sim_->Now().seconds(),
+               FaultKindName(event.kind));
+  switch (event.kind) {
+    case FaultKind::kBandwidth:
+      if (last) {
+        targets_.link->set_bandwidth_bps(nominal_bandwidth_bps_);
+      }
+      break;
+    case FaultKind::kOutage:
+      if (last) {
+        targets_.link->SetOutage(false);
+      }
+      break;
+    case FaultKind::kLossBurst:
+      if (last) {
+        odnet::RpcConfig config = targets_.rpc->config();
+        config.loss_probability = nominal_loss_probability_;
+        targets_.rpc->set_config(config);
+      }
+      break;
+    case FaultKind::kServerStall:
+      if (last) {
+        for (odyssey::RemoteServer* server : targets_.servers) {
+          server->SetStalled(false);
+        }
+      }
+      break;
+    case FaultKind::kDiskLatency:
+      if (last) {
+        targets_.pm->set_disk_latency_scale(nominal_disk_scale_);
+      }
+      break;
+  }
+}
+
+}  // namespace odfault

@@ -1,0 +1,172 @@
+#include "src/fault/fault_plan.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace odfault {
+namespace {
+
+struct KindInfo {
+  FaultKind kind;
+  const char* name;
+  bool takes_magnitude;
+  double default_magnitude;
+};
+
+constexpr KindInfo kKinds[] = {
+    {FaultKind::kBandwidth, "bandwidth", true, 0.1},
+    {FaultKind::kOutage, "outage", false, 0.0},
+    {FaultKind::kLossBurst, "loss", true, 0.3},
+    {FaultKind::kServerStall, "stall", false, 0.0},
+    {FaultKind::kDiskLatency, "disk", true, 8.0},
+};
+
+const KindInfo* FindKind(const std::string& name) {
+  for (const KindInfo& info : kKinds) {
+    if (name == info.name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+const KindInfo& Info(FaultKind kind) {
+  for (const KindInfo& info : kKinds) {
+    if (info.kind == kind) {
+      return info;
+    }
+  }
+  return kKinds[0];  // Unreachable: kKinds covers the enum.
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+bool MagnitudeValid(FaultKind kind, double magnitude) {
+  switch (kind) {
+    case FaultKind::kBandwidth:
+      return magnitude > 0.0 && magnitude <= 1.0;
+    case FaultKind::kLossBurst:
+      return magnitude >= 0.0 && magnitude < 1.0;
+    case FaultKind::kDiskLatency:
+      return magnitude > 0.0;
+    case FaultKind::kOutage:
+    case FaultKind::kServerStall:
+      return true;
+  }
+  return false;
+}
+
+// %g keeps "0.1" as "0.1" and "30" as "30": the canonical rendering stays
+// close to what a human would type.
+std::string FormatNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+bool ParseEvent(const std::string& text, FaultEvent* event, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "bad fault event '" + text + "': " + why;
+    }
+    return false;
+  };
+  size_t at_pos = text.find('@');
+  if (at_pos == std::string::npos) {
+    return fail("expected kind@start+duration[=magnitude]");
+  }
+  const KindInfo* info = FindKind(text.substr(0, at_pos));
+  if (info == nullptr) {
+    return fail("unknown kind (bandwidth|outage|loss|stall|disk)");
+  }
+  size_t plus_pos = text.find('+', at_pos + 1);
+  if (plus_pos == std::string::npos) {
+    return fail("expected '+duration'");
+  }
+  size_t eq_pos = text.find('=', plus_pos + 1);
+  double start = 0.0;
+  double duration = 0.0;
+  if (!ParseDouble(text.substr(at_pos + 1, plus_pos - at_pos - 1), &start) ||
+      start < 0.0) {
+    return fail("start must be a nonnegative number of seconds");
+  }
+  std::string duration_text =
+      eq_pos == std::string::npos
+          ? text.substr(plus_pos + 1)
+          : text.substr(plus_pos + 1, eq_pos - plus_pos - 1);
+  if (!ParseDouble(duration_text, &duration) || duration <= 0.0) {
+    return fail("duration must be a positive number of seconds");
+  }
+  double magnitude = info->default_magnitude;
+  if (eq_pos != std::string::npos) {
+    if (!info->takes_magnitude) {
+      return fail(std::string(info->name) + " takes no magnitude");
+    }
+    if (!ParseDouble(text.substr(eq_pos + 1), &magnitude)) {
+      return fail("magnitude must be a number");
+    }
+  }
+  if (!MagnitudeValid(info->kind, magnitude)) {
+    return fail("magnitude out of range for " + std::string(info->name));
+  }
+  event->kind = info->kind;
+  event->at = odsim::SimDuration::Seconds(start);
+  event->duration = odsim::SimDuration::Seconds(duration);
+  event->magnitude = magnitude;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) { return Info(kind).name; }
+
+std::string FaultPlan::ToString() const {
+  std::string spec;
+  for (const FaultEvent& event : events) {
+    if (!spec.empty()) {
+      spec += ';';
+    }
+    spec += FaultKindName(event.kind);
+    spec += '@';
+    spec += FormatNumber(event.at.seconds());
+    spec += '+';
+    spec += FormatNumber(event.duration.seconds());
+    if (Info(event.kind).takes_magnitude) {
+      spec += '=';
+      spec += FormatNumber(event.magnitude);
+    }
+  }
+  return spec;
+}
+
+bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
+                      std::string* error) {
+  FaultPlan parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) {
+      sep = spec.size();
+    }
+    std::string piece = spec.substr(pos, sep - pos);
+    if (!piece.empty()) {
+      FaultEvent event;
+      if (!ParseEvent(piece, &event, error)) {
+        return false;
+      }
+      parsed.events.push_back(event);
+    }
+    pos = sep + 1;
+  }
+  *plan = std::move(parsed);
+  return true;
+}
+
+}  // namespace odfault

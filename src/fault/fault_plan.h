@@ -1,0 +1,75 @@
+// Declarative fault plans.
+//
+// A FaultPlan is a deterministic schedule of timed disturbances — bandwidth
+// crashes, full link outages, packet-loss bursts, server compute stalls,
+// disk latency spikes — that the FaultInjector replays through the
+// discrete-event simulator.  Plans are written in a compact spec grammar so
+// they can ride in a command-line flag and land verbatim in artifact
+// provenance:
+//
+//   event   := kind '@' start '+' duration [ '=' magnitude ]
+//   plan    := event ( ';' event )*
+//
+// with start/duration in (fractional) seconds relative to Arm().  Example:
+//
+//   "bandwidth@20+30=0.1;outage@60+10;loss@90+15=0.3"
+//
+// crashes bandwidth to 10% of nominal during [20 s, 50 s), takes the link
+// down entirely during [60 s, 70 s), and injects 30% packet loss during
+// [90 s, 105 s).  Magnitude semantics per kind:
+//
+//   bandwidth  fraction of nominal bandwidth kept (0, 1]; default 0.1
+//   outage     none
+//   loss       per-message loss probability [0, 1); default 0.3
+//   stall      none
+//   disk       disk access latency multiplier > 0; default 8
+//
+// ToString() renders the canonical spec; Parse(ToString()) round-trips.
+
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odfault {
+
+enum class FaultKind {
+  kBandwidth,
+  kOutage,
+  kLossBurst,
+  kServerStall,
+  kDiskLatency,
+};
+
+// Spec-grammar keyword ("bandwidth", "outage", "loss", "stall", "disk").
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kOutage;
+  // Window start, relative to FaultInjector::Arm().
+  odsim::SimDuration at = odsim::SimDuration::Zero();
+  odsim::SimDuration duration = odsim::SimDuration::Zero();
+  // Kind-specific; see the grammar comment above.
+  double magnitude = 0.0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  // Canonical spec string; round-trips through Parse.  Empty plan -> "".
+  std::string ToString() const;
+
+  // Parses the spec grammar.  On failure returns false and, when `error` is
+  // non-null, a one-line description of the first offending event.  An
+  // empty spec parses to an empty plan.
+  static bool Parse(const std::string& spec, FaultPlan* plan, std::string* error);
+};
+
+}  // namespace odfault
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

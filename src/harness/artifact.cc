@@ -106,6 +106,9 @@ JsonValue RunArtifact::ToJson() const {
   seed_policy.Set("trials_override", provenance.trials_override);
   seed_policy.Set("seed_override", provenance.seed_override);
   prov.Set("seed_policy", std::move(seed_policy));
+  if (!provenance.fault_plan.empty()) {
+    prov.Set("fault_plan", provenance.fault_plan);
+  }
   JsonValue calibration = JsonValue::MakeObject();
   for (const auto& [key, value] : provenance.calibration) {
     calibration.Set(key, value);
@@ -186,6 +189,9 @@ std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
       artifact.provenance.seed_override =
           static_cast<uint64_t>(seed_policy->DoubleAt("seed_override"));
     }
+    if (const JsonValue* fault_plan = prov->Find("fault_plan")) {
+      artifact.provenance.fault_plan = fault_plan->AsString();
+    }
     if (const JsonValue* calibration = prov->Find("calibration")) {
       for (const auto& [key, value] : calibration->object()) {
         artifact.provenance.calibration.emplace_back(key, value.AsDouble());
@@ -234,7 +240,7 @@ std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
   return artifact;
 }
 
-bool RunArtifact::WriteFile(const std::string& path) const {
+bool RunArtifact::WriteFile(const std::string& path, bool compact) const {
   // Write-then-rename: a child killed mid-write (run-all schedules each
   // experiment in its own process) must never leave a truncated artifact
   // that a later diff or replay would consume as truth.
@@ -245,7 +251,7 @@ bool RunArtifact::WriteFile(const std::string& path) const {
     if (file == nullptr) {
       return false;
     }
-    const std::string text = ToJson().Dump(/*indent=*/2);
+    const std::string text = ToJson().Dump(/*indent=*/compact ? 0 : 2);
     if (std::fwrite(text.data(), 1, text.size(), file.get()) != text.size() ||
         std::fflush(file.get()) != 0) {
       std::remove(tmp.c_str());

@@ -69,6 +69,10 @@ struct Provenance {
   // The --trials / --seed overrides (0 = paper defaults everywhere).
   int trials_override = 0;
   uint64_t seed_override = 0;
+  // The fault plan (odfault spec grammar) the run was disturbed by; empty
+  // for clean runs and omitted from the JSON so pre-fault artifacts stay
+  // byte-identical.
+  std::string fault_plan;
   // Calibration constants in registration order (see
   // SetProvenanceCalibration); empty when no application layer registered.
   std::vector<std::pair<std::string, double>> calibration;
@@ -121,10 +125,12 @@ struct RunArtifact {
   // (wrong version, missing experiment, malformed set entries).
   static std::optional<RunArtifact> FromJson(const JsonValue& json);
 
-  // Serializes to `path` (pretty-printed) via a temp file + rename, so a
-  // crashed or killed writer never leaves a truncated document for a later
-  // diff or replay to consume.  Returns false on I/O failure.
-  bool WriteFile(const std::string& path) const;
+  // Serializes to `path` via a temp file + rename, so a crashed or killed
+  // writer never leaves a truncated document for a later diff or replay to
+  // consume.  Pretty-printed by default; `compact` emits a single line
+  // (same content, ~4x smaller — the committed golden fixtures use it).
+  // Returns false on I/O failure.
+  bool WriteFile(const std::string& path, bool compact = false) const;
   static std::optional<RunArtifact> ReadFile(const std::string& path);
 };
 

@@ -112,6 +112,13 @@ void DiffProvenance(const Provenance& a, const Provenance& b,
                  std::to_string(a.seed_override) + " vs " +
                  std::to_string(b.seed_override));
   }
+  if (a.fault_plan != b.fault_plan) {
+    auto shown = [](const std::string& plan) {
+      return plan.empty() ? std::string("(none)") : plan;
+    };
+    builder.Hint("fault_plan: " + shown(a.fault_plan) + " vs " +
+                 shown(b.fault_plan));
+  }
   std::map<std::string, double> b_calibration(b.calibration.begin(),
                                               b.calibration.end());
   std::set<std::string> seen;

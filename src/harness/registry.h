@@ -32,6 +32,18 @@ struct RunOptions {
   uint64_t seed = 0;   // > 0 overrides each trial set's default base seed.
   int jobs = 1;        // Trial-level parallelism.
   std::string out_dir; // Artifact/CSV directory; empty = no artifacts.
+  // Single-line artifact JSON (same content, ~4x smaller); the committed
+  // golden fixtures are written this way.
+  bool compact_artifacts = false;
+  // Fault-plan spec (odfault grammar, see src/fault/fault_plan.h) offered
+  // to fault-aware experiments; empty = each experiment's own default.
+  // Experiments that honor it stamp the plan into artifact provenance.
+  std::string fault_plan;
+  // Per-experiment wall-clock budget for the forked run-all path, in
+  // seconds; 0 disables.  A child that exceeds it is SIGKILLed, reported
+  // as rc 124 in the registry-order replay, and its jobserver tokens are
+  // reclaimed.  Serial runs are not killed (there is no child to kill).
+  double experiment_timeout_seconds = 0.0;
 };
 
 class RunContext {

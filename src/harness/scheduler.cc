@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <system_error>
 
 #ifndef _WIN32
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #define ODHARNESS_HAS_FORK 1
@@ -61,7 +63,7 @@ int RunExperiment(const Experiment& experiment, const RunOptions& options) {
               wall_ms);
   if (!options.out_dir.empty()) {
     const std::string path = options.out_dir + "/" + experiment.name + ".json";
-    if (ctx.artifact().WriteFile(path)) {
+    if (ctx.artifact().WriteFile(path, options.compact_artifacts)) {
       std::printf(" artifact=%s", path.c_str());
     } else {
       std::fprintf(stderr, "odbench: could not write %s\n", path.c_str());
@@ -131,6 +133,19 @@ int RunExperiments(const std::vector<const Experiment*>& experiments,
   size_t next_to_print = 0;
   int worst = 0;
 
+  // Per-child watchdog (--experiment-timeout).  Each forked child gets a
+  // wall-clock deadline; overdue ones are SIGKILLed and reported as rc 124
+  // (the `timeout(1)` convention) in the registry-order replay.  A killed
+  // child takes any helper tokens it held with it, so once no children
+  // remain the jobserver pipe is reprimed to the full budget.
+  using Clock = std::chrono::steady_clock;
+  const bool watchdog = options.experiment_timeout_seconds > 0;
+  const auto timeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options.experiment_timeout_seconds));
+  std::map<pid_t, Clock::time_point> deadlines;
+  std::set<size_t> timed_out;
+  bool tokens_may_be_lost = false;
+
   auto flush_done = [&] {
     while (next_to_print < n && done[next_to_print]) {
       ReplayLog(log_path(next_to_print));
@@ -179,13 +194,55 @@ int RunExperiments(const std::vector<const Experiment*>& experiments,
       }
       const size_t index = it->second;
       running.erase(it);
-      rcs[index] = WIFEXITED(status) ? WEXITSTATUS(status)
-                                     : 128 + WTERMSIG(status);
+      deadlines.erase(pid);
+      rcs[index] = timed_out.count(index) != 0
+                       ? 124
+                       : (WIFEXITED(status) ? WEXITSTATUS(status)
+                                            : 128 + WTERMSIG(status));
       worst = std::max(worst, rcs[index]);
       done[index] = true;
       JobBudget::Global().Release();
       flush_done();
       progressed = true;
+    }
+
+    // Kill children past their wall-clock budget.  They stay in `running`
+    // until waitpid reaps the SIGKILL above.
+    if (watchdog && !deadlines.empty()) {
+      const auto now = Clock::now();
+      for (auto it = deadlines.begin(); it != deadlines.end();) {
+        if (now < it->second) {
+          ++it;
+          continue;
+        }
+        const size_t index = running.at(it->first);
+        ::kill(it->first, SIGKILL);
+        timed_out.insert(index);
+        tokens_may_be_lost = true;
+        // Appended to the child's captured log so the note shows up in
+        // its slot of the registry-order replay.
+        if (std::FILE* log = std::fopen(log_path(index).c_str(), "a")) {
+          std::fprintf(log,
+                       "odbench: %s exceeded --experiment-timeout (%g s); "
+                       "killed\n",
+                       experiments[index]->name.c_str(),
+                       options.experiment_timeout_seconds);
+          std::fclose(log);
+        }
+        it = deadlines.erase(it);
+      }
+    }
+
+    // A killed child never returned the helper tokens it had acquired.
+    // Once no children hold tokens, every live token is back in the pipe:
+    // drain it and rewrite the full budget.
+    if (tokens_may_be_lost && running.empty()) {
+      while (JobBudget::Global().TryAcquire()) {
+      }
+      for (int i = 0; i < options.jobs; ++i) {
+        JobBudget::Global().Release();
+      }
+      tokens_may_be_lost = false;
     }
 
     // Launch further experiments while worker tokens are free.
@@ -208,6 +265,9 @@ int RunExperiments(const std::vector<const Experiment*>& experiments,
       }
       if (pid > 0) {
         running.emplace(pid, index);
+        if (watchdog) {
+          deadlines.emplace(pid, Clock::now() + timeout);
+        }
         continue;
       }
       run_inline(index);  // Fork failed; degrade gracefully.

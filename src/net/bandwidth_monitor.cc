@@ -35,9 +35,22 @@ void BandwidthMonitor::Prune(odsim::SimTime now) const {
   }
 }
 
-double BandwidthMonitor::EstimatedBps() const {
+BandwidthEstimate BandwidthMonitor::Estimate() const {
+  BandwidthEstimate estimate;
+  if (link_->outage()) {
+    estimate.outage = true;
+    return estimate;  // bps = 0: a dead channel has no bandwidth.
+  }
+  if (!link_->busy() && link_->queued_transfers() > 0) {
+    // Transfers are parked but the pump is not running: the channel is
+    // wedged even though the link does not report an outage.  (A long
+    // in-flight transfer is NOT stale — the channel is merely busy.)
+    estimate.stale = true;
+    return estimate;
+  }
   if (observations_.size() < 2) {
-    return link_->bandwidth_bps();
+    estimate.bps = link_->bandwidth_bps();
+    return estimate;
   }
   const Observation& oldest = observations_.front();
   const Observation& newest = observations_.back();
@@ -45,9 +58,11 @@ double BandwidthMonitor::EstimatedBps() const {
   double busy = newest.busy_seconds - oldest.busy_seconds;
   if (bytes == 0 || busy <= 0.0) {
     // An idle network is not a slow network: report channel capacity.
-    return link_->bandwidth_bps();
+    estimate.bps = link_->bandwidth_bps();
+    return estimate;
   }
-  return static_cast<double>(bytes) * 8.0 / busy;
+  estimate.bps = static_cast<double>(bytes) * 8.0 / busy;
+  return estimate;
 }
 
 void BandwidthMonitor::Tick() {
@@ -58,8 +73,14 @@ void BandwidthMonitor::Tick() {
   observations_.push_back(
       Observation{now, link_->total_bytes(), link_->total_busy_seconds()});
   Prune(now);
-  if (callback_) {
-    callback_(now, EstimatedBps());
+  if (callback_ || health_callback_) {
+    BandwidthEstimate estimate = Estimate();
+    if (callback_) {
+      callback_(now, estimate.bps);
+    }
+    if (health_callback_) {
+      health_callback_(now, estimate);
+    }
   }
   next_ = sim_->Schedule(config_.period, [this] { Tick(); });
 }

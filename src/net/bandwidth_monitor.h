@@ -25,9 +25,24 @@ struct BandwidthMonitorConfig {
   odsim::SimDuration window = odsim::SimDuration::Seconds(5);
 };
 
+// One periodic bandwidth estimate, with the health signals the viceroy's
+// outage clamp keys on.  `outage` is the link's hard outage flag; `stale`
+// means transfers are parked while the link's pump is not running — a
+// wedged channel that has not declared an outage.  (A long in-flight
+// transfer is busy, not stale.)  Either way `bps` is zero: an unreachable
+// network has no usable bandwidth.
+struct BandwidthEstimate {
+  double bps = 0.0;
+  bool outage = false;
+  bool stale = false;
+
+  bool healthy() const { return !outage && !stale; }
+};
+
 class BandwidthMonitor {
  public:
   using EstimateFn = std::function<void(odsim::SimTime, double bps)>;
+  using HealthFn = std::function<void(odsim::SimTime, const BandwidthEstimate&)>;
 
   BandwidthMonitor(odsim::Simulator* sim, Link* link,
                    const BandwidthMonitorConfig& config);
@@ -40,12 +55,22 @@ class BandwidthMonitor {
 
   // Observed throughput over the sliding window, bits per second.  When the
   // link was idle the estimate reports the link's configured capacity (an
-  // idle network is not a slow network).
-  double EstimatedBps() const;
+  // idle network is not a slow network).  Zero during an outage.
+  double EstimatedBps() const { return Estimate().bps; }
+
+  // The full estimate, health flags included.
+  BandwidthEstimate Estimate() const;
 
   // Called after every periodic estimate; wire this to
   // Viceroy::NotifyResourceLevel(kNetworkBandwidth, bps).
   void set_callback(EstimateFn callback) { callback_ = std::move(callback); }
+
+  // Richer periodic callback carrying the health flags; wire this to
+  // Viceroy::NotifyLinkHealth so applications are clamped to lowest
+  // fidelity through an outage.  Both callbacks fire when both are set.
+  void set_health_callback(HealthFn callback) {
+    health_callback_ = std::move(callback);
+  }
 
  private:
   void Tick();
@@ -57,6 +82,7 @@ class BandwidthMonitor {
   bool running_ = false;
   odsim::EventHandle next_;
   EstimateFn callback_;
+  HealthFn health_callback_;
 
   struct Observation {
     odsim::SimTime time;

@@ -20,6 +20,16 @@ void Link::set_bandwidth_bps(double bps) {
   config_.bandwidth_bps = bps;
 }
 
+void Link::SetOutage(bool outage) {
+  if (outage_ == outage) {
+    return;
+  }
+  outage_ = outage;
+  if (!outage_ && !active_) {
+    StartNext();  // Drain whatever queued while the channel was dead.
+  }
+}
+
 odsim::SimDuration Link::TransferTime(size_t bytes) const {
   double seconds = static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
   return config_.setup_latency + odsim::SimDuration::Seconds(seconds);
@@ -33,7 +43,9 @@ void Link::Transfer(Direction direction, size_t bytes, odsim::EventFn on_done) {
 }
 
 void Link::StartNext() {
-  if (queue_.empty()) {
+  if (queue_.empty() || outage_) {
+    // During an outage queued transfers stay parked; SetOutage(false)
+    // restarts the pump.
     active_ = false;
     return;
   }

@@ -62,6 +62,14 @@ class Link {
   double bandwidth_bps() const { return config_.bandwidth_bps; }
   void set_bandwidth_bps(double bps);
 
+  // Full outage: the channel is dead.  A transfer already on the air
+  // completes (its final bytes were committed), but queued and new transfers
+  // wait; they drain in order when the outage clears.  Sources that poll
+  // queued_transfers() keep shedding load meanwhile, and the RPC layer's
+  // per-call deadline bounds callers that cannot shed.
+  void SetOutage(bool outage);
+  bool outage() const { return outage_; }
+
   // Cumulative counters for bandwidth estimation.
   size_t total_bytes() const { return total_bytes_; }
   double total_busy_seconds() const { return total_busy_seconds_; }
@@ -80,6 +88,7 @@ class Link {
   LinkConfig config_;
   std::deque<Pending> queue_;
   bool active_ = false;
+  bool outage_ = false;
   size_t total_bytes_ = 0;
   double total_busy_seconds_ = 0.0;
   odsim::ProcessId interrupt_pid_;

@@ -1,11 +1,32 @@
 #include "src/net/rpc.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "src/util/check.h"
 
 namespace odnet {
+
+const char* RpcStatusName(RpcStatus status) {
+  switch (status) {
+    case RpcStatus::kOk:
+      return "ok";
+    case RpcStatus::kRetriesExhausted:
+      return "retries-exhausted";
+    case RpcStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+struct RpcClient::CallState {
+  bool settled = false;
+  int attempt = 1;  // 1-based; attempt - 1 retries have been spent.
+  StatusFn on_complete;
+  odsim::EventHandle deadline_timer;
+  odsim::EventHandle retry_timer;
+};
 
 RpcClient::RpcClient(odsim::Simulator* sim, Link* link, odpower::PowerManager* pm,
                      uint64_t loss_seed)
@@ -17,7 +38,11 @@ RpcClient::RpcClient(odsim::Simulator* sim, Link* link, odpower::PowerManager* p
 
 void RpcClient::set_config(const RpcConfig& config) {
   OD_CHECK(config.loss_probability >= 0.0 && config.loss_probability < 1.0);
-  OD_CHECK(config.max_attempts >= 1);
+  OD_CHECK(config.max_retries >= 0);
+  OD_CHECK(config.backoff_factor >= 1.0);
+  OD_CHECK(config.retry_timeout > odsim::SimDuration::Zero());
+  OD_CHECK(config.max_retry_timeout >= config.retry_timeout);
+  OD_CHECK(config.retry_jitter >= 0.0 && config.retry_jitter < 1.0);
   config_ = config;
 }
 
@@ -33,57 +58,119 @@ void RpcClient::Call(size_t request_bytes, size_t reply_bytes,
 
 void RpcClient::CallWithCompute(size_t request_bytes, size_t reply_bytes,
                                 ComputeFn compute, odsim::EventFn on_reply) {
+  // Historical contract: completion fires regardless of outcome and the
+  // caller never learns why.  The status is simply dropped.
+  CallWithStatus(request_bytes, reply_bytes, std::move(compute),
+                 [on_reply = std::move(on_reply)](RpcStatus) {
+                   if (on_reply) {
+                     on_reply();
+                   }
+                 });
+}
+
+void RpcClient::CallWithStatus(size_t request_bytes, size_t reply_bytes,
+                               ComputeFn compute, StatusFn on_complete) {
   // Hold the interface out of standby across the whole exchange: the client
   // must listen for the reply while the server computes.
   pm_->BeginNetworkUse();
-  Attempt(request_bytes, reply_bytes, compute, 1, std::move(on_reply));
+  auto state = std::make_shared<CallState>();
+  state->on_complete = std::move(on_complete);
+  if (config_.deadline > odsim::SimDuration::Zero()) {
+    state->deadline_timer = sim_->Schedule(config_.deadline, [this, state] {
+      if (state->settled) {
+        return;
+      }
+      ++deadlines_exceeded_;
+      Settle(state, RpcStatus::kDeadlineExceeded);
+    });
+  }
+  Attempt(request_bytes, reply_bytes, compute, state);
 }
 
-void RpcClient::Finish(odsim::EventFn on_reply) {
+void RpcClient::Settle(const std::shared_ptr<CallState>& state, RpcStatus status) {
+  OD_CHECK(!state->settled);
+  state->settled = true;
+  state->deadline_timer.Cancel();
+  state->retry_timer.Cancel();
   pm_->EndNetworkUse();
-  if (on_reply) {
-    on_reply();
+  if (state->on_complete) {
+    StatusFn done = std::move(state->on_complete);
+    state->on_complete = nullptr;
+    done(status);
   }
 }
 
-void RpcClient::Attempt(size_t request_bytes, size_t reply_bytes,
-                        const ComputeFn& compute, int attempt,
-                        odsim::EventFn on_reply) {
-  // The completion continuation is shared between the success path and the
-  // timeout/retransmit path.
-  auto reply_fn = std::make_shared<odsim::EventFn>(std::move(on_reply));
+odsim::SimDuration RpcClient::BackoffDelay(int retry_index) {
+  // retry_index is 0-based: the first retransmission waits retry_timeout.
+  double scale = 1.0;
+  for (int i = 0; i < retry_index; ++i) {
+    scale *= config_.backoff_factor;
+  }
+  odsim::SimDuration base =
+      std::min(config_.retry_timeout * scale, config_.max_retry_timeout);
+  if (config_.retry_jitter > 0.0) {
+    base = base * rng_.Uniform(1.0 - config_.retry_jitter,
+                               1.0 + config_.retry_jitter);
+  }
+  return base;
+}
 
-  auto retry = [this, request_bytes, reply_bytes, compute, attempt, reply_fn] {
-    if (attempt >= config_.max_attempts) {
-      Finish(std::move(*reply_fn));
+void RpcClient::Attempt(size_t request_bytes, size_t reply_bytes,
+                        const ComputeFn& compute,
+                        const std::shared_ptr<CallState>& state) {
+  // Shared between the request-lost and reply-lost paths.  Captures the
+  // state by value: a retry scheduled before the deadline fires must notice
+  // it fired by the time the timer runs.
+  auto retry = [this, request_bytes, reply_bytes, compute, state] {
+    if (state->settled) {
+      return;
+    }
+    if (state->attempt > config_.max_retries) {
+      ++retries_exhausted_;
+      Settle(state, RpcStatus::kRetriesExhausted);
       return;
     }
     ++retransmissions_;
-    sim_->Schedule(config_.retry_timeout,
-                   [this, request_bytes, reply_bytes, compute, attempt, reply_fn] {
-                     Attempt(request_bytes, reply_bytes, compute, attempt + 1,
-                             std::move(*reply_fn));
-                   });
+    odsim::SimDuration delay = BackoffDelay(state->attempt - 1);
+    state->retry_timer =
+        sim_->Schedule(delay, [this, request_bytes, reply_bytes, compute, state] {
+          if (state->settled) {
+            return;
+          }
+          ++state->attempt;
+          Attempt(request_bytes, reply_bytes, compute, state);
+        });
   };
 
   bool request_lost = rng_.Bernoulli(config_.loss_probability);
   link_->Transfer(
       Direction::kSend, request_bytes,
-      [this, reply_bytes, compute, request_lost, retry, reply_fn] {
+      [this, reply_bytes, compute, request_lost, retry, state] {
+        if (state->settled) {
+          return;  // Deadline fired while the request sat in the queue.
+        }
         if (request_lost) {
           // The server never saw the request; the client times out.
+          ++request_losses_;
           retry();
           return;
         }
-        compute([this, reply_bytes, retry, reply_fn] {
+        compute([this, reply_bytes, retry, state] {
+          if (state->settled) {
+            return;
+          }
           bool reply_lost = rng_.Bernoulli(config_.loss_probability);
           link_->Transfer(Direction::kReceive, reply_bytes,
-                          [this, reply_lost, retry, reply_fn] {
+                          [this, reply_lost, retry, state] {
+                            if (state->settled) {
+                              return;
+                            }
                             if (reply_lost) {
+                              ++reply_losses_;
                               retry();
                               return;
                             }
-                            Finish(std::move(*reply_fn));
+                            Settle(state, RpcStatus::kOk);
                           });
         });
       });

@@ -7,14 +7,21 @@
 //
 // Failure injection: wireless links lose packets.  With a nonzero loss
 // probability each message (request or reply) can be lost; the client times
-// out and retransmits, paying the full energy cost of every attempt.  The
-// energy impact of an unreliable channel is therefore measurable.
+// out and retransmits, paying the full energy cost of every attempt.
+// Retransmission backs off exponentially with seeded jitter (a fixed retry
+// period synchronizes badly with bursty loss), the attempt count is capped,
+// and an optional per-call deadline bounds the worst case even when the
+// channel is in full outage and transfers never complete.  Callers that care
+// why a call ended use CallWithStatus; the classic Call/CallWithCompute
+// entry points keep their historical contract of always completing.
 
 #ifndef SRC_NET_RPC_H_
 #define SRC_NET_RPC_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "src/net/link.h"
 #include "src/power/power_manager.h"
@@ -23,14 +30,36 @@
 
 namespace odnet {
 
+// Why a call finished.  kOk is a received reply; the failures are typed so
+// wardens can degrade deliberately (serve a cached object, shed the fetch)
+// instead of treating every completion alike.
+enum class RpcStatus {
+  kOk,
+  kRetriesExhausted,   // max_retries spent without a reply.
+  kDeadlineExceeded,   // Per-call deadline elapsed (e.g. link outage).
+};
+
+const char* RpcStatusName(RpcStatus status);
+
 struct RpcConfig {
   // Probability that any one message (request or reply) is lost.
   double loss_probability = 0.0;
-  // How long the client waits before retransmitting.
+  // Backoff before the first retransmission; attempt k waits
+  // min(retry_timeout * backoff_factor^(k-1), max_retry_timeout), scaled by
+  // a jitter factor drawn uniformly from [1 - retry_jitter, 1 + retry_jitter]
+  // out of the client's seeded stream.
   odsim::SimDuration retry_timeout = odsim::SimDuration::Seconds(2);
-  // Attempts before the client gives up and completes anyway (the warden
-  // falls back to whatever arrived; upper layers see completion).
-  int max_attempts = 8;
+  double backoff_factor = 2.0;
+  odsim::SimDuration max_retry_timeout = odsim::SimDuration::Seconds(16);
+  double retry_jitter = 0.1;
+  // Retransmissions before the client gives up (kRetriesExhausted); the
+  // original transmission is not a retry, so a call costs at most
+  // max_retries + 1 attempts.
+  int max_retries = 7;
+  // Per-call wall-clock budget measured from call start; Zero() disables.
+  // The deadline fires even when a transfer is wedged in an outage queue —
+  // it is the liveness bound that keeps wardens from waiting forever.
+  odsim::SimDuration deadline = odsim::SimDuration::Zero();
 };
 
 class RpcClient {
@@ -46,9 +75,13 @@ class RpcClient {
   // the work through a queued server model instead of a fixed delay.
   using ComputeFn = std::function<void(odsim::EventFn done)>;
 
+  // Completion with the call's typed outcome.
+  using StatusFn = std::function<void(RpcStatus status)>;
+
   // Issues a request/response exchange with a fixed server processing time.
-  // `on_reply` fires once the full reply has been received (or attempts are
-  // exhausted).
+  // `on_reply` fires once the full reply has been received (or the call gave
+  // up); the warden falls back to whatever arrived and upper layers see
+  // completion.
   void Call(size_t request_bytes, size_t reply_bytes, odsim::SimDuration server_time,
             odsim::EventFn on_reply);
 
@@ -58,16 +91,36 @@ class RpcClient {
   void CallWithCompute(size_t request_bytes, size_t reply_bytes, ComputeFn compute,
                        odsim::EventFn on_reply);
 
+  // As CallWithCompute, but the completion receives the typed outcome, so
+  // the caller can distinguish a reply from a failed call and degrade.
+  void CallWithStatus(size_t request_bytes, size_t reply_bytes, ComputeFn compute,
+                      StatusFn on_complete);
+
   void set_config(const RpcConfig& config);
   const RpcConfig& config() const { return config_; }
 
-  // Total retransmitted messages so far (diagnostics and tests).
+  // -- Diagnostics and test hooks --------------------------------------------
+
+  // Total retransmitted messages so far.
   int retransmissions() const { return retransmissions_; }
+  // Loss accounting, split by which half of the exchange the channel ate.
+  int request_losses() const { return request_losses_; }
+  int reply_losses() const { return reply_losses_; }
+  // Calls that ended without a reply, by failure type.
+  int retries_exhausted() const { return retries_exhausted_; }
+  int deadlines_exceeded() const { return deadlines_exceeded_; }
 
  private:
+  // Per-call bookkeeping shared by the attempt chain, the retry timer, and
+  // the deadline timer.  `settled` makes late continuations — a transfer
+  // that finally drains after an outage, a reply racing the deadline —
+  // harmless no-ops.
+  struct CallState;
+
   void Attempt(size_t request_bytes, size_t reply_bytes, const ComputeFn& compute,
-               int attempt, odsim::EventFn on_reply);
-  void Finish(odsim::EventFn on_reply);
+               const std::shared_ptr<CallState>& state);
+  void Settle(const std::shared_ptr<CallState>& state, RpcStatus status);
+  odsim::SimDuration BackoffDelay(int retry_index);
 
   odsim::Simulator* sim_;
   Link* link_;
@@ -75,6 +128,10 @@ class RpcClient {
   RpcConfig config_;
   odutil::Rng rng_;
   int retransmissions_ = 0;
+  int request_losses_ = 0;
+  int reply_losses_ = 0;
+  int retries_exhausted_ = 0;
+  int deadlines_exceeded_ = 0;
 };
 
 }  // namespace odnet

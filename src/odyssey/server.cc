@@ -21,8 +21,18 @@ void RemoteServer::Submit(odsim::SimDuration work, odsim::EventFn on_done) {
   }
 }
 
+void RemoteServer::SetStalled(bool stalled) {
+  if (stalled_ == stalled) {
+    return;
+  }
+  stalled_ = stalled;
+  if (!stalled_ && !busy_) {
+    StartNext();  // Drain whatever queued while the server was wedged.
+  }
+}
+
 void RemoteServer::StartNext() {
-  if (queue_.empty()) {
+  if (queue_.empty() || stalled_) {
     busy_ = false;
     return;
   }

@@ -29,6 +29,13 @@ class RemoteServer {
   // when this request's work completes.
   void Submit(odsim::SimDuration work, odsim::EventFn on_done);
 
+  // Compute stall: the server stops dequeuing.  The request already being
+  // serviced finishes (its completion was scheduled), but queued and new
+  // requests wait and drain in order when the stall clears.  Models a
+  // wedged or thrashing server, as distinct from a dead link.
+  void SetStalled(bool stalled);
+  bool stalled() const { return stalled_; }
+
   const std::string& name() const { return name_; }
   int queue_depth() const {
     return static_cast<int>(queue_.size()) + (busy_ ? 1 : 0);
@@ -49,6 +56,7 @@ class RemoteServer {
   double speed_factor_;
   std::deque<Request> queue_;
   bool busy_ = false;
+  bool stalled_ = false;
   double total_busy_seconds_ = 0.0;
   int completed_ = 0;
 };

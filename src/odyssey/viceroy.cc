@@ -28,6 +28,9 @@ void Viceroy::UnregisterApplication(AdaptiveApplication* app) {
   apps_.erase(std::remove(apps_.begin(), apps_.end(), app), apps_.end());
   std::erase_if(expectations_,
                 [app](const Expectation& e) { return e.app == app; });
+  std::erase_if(saved_levels_, [app](const auto& saved) {
+    return saved.first == app;
+  });
 }
 
 Warden* Viceroy::RegisterWarden(std::unique_ptr<Warden> warden) {
@@ -91,6 +94,12 @@ void Viceroy::ClearExpectation(AdaptiveApplication* app, ResourceId resource) {
 }
 
 void Viceroy::NotifyResourceLevel(ResourceId resource, double value) {
+  if (clamped_) {
+    // The outage clamp owns fidelity until the link recovers; a stream of
+    // zero-bandwidth estimates must not pile extra downgrade upcalls on top
+    // (or let an energy expectation raise fidelity into a dead channel).
+    return;
+  }
   // Collect the violated expectations first: upcalls may re-register.
   std::vector<std::pair<AdaptiveApplication*, int>> upcalls;
   for (const Expectation& e : expectations_) {
@@ -106,6 +115,43 @@ void Viceroy::NotifyResourceLevel(ResourceId resource, double value) {
   for (auto& [app, level] : upcalls) {
     IssueUpcall(app, level);
   }
+}
+
+void Viceroy::set_recovery_hysteresis(int ticks) {
+  OD_CHECK(ticks >= 1);
+  recovery_hysteresis_ = ticks;
+}
+
+void Viceroy::NotifyLinkHealth(const odnet::BandwidthEstimate& estimate) {
+  if (!estimate.healthy()) {
+    healthy_streak_ = 0;
+    if (!clamped_) {
+      clamped_ = true;
+      ++outage_clamps_;
+      OD_LOG_DEBUG("link unhealthy t=%.1fs: clamping %zu apps to lowest",
+                   sim_->Now().seconds(), apps_.size());
+      saved_levels_.clear();
+      for (AdaptiveApplication* app : apps_) {
+        saved_levels_.emplace_back(app, app->current_fidelity());
+        IssueUpcall(app, app->fidelity_spec().lowest());
+      }
+    }
+    return;
+  }
+  if (!clamped_) {
+    return;
+  }
+  if (++healthy_streak_ < recovery_hysteresis_) {
+    return;
+  }
+  clamped_ = false;
+  healthy_streak_ = 0;
+  OD_LOG_DEBUG("link recovered t=%.1fs: restoring %zu apps",
+               sim_->Now().seconds(), saved_levels_.size());
+  for (auto& [app, level] : saved_levels_) {
+    IssueUpcall(app, level);
+  }
+  saved_levels_.clear();
 }
 
 }  // namespace odyssey

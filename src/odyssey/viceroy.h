@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/net/bandwidth_monitor.h"
 #include "src/net/link.h"
 #include "src/net/rpc.h"
 #include "src/odyssey/application.h"
@@ -71,6 +72,23 @@ class Viceroy {
   void ClearExpectation(AdaptiveApplication* app, ResourceId resource);
   void NotifyResourceLevel(ResourceId resource, double value);
 
+  // -- Link health and the outage clamp --------------------------------------
+
+  // Periodic link health report; wire a BandwidthMonitor's health callback
+  // here.  On an unhealthy estimate (outage or stale) every registered
+  // application is clamped to its lowest fidelity and expectation-driven
+  // upcalls are suppressed — during an outage there is no bandwidth signal
+  // worth reacting to, and the cheapest fidelity minimizes the work wasted
+  // on a dead channel.  Pre-clamp levels are restored only after
+  // `recovery_hysteresis` consecutive healthy reports, so a flapping link
+  // does not whipsaw fidelity.
+  void NotifyLinkHealth(const odnet::BandwidthEstimate& estimate);
+
+  bool link_clamped() const { return clamped_; }
+  // Times the clamp engaged (distinct unhealthy episodes).
+  int outage_clamps() const { return outage_clamps_; }
+  void set_recovery_hysteresis(int ticks);
+
   // -- Shared plumbing -------------------------------------------------------
 
   odsim::Simulator* sim() { return sim_; }
@@ -95,6 +113,14 @@ class Viceroy {
   std::vector<std::unique_ptr<Warden>> wardens_;
   std::unordered_map<const AdaptiveApplication*, int> adaptation_counts_;
   std::vector<Expectation> expectations_;
+
+  // Outage clamp state.  saved_levels_ is ordered (registration order) so
+  // restoration issues upcalls deterministically.
+  bool clamped_ = false;
+  int healthy_streak_ = 0;
+  int recovery_hysteresis_ = 3;
+  int outage_clamps_ = 0;
+  std::vector<std::pair<AdaptiveApplication*, int>> saved_levels_;
 };
 
 }  // namespace odyssey

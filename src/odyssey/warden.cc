@@ -13,14 +13,32 @@ Warden::~Warden() = default;
 
 void Warden::Fetch(size_t request_bytes, size_t reply_bytes,
                    odsim::SimDuration server_time, odsim::EventFn on_done) {
+  FetchWithStatus(request_bytes, reply_bytes, server_time,
+                  [on_done = std::move(on_done)](odnet::RpcStatus) {
+                    if (on_done) {
+                      on_done();
+                    }
+                  });
+}
+
+void Warden::FetchWithStatus(size_t request_bytes, size_t reply_bytes,
+                             odsim::SimDuration server_time,
+                             odnet::RpcClient::StatusFn on_done) {
   OD_CHECK_MSG(viceroy_ != nullptr, "warden used before registration");
   RemoteServer* server = server_.get();
-  viceroy_->rpc().CallWithCompute(
+  viceroy_->rpc().CallWithStatus(
       request_bytes, reply_bytes,
       [server, server_time](odsim::EventFn done) {
         server->Submit(server_time, std::move(done));
       },
-      std::move(on_done));
+      [this, on_done = std::move(on_done)](odnet::RpcStatus status) {
+        if (status != odnet::RpcStatus::kOk) {
+          ++failed_fetches_;
+        }
+        if (on_done) {
+          on_done(status);
+        }
+      });
 }
 
 }  // namespace odyssey

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "src/net/rpc.h"
 #include "src/odyssey/server.h"
 #include "src/sim/simulator.h"
 
@@ -37,6 +38,17 @@ class Warden {
   void Fetch(size_t request_bytes, size_t reply_bytes, odsim::SimDuration server_time,
              odsim::EventFn on_done);
 
+  // As Fetch, but the completion carries the RPC's typed outcome so the
+  // caller can degrade deliberately — reuse a cached object, render a
+  // placeholder — instead of pretending the fetch succeeded.  Failed
+  // fetches are counted per warden.
+  void FetchWithStatus(size_t request_bytes, size_t reply_bytes,
+                       odsim::SimDuration server_time,
+                       odnet::RpcClient::StatusFn on_done);
+
+  // Fetches that ended without a reply (retries exhausted or deadline).
+  int failed_fetches() const { return failed_fetches_; }
+
   Viceroy* viceroy() { return viceroy_; }
 
   // This data type's server; created at registration.
@@ -48,6 +60,7 @@ class Warden {
   std::string data_type_;
   Viceroy* viceroy_ = nullptr;  // Set at registration.
   std::unique_ptr<RemoteServer> server_;
+  int failed_fetches_ = 0;
 };
 
 }  // namespace odyssey

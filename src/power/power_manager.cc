@@ -45,6 +45,11 @@ void PowerManager::set_disk_standby_timeout(odsim::SimDuration timeout) {
   disk_standby_timeout_ = timeout;
 }
 
+void PowerManager::set_disk_latency_scale(double scale) {
+  OD_CHECK(scale > 0.0);
+  disk_latency_scale_ = scale;
+}
+
 void PowerManager::ArmDiskTimer() {
   disk_timer_.Cancel();
   if (!hw_pm_enabled_) {
@@ -67,7 +72,8 @@ void PowerManager::AccessDisk(odsim::SimDuration duration, odsim::EventFn on_don
 
   auto perform = [this, duration, on_done = std::move(on_done)]() mutable {
     disk_->Set(DiskState::kAccess);
-    sim_->Schedule(duration, [this, on_done = std::move(on_done)]() mutable {
+    sim_->Schedule(duration * disk_latency_scale_,
+                   [this, on_done = std::move(on_done)]() mutable {
       disk_->Set(DiskState::kIdle);
       disk_busy_ = false;
       if (on_done) {

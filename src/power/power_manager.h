@@ -36,6 +36,13 @@ class PowerManager {
   // How long the disk must be inactive before spinning down (default 10 s).
   void set_disk_standby_timeout(odsim::SimDuration timeout);
 
+  // Multiplies the transfer duration of disk accesses performed while set
+  // (fault injection: a degraded spindle or bus contention spike).  Applies
+  // when an access starts, so queued requests feel a spike that begins
+  // while they wait.
+  void set_disk_latency_scale(double scale);
+  double disk_latency_scale() const { return disk_latency_scale_; }
+
   // -- Disk ------------------------------------------------------------------
 
   // Performs a disk access of the given transfer duration, spinning up first
@@ -76,6 +83,7 @@ class PowerManager {
 
   bool hw_pm_enabled_ = false;
   odsim::SimDuration disk_standby_timeout_ = odsim::SimDuration::Seconds(10);
+  double disk_latency_scale_ = 1.0;
   odsim::EventHandle disk_timer_;
   bool disk_busy_ = false;
   struct DiskRequest {

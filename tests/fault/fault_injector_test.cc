@@ -1,0 +1,132 @@
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/link.h"
+#include "src/net/rpc.h"
+#include "src/odyssey/server.h"
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odfault {
+namespace {
+
+FaultPlan Plan(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << error;
+  return plan;
+}
+
+struct Rig {
+  odsim::Simulator sim;
+  std::unique_ptr<odpower::Laptop> laptop = odpower::MakeThinkPad560X(&sim);
+  odnet::Link link{&sim, &laptop->power_manager(), odnet::LinkConfig{}};
+  odnet::RpcClient rpc{&sim, &link, &laptop->power_manager(), 7};
+  odyssey::RemoteServer server{&sim, "test-server"};
+
+  FaultInjector MakeInjector() {
+    FaultTargets targets;
+    targets.link = &link;
+    targets.rpc = &rpc;
+    targets.pm = &laptop->power_manager();
+    targets.servers.push_back(&server);
+    return FaultInjector(&sim, std::move(targets));
+  }
+
+  void RunUntil(double seconds) {
+    sim.RunUntil(odsim::SimTime::Seconds(seconds));
+  }
+};
+
+TEST(FaultInjectorTest, OutageWindowTogglesTheLink) {
+  Rig rig;
+  FaultInjector injector = rig.MakeInjector();
+  injector.Arm(Plan("outage@10+5"));
+
+  rig.RunUntil(9.0);
+  EXPECT_FALSE(rig.link.outage());
+  EXPECT_FALSE(injector.any_active());
+  rig.RunUntil(12.0);
+  EXPECT_TRUE(rig.link.outage());
+  EXPECT_EQ(injector.active_windows(), 1);
+  rig.RunUntil(16.0);
+  EXPECT_FALSE(rig.link.outage());
+  EXPECT_FALSE(injector.any_active());
+  EXPECT_EQ(injector.windows_begun(), 1);
+}
+
+TEST(FaultInjectorTest, BandwidthCrashScalesAndRestoresNominal) {
+  Rig rig;
+  const double nominal = rig.link.bandwidth_bps();
+  FaultInjector injector = rig.MakeInjector();
+  injector.Arm(Plan("bandwidth@5+10=0.1"));
+
+  rig.RunUntil(6.0);
+  EXPECT_DOUBLE_EQ(rig.link.bandwidth_bps(), nominal * 0.1);
+  rig.RunUntil(20.0);
+  EXPECT_DOUBLE_EQ(rig.link.bandwidth_bps(), nominal);
+}
+
+TEST(FaultInjectorTest, LossBurstScalesAndRestoresProbability) {
+  Rig rig;
+  FaultInjector injector = rig.MakeInjector();
+  injector.Arm(Plan("loss@5+10=0.4"));
+
+  rig.RunUntil(6.0);
+  EXPECT_DOUBLE_EQ(rig.rpc.config().loss_probability, 0.4);
+  rig.RunUntil(20.0);
+  EXPECT_DOUBLE_EQ(rig.rpc.config().loss_probability, 0.0);
+}
+
+TEST(FaultInjectorTest, StallAndDiskWindowsApplyAndRevert) {
+  Rig rig;
+  FaultInjector injector = rig.MakeInjector();
+  injector.Arm(Plan("stall@5+10;disk@5+10=8"));
+
+  rig.RunUntil(6.0);
+  EXPECT_TRUE(rig.server.stalled());
+  EXPECT_DOUBLE_EQ(rig.laptop->power_manager().disk_latency_scale(), 8.0);
+  rig.RunUntil(20.0);
+  EXPECT_FALSE(rig.server.stalled());
+  EXPECT_DOUBLE_EQ(rig.laptop->power_manager().disk_latency_scale(), 1.0);
+}
+
+TEST(FaultInjectorTest, NestedWindowsRestoreNominalOnlyAtLastEnd) {
+  Rig rig;
+  const double nominal = rig.link.bandwidth_bps();
+  FaultInjector injector = rig.MakeInjector();
+  // Second window opens inside the first with a deeper crash; the first
+  // window's end must not restore nominal while the second is still open.
+  injector.Arm(Plan("bandwidth@5+10=0.5;bandwidth@8+12=0.1"));
+
+  rig.RunUntil(6.0);
+  EXPECT_DOUBLE_EQ(rig.link.bandwidth_bps(), nominal * 0.5);
+  rig.RunUntil(9.0);
+  EXPECT_DOUBLE_EQ(rig.link.bandwidth_bps(), nominal * 0.1);
+  EXPECT_EQ(injector.active_windows(), 2);
+  rig.RunUntil(16.0);  // First window closed, second still open.
+  EXPECT_EQ(injector.active_windows(), 1);
+  EXPECT_NE(rig.link.bandwidth_bps(), nominal);
+  rig.RunUntil(21.0);
+  EXPECT_DOUBLE_EQ(rig.link.bandwidth_bps(), nominal);
+  EXPECT_EQ(injector.windows_begun(), 2);
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsANoop) {
+  Rig rig;
+  FaultInjector injector = rig.MakeInjector();
+  injector.Arm(FaultPlan{});
+  rig.RunUntil(5.0);
+  EXPECT_EQ(injector.windows_begun(), 0);
+  EXPECT_FALSE(injector.any_active());
+}
+
+TEST(FaultInjectorDeathTest, ArmRejectsPlanWithoutItsTarget) {
+  odsim::Simulator sim;
+  FaultInjector injector(&sim, FaultTargets{});  // No link target.
+  EXPECT_DEATH(injector.Arm(Plan("outage@1+1")), "OD_CHECK failed");
+}
+
+}  // namespace
+}  // namespace odfault

@@ -1,0 +1,102 @@
+#include "src/fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace odfault {
+namespace {
+
+FaultPlan MustParse(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << error;
+  return plan;
+}
+
+std::string ParseError(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::Parse(spec, &plan, &error)) << spec;
+  EXPECT_FALSE(error.empty()) << spec;
+  return error;
+}
+
+TEST(FaultPlanTest, EmptySpecIsEmptyPlan) {
+  FaultPlan plan = MustParse("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.ToString(), "");
+}
+
+TEST(FaultPlanTest, ParsesSingleEvent) {
+  FaultPlan plan = MustParse("bandwidth@20+30=0.25");
+  ASSERT_EQ(plan.events.size(), 1u);
+  const FaultEvent& event = plan.events[0];
+  EXPECT_EQ(event.kind, FaultKind::kBandwidth);
+  EXPECT_DOUBLE_EQ(event.at.seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(event.duration.seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(event.magnitude, 0.25);
+}
+
+TEST(FaultPlanTest, ParsesAllKindsAndRoundTrips) {
+  const std::string spec =
+      "bandwidth@20+30=0.1;outage@60+10;loss@90+15=0.3;stall@100+5;"
+      "disk@110+20=8";
+  FaultPlan plan = MustParse(spec);
+  ASSERT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kOutage);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kLossBurst);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kServerStall);
+  EXPECT_EQ(plan.events[4].kind, FaultKind::kDiskLatency);
+  // ToString is canonical: parsing its own output must reproduce it.
+  EXPECT_EQ(plan.ToString(), spec);
+  EXPECT_EQ(MustParse(plan.ToString()).ToString(), plan.ToString());
+}
+
+TEST(FaultPlanTest, FractionalSecondsSurviveTheRoundTrip) {
+  FaultPlan plan = MustParse("loss@0.5+1.25=0.05");
+  EXPECT_DOUBLE_EQ(plan.events[0].at.seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(plan.events[0].duration.seconds(), 1.25);
+  EXPECT_EQ(MustParse(plan.ToString()).ToString(), plan.ToString());
+}
+
+TEST(FaultPlanTest, MagnitudeDefaultsPerKind) {
+  EXPECT_DOUBLE_EQ(MustParse("bandwidth@0+1").events[0].magnitude, 0.1);
+  EXPECT_DOUBLE_EQ(MustParse("loss@0+1").events[0].magnitude, 0.3);
+  EXPECT_DOUBLE_EQ(MustParse("disk@0+1").events[0].magnitude, 8.0);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  ParseError("meteor@0+1");          // Unknown kind.
+  ParseError("outage");              // No window.
+  ParseError("outage@5");            // No duration.
+  ParseError("outage@-1+5");         // Negative start.
+  ParseError("outage@5+0");          // Zero duration.
+  ParseError("outage@x+5");          // Unparseable number.
+  ParseError("bandwidth@0+1=0");     // Fraction must be > 0.
+  ParseError("bandwidth@0+1=1.5");   // Fraction must be <= 1.
+  ParseError("loss@0+1=1");          // Loss must be < 1.
+  ParseError("disk@0+1=-2");         // Scale must be > 0.
+  ParseError("outage@0+1=0.5");      // Outage takes no magnitude.
+  ParseError("stall@0+1=0.5");       // Stall takes no magnitude.
+}
+
+TEST(FaultPlanTest, EmptyPiecesBetweenSeparatorsAreSkipped) {
+  // Tolerates trailing or doubled ';' (easy to produce when gluing specs
+  // together on a command line).
+  EXPECT_EQ(MustParse("outage@0+1;;loss@2+1=0.3;").events.size(), 2u);
+}
+
+TEST(FaultPlanTest, ErrorNamesTheOffendingEvent) {
+  EXPECT_NE(ParseError("outage@0+1;meteor@5+1").find("meteor"),
+            std::string::npos);
+}
+
+TEST(FaultPlanTest, KindNamesMatchTheGrammar) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kBandwidth), "bandwidth");
+  EXPECT_STREQ(FaultKindName(FaultKind::kOutage), "outage");
+  EXPECT_STREQ(FaultKindName(FaultKind::kLossBurst), "loss");
+  EXPECT_STREQ(FaultKindName(FaultKind::kServerStall), "stall");
+  EXPECT_STREQ(FaultKindName(FaultKind::kDiskLatency), "disk");
+}
+
+}  // namespace
+}  // namespace odfault

@@ -1,6 +1,9 @@
 #include "src/harness/artifact.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -205,6 +208,42 @@ TEST(ArtifactTest, FileRoundTrip) {
 
 TEST(ArtifactTest, ReadFileMissingPath) {
   EXPECT_FALSE(RunArtifact::ReadFile("/nonexistent/dir/nope.json").has_value());
+}
+
+TEST(ArtifactTest, CompactFileRoundTripsAndIsSingleLine) {
+  RunArtifact artifact = MakeArtifact();
+  const std::string pretty = testing::TempDir() + "/artifact_pretty.json";
+  const std::string compact = testing::TempDir() + "/artifact_compact.json";
+  ASSERT_TRUE(artifact.WriteFile(pretty));
+  ASSERT_TRUE(artifact.WriteFile(compact, /*compact=*/true));
+
+  // Same document, different spelling: the compact file has no newlines
+  // and is strictly smaller.
+  std::ifstream in(compact, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_LT(std::filesystem::file_size(compact),
+            std::filesystem::file_size(pretty));
+
+  auto restored = RunArtifact::ReadFile(compact);
+  ASSERT_TRUE(restored.has_value());
+  ExpectEqual(artifact, *restored);
+  std::remove(pretty.c_str());
+  std::remove(compact.c_str());
+}
+
+TEST(ArtifactTest, FaultPlanRoundTripsAndIsOmittedWhenEmpty) {
+  RunArtifact clean = MakeArtifact();
+  // A clean run's JSON must be byte-identical to the pre-fault schema: the
+  // key only appears when a plan actually disturbed the run.
+  EXPECT_EQ(clean.ToJson().Find("provenance")->Find("fault_plan"), nullptr);
+
+  RunArtifact faulted = MakeArtifact();
+  faulted.provenance.fault_plan = "outage@30+20;loss@60+10=0.3";
+  auto restored = RunArtifact::FromJson(faulted.ToJson());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->provenance.fault_plan, faulted.provenance.fault_plan);
 }
 
 }  // namespace

@@ -61,7 +61,9 @@ TEST(OdbenchDiffTest, DiffFreshRunAgainstGolden) {
   // fixture: measured content must be bit-identical.
   const std::string out_dir = testing::TempDir() + "/odbench_diff_fresh";
   for (const char* name :
-       {"fig02_profile", "fig04_power_table", "calibrate", "fig06_video"}) {
+       {"fig02_profile", "fig04_power_table", "calibrate", "fig06_video",
+        "fig08_speech", "fig10_map", "fig11_map_think", "fig13_web",
+        "fault_sweep"}) {
     CommandResult run =
         RunCommand("run " + std::string(name) + " --out " + out_dir);
     ASSERT_EQ(run.exit_code, 0) << run.output;
@@ -105,6 +107,67 @@ TEST(OdbenchDiffTest, SmallDriftWithinToleranceExitsOne) {
   EXPECT_EQ(tolerant.exit_code, 1) << tolerant.output;
   EXPECT_NE(tolerant.output.find("within tolerance"), std::string::npos);
   std::remove(drifted.c_str());
+}
+
+TEST(OdbenchDiffTest, CompactFlagWritesSingleLineEquivalentArtifact) {
+  const std::string out_dir = testing::TempDir() + "/odbench_compact";
+  CommandResult run =
+      RunCommand("run fig04_power_table --compact --out " + out_dir);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+
+  const std::string path = out_dir + "/fig04_power_table.json";
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str().find('\n'), std::string::npos);
+
+  // Spelling only: the compact document diffs clean against the golden.
+  CommandResult diff =
+      RunCommand("diff " + Golden("fig04_power_table") + " " + path);
+  EXPECT_EQ(diff.exit_code, 0) << diff.output;
+}
+
+TEST(OdbenchDiffTest, FaultSweepGoldenCarriesThePlanInProvenance) {
+  auto artifact = RunArtifact::ReadFile(Golden("fault_sweep"));
+  ASSERT_TRUE(artifact.has_value());
+  // The disturbance schedule is part of the record of how the degradation
+  // curve was produced.
+  EXPECT_NE(artifact->provenance.fault_plan.find("outage@"),
+            std::string::npos);
+}
+
+TEST(OdbenchDiffTest, PerturbedFaultSweepExitsTwo) {
+  // The acceptance gate for the degradation curve: a calibration-sized
+  // shift in any measured cell is an out-of-tolerance regression.
+  auto artifact = RunArtifact::ReadFile(Golden("fault_sweep"));
+  ASSERT_TRUE(artifact.has_value());
+  ASSERT_FALSE(artifact->sets.empty());
+  ASSERT_FALSE(artifact->sets[0].set.trials.empty());
+  artifact->sets[0].set.trials[0].value *= 1.02;
+  const std::string perturbed = testing::TempDir() + "/fault_perturbed.json";
+  ASSERT_TRUE(artifact->WriteFile(perturbed));
+
+  CommandResult result =
+      RunCommand("diff " + Golden("fault_sweep") + " " + perturbed);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("OUT OF TOLERANCE"), std::string::npos);
+  std::remove(perturbed.c_str());
+}
+
+TEST(OdbenchDiffTest, FaultPlanDifferenceIsAHintNotAVerdict) {
+  // Equal measurements recorded under different provenance still diff
+  // clean; the plan change is reported informationally.
+  auto artifact = RunArtifact::ReadFile(Golden("fault_sweep"));
+  ASSERT_TRUE(artifact.has_value());
+  artifact->provenance.fault_plan = "outage@1+1";
+  const std::string replanned = testing::TempDir() + "/fault_replanned.json";
+  ASSERT_TRUE(artifact->WriteFile(replanned));
+
+  CommandResult result =
+      RunCommand("diff " + Golden("fault_sweep") + " " + replanned);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("fault_plan:"), std::string::npos);
+  std::remove(replanned.c_str());
 }
 
 TEST(OdbenchDiffTest, UsageErrorsExitSixtyFour) {

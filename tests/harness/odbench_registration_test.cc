@@ -1,5 +1,5 @@
 // Links the odbench_experiments object library, so the registry here holds
-// exactly the experiments the odbench binary ships: all 23 of them.
+// exactly the experiments the odbench binary ships: all 24 of them.
 
 #include <string>
 #include <vector>
@@ -13,18 +13,18 @@ namespace {
 
 const char* const kExpected[] = {
     "ablate_cpu_scaling", "ablate_hysteresis", "ablate_monitoring",
-    "ablate_priority",    "calibrate",         "fig02_profile",
-    "fig04_power_table",  "fig06_video",       "fig08_speech",
-    "fig10_map",          "fig11_map_think",   "fig13_web",
-    "fig14_web_think",    "fig15_concurrency", "fig16_summary",
-    "fig18_zoned",        "fig19_goal_timeline", "fig20_goal_summary",
-    "fig21_halflife",     "fig22_longrun",     "goalprobe",
-    "lifetime",           "micro_overhead",
+    "ablate_priority",    "calibrate",         "fault_sweep",
+    "fig02_profile",      "fig04_power_table", "fig06_video",
+    "fig08_speech",       "fig10_map",         "fig11_map_think",
+    "fig13_web",          "fig14_web_think",   "fig15_concurrency",
+    "fig16_summary",      "fig18_zoned",       "fig19_goal_timeline",
+    "fig20_goal_summary", "fig21_halflife",    "fig22_longrun",
+    "goalprobe",          "lifetime",          "micro_overhead",
 };
 
-TEST(OdbenchRegistrationTest, AllTwentyThreeExperimentsRegistered) {
+TEST(OdbenchRegistrationTest, AllTwentyFourExperimentsRegistered) {
   auto& registry = ExperimentRegistry::Instance();
-  EXPECT_EQ(registry.size(), 23u);
+  EXPECT_EQ(registry.size(), 24u);
   for (const char* name : kExpected) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }

@@ -1,6 +1,8 @@
 // Failure injection: lossy wireless channels cost retransmissions, time,
 // and energy, but calls still complete.
 
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 #include "src/net/rpc.h"
@@ -69,12 +71,12 @@ TEST(RpcLossTest, LossCostsTimeAndEnergy) {
   EXPECT_GT(lossy_joules, clean_joules);
 }
 
-TEST(RpcLossTest, GivesUpAfterMaxAttempts) {
+TEST(RpcLossTest, GivesUpAfterMaxRetries) {
   Rig rig;
   RpcConfig config;
   config.loss_probability = 0.95;  // Nearly dead channel.
   config.retry_timeout = odsim::SimDuration::Millis(100);
-  config.max_attempts = 3;
+  config.max_retries = 2;
   rig.rpc.set_config(config);
 
   bool completed = false;
@@ -82,8 +84,124 @@ TEST(RpcLossTest, GivesUpAfterMaxAttempts) {
   rig.sim.Run();
   // Completion still fires (upper layers are not wedged)...
   EXPECT_TRUE(completed);
-  // ...after at most max_attempts - 1 retransmissions for this call.
+  // ...after at most max_retries retransmissions for this call.
   EXPECT_LE(rig.rpc.retransmissions(), 2);
+}
+
+TEST(RpcLossTest, LossSequenceIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    odsim::Simulator sim;
+    auto laptop = odpower::MakeThinkPad560X(&sim);
+    Link link{&sim, &laptop->power_manager(), LinkConfig{}};
+    RpcClient rpc{&sim, &link, &laptop->power_manager(), seed};
+    RpcConfig config;
+    config.loss_probability = 0.3;
+    config.retry_timeout = odsim::SimDuration::Millis(200);
+    rpc.set_config(config);
+    for (int i = 0; i < 40; ++i) {
+      rpc.Call(2000, 2000, odsim::SimDuration::Millis(50), nullptr);
+      sim.Run();
+    }
+    return std::tuple<int, int, int, double>(
+        rpc.retransmissions(), rpc.request_losses(), rpc.reply_losses(),
+        sim.Now().seconds());
+  };
+  // Same seed: the whole loss/retry history replays bit for bit.
+  EXPECT_EQ(run(7), run(7));
+  // Different seed: a different draw sequence.
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(RpcLossTest, RequestAndReplyLossesAccountedSeparately) {
+  Rig rig;
+  RpcConfig config;
+  config.loss_probability = 0.4;
+  config.retry_timeout = odsim::SimDuration::Millis(100);
+  rig.rpc.set_config(config);
+  for (int i = 0; i < 60; ++i) {
+    rig.rpc.Call(1000, 1000, odsim::SimDuration::Millis(20), nullptr);
+    rig.sim.Run();
+  }
+  // Both directions lose messages at 40%.
+  EXPECT_GT(rig.rpc.request_losses(), 0);
+  EXPECT_GT(rig.rpc.reply_losses(), 0);
+  // Every retransmission was provoked by exactly one lost message; losses
+  // not retried are the final loss of a call that exhausted its retries.
+  const int losses = rig.rpc.request_losses() + rig.rpc.reply_losses();
+  EXPECT_LE(rig.rpc.retransmissions(), losses);
+  EXPECT_LE(losses - rig.rpc.retransmissions(), rig.rpc.retries_exhausted());
+}
+
+TEST(RpcLossTest, RetransmissionEnergyLandsOnWaveLAN) {
+  auto wavelan_joules = [](double loss) {
+    Rig rig;
+    RpcConfig config;
+    config.loss_probability = loss;
+    config.retry_timeout = odsim::SimDuration::Millis(200);
+    rig.rpc.set_config(config);
+    for (int i = 0; i < 30; ++i) {
+      rig.rpc.Call(20000, 2000, odsim::SimDuration::Millis(100), nullptr);
+      rig.sim.Run();
+    }
+    int index = -1;
+    for (int i = 0; i < rig.laptop->machine().component_count(); ++i) {
+      if (rig.laptop->machine().component(i).name() == "WaveLAN") {
+        index = i;
+      }
+    }
+    return rig.laptop->accounting().ComponentJoules(index, rig.sim.Now());
+  };
+  // The retransmitted bytes are paid for by the wireless interface.
+  EXPECT_GT(wavelan_joules(0.4), wavelan_joules(0.0));
+}
+
+TEST(RpcLossTest, RetryBackoffIsCappedExponentialWithJitter) {
+  Rig rig;
+  RpcConfig config;
+  config.loss_probability = 0.9999;  // Effectively dead channel.
+  config.retry_timeout = odsim::SimDuration::Millis(100);
+  config.backoff_factor = 2.0;
+  config.max_retry_timeout = odsim::SimDuration::Millis(400);
+  config.retry_jitter = 0.1;
+  config.max_retries = 4;
+  rig.rpc.set_config(config);
+
+  RpcStatus status = RpcStatus::kOk;
+  rig.rpc.CallWithStatus(1000, 1000, [](odsim::EventFn done) { done(); },
+                         [&](RpcStatus s) { status = s; });
+  rig.sim.Run();
+  EXPECT_EQ(status, RpcStatus::kRetriesExhausted);
+  EXPECT_EQ(rig.rpc.retransmissions(), 4);
+  // Waits are 100, 200, 400, 400 ms (capped), each jittered by at most
+  // ±10%; the whole exchange must fall inside those bounds plus a little
+  // transmission time.
+  const double elapsed = rig.sim.Now().seconds();
+  EXPECT_GE(elapsed, 1.1 * 0.9);
+  EXPECT_LE(elapsed, 1.1 * 1.1 + 0.2);
+}
+
+TEST(RpcLossTest, DeadlineBoundsACallAcrossAnOutage) {
+  Rig rig;
+  rig.link.SetOutage(true);  // Nothing can transmit at all.
+  RpcConfig config;
+  config.retry_timeout = odsim::SimDuration::Millis(500);
+  config.deadline = odsim::SimDuration::Seconds(2);
+  rig.rpc.set_config(config);
+
+  RpcStatus status = RpcStatus::kOk;
+  rig.rpc.CallWithStatus(1000, 1000, [](odsim::EventFn done) { done(); },
+                         [&](RpcStatus s) { status = s; });
+  rig.sim.Run();
+  // The call fails with the typed deadline status at exactly the deadline —
+  // the liveness bound no retransmission policy can provide on a parked
+  // queue.
+  EXPECT_EQ(status, RpcStatus::kDeadlineExceeded);
+  EXPECT_EQ(rig.rpc.deadlines_exceeded(), 1);
+  EXPECT_DOUBLE_EQ(rig.sim.Now().seconds(), 2.0);
+  // And the pending transfer no longer wedges the interface accounting.
+  rig.link.SetOutage(false);
+  rig.sim.Run();
+  EXPECT_FALSE(rig.laptop->power_manager().network_in_use());
 }
 
 TEST(RpcLossTest, InterfaceReleasedAfterLossyCall) {

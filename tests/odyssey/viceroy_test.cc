@@ -151,5 +151,102 @@ TEST(ViceroyTest, ResourcesAreIndependent) {
   EXPECT_EQ(rig.viceroy.TotalAdaptations(), 0);
 }
 
+odnet::BandwidthEstimate Unhealthy() {
+  odnet::BandwidthEstimate estimate;
+  estimate.outage = true;
+  return estimate;
+}
+
+odnet::BandwidthEstimate Healthy(double bps = 2e6) {
+  odnet::BandwidthEstimate estimate;
+  estimate.bps = bps;
+  return estimate;
+}
+
+TEST(ViceroyClampTest, UnhealthyEstimateClampsEveryAppToLowest) {
+  Rig rig;
+  FakeApp a("a", 0, 5);
+  FakeApp b("b", 1, 3);
+  rig.viceroy.RegisterApplication(&a);
+  rig.viceroy.RegisterApplication(&b);
+
+  rig.viceroy.NotifyLinkHealth(Unhealthy());
+  EXPECT_TRUE(rig.viceroy.link_clamped());
+  EXPECT_EQ(rig.viceroy.outage_clamps(), 1);
+  EXPECT_EQ(a.current_fidelity(), 0);
+  EXPECT_EQ(b.current_fidelity(), 0);
+  // Further unhealthy reports are the same episode, not a new clamp.
+  rig.viceroy.NotifyLinkHealth(Unhealthy());
+  EXPECT_EQ(rig.viceroy.outage_clamps(), 1);
+}
+
+TEST(ViceroyClampTest, ResourceNotificationsSuppressedWhileClamped) {
+  Rig rig;
+  FakeApp app("a", 0, 5);
+  rig.viceroy.RegisterApplication(&app);
+  rig.viceroy.RegisterExpectation(&app, ResourceId::kNetworkBandwidth, 1e6, 2e6);
+
+  rig.viceroy.NotifyLinkHealth(Unhealthy());
+  ASSERT_EQ(app.current_fidelity(), 0);
+  // A generous bandwidth report must not upgrade past the clamp: the
+  // monitor's windowed average lags the outage and cannot be trusted here.
+  rig.viceroy.NotifyResourceLevel(ResourceId::kNetworkBandwidth, 3e6);
+  EXPECT_EQ(app.current_fidelity(), 0);
+}
+
+TEST(ViceroyClampTest, RecoveryNeedsConsecutiveHealthyReports) {
+  Rig rig;
+  rig.viceroy.set_recovery_hysteresis(3);
+  FakeApp app("a", 0, 5);
+  rig.viceroy.RegisterApplication(&app);
+  app.SetFidelity(2);  // Mid-ladder, so the restore is observable.
+
+  rig.viceroy.NotifyLinkHealth(Unhealthy());
+  ASSERT_EQ(app.current_fidelity(), 0);
+
+  rig.viceroy.NotifyLinkHealth(Healthy());
+  rig.viceroy.NotifyLinkHealth(Healthy());
+  EXPECT_TRUE(rig.viceroy.link_clamped());  // Two of three: still waiting.
+  // A relapse restarts the streak from zero.
+  rig.viceroy.NotifyLinkHealth(Unhealthy());
+  rig.viceroy.NotifyLinkHealth(Healthy());
+  rig.viceroy.NotifyLinkHealth(Healthy());
+  EXPECT_TRUE(rig.viceroy.link_clamped());
+  rig.viceroy.NotifyLinkHealth(Healthy());
+  EXPECT_FALSE(rig.viceroy.link_clamped());
+  // The pre-clamp fidelity comes back, not the ladder top.
+  EXPECT_EQ(app.current_fidelity(), 2);
+}
+
+TEST(ViceroyClampTest, HealthyReportsWithoutClampAreIgnored) {
+  Rig rig;
+  FakeApp app("a", 0, 3);
+  rig.viceroy.RegisterApplication(&app);
+  rig.viceroy.NotifyLinkHealth(Healthy());
+  EXPECT_FALSE(rig.viceroy.link_clamped());
+  EXPECT_EQ(rig.viceroy.outage_clamps(), 0);
+  EXPECT_EQ(app.current_fidelity(), 2);
+}
+
+TEST(ViceroyClampTest, UnregisterDuringClampSkipsItsRestore) {
+  Rig rig;
+  rig.viceroy.set_recovery_hysteresis(1);
+  FakeApp a("a", 0, 5);
+  FakeApp b("b", 1, 5);
+  rig.viceroy.RegisterApplication(&a);
+  rig.viceroy.RegisterApplication(&b);
+  a.SetFidelity(3);
+  b.SetFidelity(4);
+
+  rig.viceroy.NotifyLinkHealth(Unhealthy());
+  rig.viceroy.UnregisterApplication(&b);
+  const int b_calls = b.set_calls;
+  rig.viceroy.NotifyLinkHealth(Healthy());
+  EXPECT_FALSE(rig.viceroy.link_clamped());
+  EXPECT_EQ(a.current_fidelity(), 3);
+  // The departed app is never touched again.
+  EXPECT_EQ(b.set_calls, b_calls);
+}
+
 }  // namespace
 }  // namespace odyssey
