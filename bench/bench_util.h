@@ -12,7 +12,9 @@
 #include <string>
 
 #include "src/apps/testbed.h"
+#include "src/fault/fault_plan.h"
 #include "src/harness/registry.h"
+#include "src/util/check.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -32,6 +34,23 @@ inline std::string MeanCi(const odutil::Summary& s, int precision = 1) {
   std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, s.mean, precision,
                 s.ci90_halfwidth);
   return buf;
+}
+
+// The disturbance plan this run executes under: --fault-plan if given,
+// else `default_spec` (usually "" = clean).  Parses, aborts on a bad spec,
+// and stamps the canonical spelling into artifact provenance so every
+// fault-aware experiment's artifact records what disturbed it.  Call once
+// per experiment, before any trials run.
+inline odfault::FaultPlan PlanFromContext(odharness::RunContext& ctx,
+                                          const std::string& default_spec = "") {
+  const std::string& spec = ctx.options().fault_plan.empty()
+                                ? default_spec
+                                : ctx.options().fault_plan;
+  odfault::FaultPlan plan;
+  std::string error;
+  OD_CHECK_MSG(odfault::FaultPlan::Parse(spec, &plan, &error), error.c_str());
+  ctx.artifact().provenance.fault_plan = plan.ToString();
+  return plan;
 }
 
 }  // namespace odbench

@@ -18,10 +18,12 @@ using namespace odapps;
 
 namespace {
 
-void PrintRun(odharness::RunContext& ctx, double goal_seconds) {
+void PrintRun(odharness::RunContext& ctx, double goal_seconds,
+              const odfault::FaultPlan& plan) {
   GoalScenarioOptions options;
   options.goal = odsim::SimDuration::Seconds(goal_seconds);
   options.seed = 19;
+  options.fault_plan = plan;
   GoalScenarioResult result = RunGoalScenario(options);
 
   const std::string goal_label =
@@ -30,10 +32,12 @@ void PrintRun(odharness::RunContext& ctx, double goal_seconds) {
     std::string path = ctx.out_dir() + "/fig19_" + goal_label + ".csv";
     odutil::CsvWriter csv(path);
     if (csv.ok()) {
-      csv.WriteRow({"t_seconds", "supply_joules", "demand_joules"});
+      csv.WriteRow(
+          {"t_seconds", "supply_joules", "demand_joules", "health"});
       for (const odenergy::TimelinePoint& point : result.timeline) {
-        csv.WriteNumericRow(
-            {point.time.seconds(), point.residual_joules, point.demand_joules});
+        csv.WriteNumericRow({point.time.seconds(), point.residual_joules,
+                             point.demand_joules,
+                             static_cast<double>(point.health)});
       }
       std::printf("(wrote %s)\n", path.c_str());
     } else {
@@ -48,6 +52,14 @@ void PrintRun(odharness::RunContext& ctx, double goal_seconds) {
   for (const auto& [app, count] : result.adaptations) {
     sample.breakdown["adaptations_" + app] = count;
   }
+  if (!plan.empty()) {
+    sample.breakdown["safe_mode_seconds"] = result.safe_mode_seconds;
+    sample.breakdown["safe_mode_entries"] = result.safe_mode_entries;
+    sample.breakdown["invalid_samples"] = result.invalid_samples;
+    sample.breakdown["outage_clamps"] = result.outage_clamps;
+    sample.breakdown["estimated_residual_joules"] =
+        result.estimated_residual_joules;
+  }
   ctx.Record(goal_label, options.seed, std::move(sample));
 
   std::printf("--- Goal: %.0f minutes (initial supply %.0f J) ---\n",
@@ -56,6 +68,15 @@ void PrintRun(odharness::RunContext& ctx, double goal_seconds) {
               result.goal_met ? "goal met" : "supply exhausted",
               result.elapsed_seconds, result.residual_joules,
               100.0 * result.residual_joules / options.initial_joules);
+  if (!plan.empty()) {
+    std::printf(
+        "controller: %d safe-mode episode(s), %.1f s in safe mode, %d invalid "
+        "sample(s), %d outage clamp(s), estimated residual %.0f J (true "
+        "%.0f J)\n",
+        result.safe_mode_entries, result.safe_mode_seconds,
+        result.invalid_samples, result.outage_clamps,
+        result.estimated_residual_joules, result.residual_joules);
+  }
 
   // Supply/demand series, downsampled to 60-second steps.
   std::printf("\n  t(s)   supply(J)   demand(J)\n");
@@ -88,12 +109,17 @@ void PrintRun(odharness::RunContext& ctx, double goal_seconds) {
 ODBENCH_EXPERIMENT(fig19_goal_timeline,
                    "Figure 19: goal-directed adaptation timelines for 20- and "
                    "26-minute goals") {
+  odfault::FaultPlan plan = odbench::PlanFromContext(ctx);
   std::printf(
       "Figure 19: Example of goal-directed adaptation.\n"
       "Estimated demand should track supply closely for both goals; the\n"
       "tighter goal runs lower-priority applications at lower fidelity, and\n"
-      "adaptations grow more frequent as energy drains.\n\n");
-  PrintRun(ctx, 1200.0);
-  PrintRun(ctx, 1560.0);
+      "adaptations grow more frequent as energy drains.\n");
+  if (!plan.empty()) {
+    std::printf("Disturbance plan: %s\n", plan.ToString().c_str());
+  }
+  std::printf("\n");
+  PrintRun(ctx, 1200.0, plan);
+  PrintRun(ctx, 1560.0, plan);
   return 0;
 }

@@ -17,6 +17,10 @@ ODBENCH_EXPERIMENT_COST(fig20_goal_summary,
                         "Figure 20: goal-directed adaptation summary across "
                         "1200-1560 s goals",
                         300) {
+  odfault::FaultPlan plan = odbench::PlanFromContext(ctx);
+  if (!plan.empty()) {
+    std::printf("Disturbance plan: %s\n", plan.ToString().c_str());
+  }
   odutil::Table table(
       "Figure 20: Summary of goal-directed adaptation (5 trials per row; "
       "mean (stddev))");
@@ -33,10 +37,11 @@ ODBENCH_EXPERIMENT_COST(fig20_goal_summary,
     const double goal_seconds = goals[g];
     goal_cells[g] = sweep.AddTrials(
         "goal_" + odutil::Table::Num(goal_seconds, 0), 5, 20000,
-        [goal_seconds](uint64_t seed) {
+        [goal_seconds, &plan](uint64_t seed) {
           GoalScenarioOptions options;
           options.goal = odsim::SimDuration::Seconds(goal_seconds);
           options.seed = seed;
+          options.fault_plan = plan;
           GoalScenarioResult result = RunGoalScenario(options);
           odharness::TrialSample sample;
           sample.value = result.residual_joules;
@@ -45,14 +50,21 @@ ODBENCH_EXPERIMENT_COST(fig20_goal_summary,
           for (const auto& [app, count] : result.adaptations) {
             sample.breakdown[app] = count;
           }
+          if (!plan.empty()) {
+            sample.breakdown["safe_mode_seconds"] = result.safe_mode_seconds;
+            sample.breakdown["safe_mode_entries"] = result.safe_mode_entries;
+            sample.breakdown["outage_clamps"] = result.outage_clamps;
+          }
           return sample;
         });
   }
-  size_t full_cell = sweep.AddHidden([] {
-    return odharness::TrialSample{MeasurePinnedLifetime(13500.0, false, 999)};
+  size_t full_cell = sweep.AddHidden([&plan] {
+    return odharness::TrialSample{
+        MeasurePinnedLifetime(13500.0, false, 999, plan)};
   });
-  size_t low_cell = sweep.AddHidden([] {
-    return odharness::TrialSample{MeasurePinnedLifetime(13500.0, true, 999)};
+  size_t low_cell = sweep.AddHidden([&plan] {
+    return odharness::TrialSample{
+        MeasurePinnedLifetime(13500.0, true, 999, plan)};
   });
   sweep.Run();
 

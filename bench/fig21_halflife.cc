@@ -15,6 +15,10 @@ ODBENCH_EXPERIMENT_COST(fig21_halflife,
                         "Figure 21: sensitivity to the smoothing half-life "
                         "(1-15% of time remaining)",
                         250) {
+  odfault::FaultPlan plan = odbench::PlanFromContext(ctx);
+  if (!plan.empty()) {
+    std::printf("Disturbance plan: %s\n", plan.ToString().c_str());
+  }
   odutil::Table table(
       "Figure 21: Sensitivity to half-life (13,000 J supply, 1320 s goal; "
       "5 trials per row; mean (stddev))");
@@ -29,6 +33,7 @@ ODBENCH_EXPERIMENT_COST(fig21_halflife,
           options.goal = odsim::SimDuration::Seconds(1320);
           options.director.half_life_fraction = fraction;
           options.seed = seed;
+          options.fault_plan = plan;
           GoalScenarioResult result = RunGoalScenario(options);
           odharness::TrialSample sample;
           sample.value = result.residual_joules;

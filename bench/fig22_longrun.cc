@@ -15,13 +15,17 @@ ODBENCH_EXPERIMENT_COST(fig22_longrun,
                         "Figure 22: longer-duration goal-directed adaptation "
                         "(bursty workload, goal extension)",
                         400) {
+  odfault::FaultPlan plan = odbench::PlanFromContext(ctx);
+  if (!plan.empty()) {
+    std::printf("Disturbance plan: %s\n", plan.ToString().c_str());
+  }
   odutil::Table table(
       "Figure 22: Longer-duration goal-directed adaptation (90,000 J; goal "
       "2:45 h, +30 min at the end of the first hour; bursty workload)");
   table.SetHeader({"Trial", "Goal Met", "Residual (J)", "Adapt Speech",
                    "Adapt Video", "Adapt Map", "Adapt Web"});
 
-  odharness::TrialSet set = ctx.RunTrials("trials", 5, 22001, [](uint64_t seed) {
+  odharness::TrialSet set = ctx.RunTrials("trials", 5, 22001, [&plan](uint64_t seed) {
     GoalScenarioOptions options;
     options.bursty = true;
     options.initial_joules = 90000.0;
@@ -29,6 +33,7 @@ ODBENCH_EXPERIMENT_COST(fig22_longrun,
     options.extend_at = odsim::SimDuration::Seconds(3600);
     options.extend_by = odsim::SimDuration::Seconds(1800);
     options.seed = seed;
+    options.fault_plan = plan;
     GoalScenarioResult result = RunGoalScenario(options);
     odharness::TrialSample sample;
     sample.value = result.residual_joules;

@@ -10,8 +10,12 @@ ODBENCH_EXPERIMENT_COST(goalprobe,
                         "Development aid: pinned lifetimes and goal-directed "
                         "dynamics across the Figure 20 goals",
                         70) {
-  double full = MeasurePinnedLifetime(13500, false, 1);
-  double low = MeasurePinnedLifetime(13500, true, 1);
+  odfault::FaultPlan plan = odbench::PlanFromContext(ctx);
+  if (!plan.empty()) {
+    std::printf("disturbance plan: %s\n", plan.ToString().c_str());
+  }
+  double full = MeasurePinnedLifetime(13500, false, 1, plan);
+  double low = MeasurePinnedLifetime(13500, true, 1, plan);
   ctx.Note("pinned_lifetime_full_seconds", full);
   ctx.Note("pinned_lifetime_lowest_seconds", low);
   std::printf("pinned lifetime: full=%.0fs (%.1f min, %.2fW) low=%.0fs (%.1f min, %.2fW)\n",
@@ -19,6 +23,7 @@ ODBENCH_EXPERIMENT_COST(goalprobe,
   for (double goal_s : {1200.0, 1320.0, 1440.0, 1560.0}) {
     GoalScenarioOptions opt;
     opt.goal = odsim::SimDuration::Seconds(goal_s);
+    opt.fault_plan = plan;
     GoalScenarioResult r = RunGoalScenario(opt);
     odharness::TrialSample sample;
     sample.value = r.residual_joules;

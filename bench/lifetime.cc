@@ -14,6 +14,10 @@ ODBENCH_EXPERIMENT_COST(lifetime,
                         "Untethered lifetime of the Section 5 workload pinned "
                         "at highest vs lowest fidelity",
                         60) {
+  odfault::FaultPlan plan = odbench::PlanFromContext(ctx);
+  if (!plan.empty()) {
+    std::printf("Disturbance plan: %s\n", plan.ToString().c_str());
+  }
   odutil::Table table(
       "Pinned-fidelity lifetime (13,500 J supply; mean of 3 seeds ±90% CI)");
   table.SetHeader({"Fidelity", "Lifetime (s)", "Lifetime (min)",
@@ -24,7 +28,7 @@ ODBENCH_EXPERIMENT_COST(lifetime,
     odharness::TrialSet set = ctx.RunTrials(
         lowest ? "lowest" : "highest", 3, 999, [&](uint64_t seed) {
           return odharness::TrialSample{
-              MeasurePinnedLifetime(13500.0, lowest, seed)};
+              MeasurePinnedLifetime(13500.0, lowest, seed, plan)};
         });
     means[lowest ? 1 : 0] = set.summary.mean;
     table.AddRow({lowest ? "Lowest" : "Highest",

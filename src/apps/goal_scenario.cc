@@ -5,6 +5,9 @@
 #include "src/apps/bursty.h"
 #include "src/apps/composite.h"
 #include "src/apps/experiments.h"
+#include "src/fault/fault_injector.h"
+#include "src/net/bandwidth_monitor.h"
+#include "src/odyssey/warden.h"
 #include "src/powerscope/online_monitor.h"
 #include "src/powerscope/smart_battery.h"
 #include "src/util/check.h"
@@ -19,10 +22,32 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
     bed.map().set_priority(1);
     bed.web().set_priority(0);
   }
-  if (options.rpc_loss_probability > 0.0) {
+  const bool disturbed = !options.fault_plan.empty();
+  if (options.rpc_loss_probability > 0.0 || disturbed) {
     odnet::RpcConfig rpc;
     rpc.loss_probability = options.rpc_loss_probability;
+    if (disturbed) {
+      // Bounded retransmission and a per-call deadline: liveness under
+      // outages (same wiring as the fault scenario).
+      rpc.retry_timeout = options.retry_timeout;
+      rpc.max_retries = options.max_retries;
+      rpc.deadline = options.rpc_deadline;
+    }
     bed.viceroy().rpc().set_config(rpc);
+  }
+
+  // Under a disturbance plan the viceroy's outage clamp rides along: a dead
+  // link clamps fidelity until health returns.  No bandwidth *expectations*
+  // are registered — the goal director owns routine fidelity decisions here.
+  std::unique_ptr<odnet::BandwidthMonitor> bw_monitor;
+  if (disturbed) {
+    bed.viceroy().set_recovery_hysteresis(options.recovery_hysteresis);
+    bw_monitor = std::make_unique<odnet::BandwidthMonitor>(
+        &bed.sim(), &bed.link(), odnet::BandwidthMonitorConfig{});
+    bw_monitor->set_health_callback(
+        [&bed](odsim::SimTime, const odnet::BandwidthEstimate& estimate) {
+          bed.viceroy().NotifyLinkHealth(estimate);
+        });
   }
   Settle(bed);
 
@@ -43,9 +68,30 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
     monitor = std::make_unique<odscope::OnlineMonitor>(
         &bed.sim(), &bed.laptop().machine(), odscope::OnlineMonitorConfig{},
         options.seed ^ 0xf00dULL);
+    if (disturbed && director_config.stale_sample_limit == 0) {
+      // The multimeter is a noisy continuous source; bit-identical repeats
+      // mean a wedged feed.  1.2 s at 10 Hz.
+      director_config.stale_sample_limit = 12;
+    }
   }
   odenergy::GoalDirector director(&bed.viceroy(), &supply, monitor.get(),
                                   start + options.goal, director_config);
+
+  std::unique_ptr<odfault::FaultInjector> injector;
+  if (disturbed) {
+    odfault::FaultTargets targets;
+    targets.link = &bed.link();
+    targets.rpc = &bed.viceroy().rpc();
+    targets.pm = &bed.laptop().power_manager();
+    for (const char* data_type : {"video", "speech", "map", "web"}) {
+      odyssey::Warden* warden = bed.viceroy().FindWarden(data_type);
+      if (warden != nullptr) {
+        targets.servers.push_back(warden->server());
+      }
+    }
+    targets.monitor = monitor.get();
+    injector = std::make_unique<odfault::FaultInjector>(&bed.sim(), targets);
+  }
 
   // Workload.
   CompositeApp composite(&bed.sim(), &bed.speech(), &bed.web(), &bed.map());
@@ -66,6 +112,22 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
     });
   }
 
+  // Optional 1 Hz probe (chaos-soak invariant checks).
+  std::function<void()> probe;
+  if (options.tick_probe) {
+    probe = [&] {
+      options.tick_probe(bed, supply);
+      bed.sim().Schedule(odsim::SimDuration::Seconds(1), probe);
+    };
+    bed.sim().Schedule(odsim::SimDuration::Seconds(1), probe);
+  }
+
+  if (bw_monitor != nullptr) {
+    bw_monitor->Start();
+  }
+  if (injector != nullptr) {
+    injector->Arm(options.fault_plan);
+  }
   director.Start(/*stop_sim_on_completion=*/true);
   // Safety valve: infeasible configurations should end, not hang.
   odsim::SimTime hard_stop =
@@ -74,6 +136,9 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
 
   odsim::SimTime end = bed.sim().Now();
   director.Stop();
+  if (bw_monitor != nullptr) {
+    bw_monitor->Stop();
+  }
   composite.Stop();
   bed.video().StopLooping();
   if (bursty != nullptr) {
@@ -95,11 +160,20 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
     result.infeasibility_detected_seconds =
         (*director.infeasibility_detected() - start).seconds();
   }
+  result.outcome = director.outcome();
+  result.estimated_residual_joules = director.EstimatedResidualJoules();
+  result.final_health = director.health();
+  result.safe_mode_seconds = director.SafeModeSeconds(end);
+  result.safe_mode_entries = director.safe_mode_entries();
+  result.invalid_samples = director.invalid_samples();
+  result.telemetry_gaps = director.telemetry_gaps();
+  result.outage_clamps = bed.viceroy().outage_clamps();
   return result;
 }
 
 double MeasurePinnedLifetime(double initial_joules, bool lowest_fidelity,
-                             uint64_t seed) {
+                             uint64_t seed,
+                             const odfault::FaultPlan& fault_plan) {
   TestBed bed(TestBed::Options{.seed = seed, .hw_pm = true, .link = {}});
   if (lowest_fidelity) {
     bed.speech().SetFidelity(0);
@@ -107,7 +181,35 @@ double MeasurePinnedLifetime(double initial_joules, bool lowest_fidelity,
     bed.map().SetFidelity(0);
     bed.web().SetFidelity(0);
   }
+  // Injection target for telemetry kinds: a monitor nothing reads (the
+  // pinned run has no director).  Never started, so it costs nothing.
+  odscope::OnlineMonitor idle_monitor(&bed.sim(), &bed.laptop().machine(),
+                                      odscope::OnlineMonitorConfig{},
+                                      seed ^ 0xf00dULL);
+  std::unique_ptr<odfault::FaultInjector> injector;
+  if (!fault_plan.empty()) {
+    odnet::RpcConfig rpc;
+    rpc.retry_timeout = odsim::SimDuration::Millis(500);
+    rpc.max_retries = 5;
+    rpc.deadline = odsim::SimDuration::Seconds(10);
+    bed.viceroy().rpc().set_config(rpc);
+    odfault::FaultTargets targets;
+    targets.link = &bed.link();
+    targets.rpc = &bed.viceroy().rpc();
+    targets.pm = &bed.laptop().power_manager();
+    for (const char* data_type : {"video", "speech", "map", "web"}) {
+      odyssey::Warden* warden = bed.viceroy().FindWarden(data_type);
+      if (warden != nullptr) {
+        targets.servers.push_back(warden->server());
+      }
+    }
+    targets.monitor = &idle_monitor;
+    injector = std::make_unique<odfault::FaultInjector>(&bed.sim(), targets);
+  }
   Settle(bed);
+  if (injector != nullptr) {
+    injector->Arm(fault_plan);
+  }
 
   odsim::SimTime start = bed.sim().Now();
   bed.laptop().accounting().Reset(start);

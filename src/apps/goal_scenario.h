@@ -16,6 +16,7 @@
 #ifndef SRC_APPS_GOAL_SCENARIO_H_
 #define SRC_APPS_GOAL_SCENARIO_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -23,6 +24,7 @@
 
 #include "src/apps/testbed.h"
 #include "src/energy/goal_director.h"
+#include "src/fault/fault_plan.h"
 
 namespace odapps {
 
@@ -55,6 +57,24 @@ struct GoalScenarioOptions {
   // injection); retransmissions cost energy the director must absorb.
   double rpc_loss_probability = 0.0;
 
+  // Disturbance plan (odfault grammar) armed at scenario start; empty =
+  // a clean run, bit-identical to the pre-fault-support scenario.  When a
+  // plan is armed the scenario also wires the graceful-degradation
+  // machinery the fault scenario uses: bounded RPC retries plus a
+  // per-call deadline (liveness under outages) and a bandwidth-health
+  // monitor driving the viceroy's outage clamp.  Telemetry fault kinds
+  // target the power monitor feeding the goal director.
+  odfault::FaultPlan fault_plan;
+  odsim::SimDuration rpc_deadline = odsim::SimDuration::Seconds(10);
+  int max_retries = 5;
+  odsim::SimDuration retry_timeout = odsim::SimDuration::Millis(500);
+  // Consecutive healthy bandwidth estimates before the outage clamp lifts.
+  int recovery_hysteresis = 3;
+
+  // Optional 1 Hz probe while the scenario runs — the chaos soak's hook
+  // for invariant checks (energy conservation, monotone drain, ...).
+  std::function<void(TestBed&, odpower::EnergySupply&)> tick_probe;
+
   // Safety valve for infeasible configurations: the simulation aborts at
   // goal + this slack if neither completion condition fires.
   odsim::SimDuration max_overrun = odsim::SimDuration::Seconds(600);
@@ -76,6 +96,19 @@ struct GoalScenarioResult {
   // When the director reported the goal infeasible (Section 5.1.1), if it
   // did — typically well before the supply actually runs out.
   std::optional<double> infeasibility_detected_seconds;
+
+  // -- Disturbance / controller-health record -------------------------------
+
+  odenergy::GoalOutcome outcome = odenergy::GoalOutcome::kRunning;
+  // Residual as the director believed it at scenario end (vs. the true
+  // residual_joules above; the gap is the telemetry-induced estimate error).
+  double estimated_residual_joules = 0.0;
+  odenergy::ControllerHealth final_health = odenergy::ControllerHealth::kHealthy;
+  double safe_mode_seconds = 0.0;
+  int safe_mode_entries = 0;
+  int invalid_samples = 0;
+  int telemetry_gaps = 0;
+  int outage_clamps = 0;
 };
 
 GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options);
@@ -83,9 +116,12 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options);
 // Measures the workload's untethered lifetime (seconds) on `initial_joules`
 // when pinned at the given fidelity level for every application (no
 // adaptation).  Used to report the paper's "19:27 at highest fidelity,
-// 27:06 at lowest" framing numbers.
+// 27:06 at lowest" framing numbers.  A non-empty `fault_plan` disturbs the
+// run (telemetry kinds hit a monitor nothing consumes; lifetime is decided
+// by the true supply).
 double MeasurePinnedLifetime(double initial_joules, bool lowest_fidelity,
-                             uint64_t seed);
+                             uint64_t seed,
+                             const odfault::FaultPlan& fault_plan = {});
 
 }  // namespace odapps
 

@@ -103,25 +103,19 @@ void MapViewer::ViewMap(const MapObject& map, odsim::EventFn on_done) {
         double mb = static_cast<double>(rendered_bytes) / 1.0e6;
         double render = kMapCal.render_cpu_seconds_per_mb * mb *
                         rng_->Uniform(0.97, 1.03);
-        sim->SubmitWork(
-            anvil_pid_, render_proc_, odsim::SimDuration::Seconds(render * 0.6),
-            [this, sim, render, on_done = std::move(on_done)]() mutable {
-              sim->SubmitWork(
-                  xserver_pid_, draw_proc_,
-                  odsim::SimDuration::Seconds(render * 0.4),
-                  [this, sim, on_done = std::move(on_done)]() mutable {
-                    // User think time: the map stays visible.
-                    double think = think_seconds_;
-                    if (think <= 0.0) {
-                      arbiter_->Release();
-                      busy_ = false;
-                      if (on_done) {
-                        on_done();
-                      }
-                      return;
-                    }
-                    sim->Schedule(
-                        odsim::SimDuration::Seconds(think),
+        odsim::EventFn finish = [this, sim,
+                                 on_done = std::move(on_done)]() mutable {
+          // User think time: the map stays visible.
+          double think = think_seconds_;
+          if (think <= 0.0) {
+            arbiter_->Release();
+            busy_ = false;
+            if (on_done) {
+              on_done();
+            }
+            return;
+          }
+          sim->Schedule(odsim::SimDuration::Seconds(think),
                         [this, on_done = std::move(on_done)]() mutable {
                           arbiter_->Release();
                           busy_ = false;
@@ -129,7 +123,19 @@ void MapViewer::ViewMap(const MapObject& map, odsim::EventFn on_done) {
                             on_done();
                           }
                         });
-                  });
+        };
+        if (rendered_bytes == 0) {
+          // A failed fetch before anything was cached: there is nothing to
+          // render, and zero-duration CPU work is not submittable.
+          finish();
+          return;
+        }
+        sim->SubmitWork(
+            anvil_pid_, render_proc_, odsim::SimDuration::Seconds(render * 0.6),
+            [this, sim, render, finish = std::move(finish)]() mutable {
+              sim->SubmitWork(xserver_pid_, draw_proc_,
+                              odsim::SimDuration::Seconds(render * 0.4),
+                              std::move(finish));
             });
       });
 }

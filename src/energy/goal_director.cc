@@ -1,6 +1,7 @@
 #include "src/energy/goal_director.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/check.h"
 #include "src/util/logging.h"
@@ -16,7 +17,8 @@ GoalDirector::GoalDirector(odyssey::Viceroy* viceroy, odpower::EnergySupply* sup
       goal_(goal),
       config_(config),
       predictor_(config.half_life_fraction),
-      hysteresis_(config.hysteresis) {
+      hysteresis_(config.hysteresis),
+      safe_clamp_(viceroy) {
   OD_CHECK(viceroy != nullptr);
   OD_CHECK(supply != nullptr);
   OD_CHECK(monitor != nullptr);
@@ -27,6 +29,7 @@ void GoalDirector::Start(bool stop_sim_on_completion) {
   running_ = true;
   stop_sim_on_completion_ = stop_sim_on_completion;
   outcome_ = GoalOutcome::kRunning;
+  start_time_ = viceroy_->sim()->Now();
 
   monitor_->set_callback([this](odsim::SimTime now, double watts) {
     OnPowerSample(now, watts);
@@ -54,7 +57,16 @@ void GoalDirector::ExtendGoal(odsim::SimTime new_goal) {
 }
 
 double GoalDirector::EstimatedResidualJoules() const {
-  return std::max(0.0, supply_->initial_joules() - monitor_->measured_joules());
+  return std::max(0.0, supply_->initial_joules() - monitor_->measured_joules() -
+                           telemetry_debit_joules_);
+}
+
+double GoalDirector::SafeModeSeconds(odsim::SimTime now) const {
+  double total = safe_mode_seconds_;
+  if (health_ == ControllerHealth::kSafeMode) {
+    total += (now - safe_mode_entered_).seconds();
+  }
+  return total;
 }
 
 const std::vector<FidelityChange>& GoalDirector::FidelityLog(
@@ -64,10 +76,115 @@ const std::vector<FidelityChange>& GoalDirector::FidelityLog(
   return it == fidelity_log_.end() ? kEmpty : it->second;
 }
 
+void GoalDirector::LogFidelityChange(odyssey::AdaptiveApplication* app,
+                                     int level, odsim::SimTime now) {
+  fidelity_log_[app].push_back(FidelityChange{now, level});
+}
+
+void GoalDirector::EnterSafeMode(odsim::SimTime now, const char* reason) {
+  health_ = ControllerHealth::kSafeMode;
+  ++safe_mode_entries_;
+  safe_mode_entered_ = now;
+  recovery_streak_ = 0;
+  OD_LOG_WARN(
+      "goal director: telemetry %s at t=%.1fs — safe mode: clamping to "
+      "lowest fidelity, freezing goal re-planning",
+      reason, now.seconds());
+  safe_clamp_.Engage([this, now](odyssey::AdaptiveApplication* app,
+                                 int level) {
+    LogFidelityChange(app, level, now);
+  });
+}
+
+void GoalDirector::ExitSafeMode(odsim::SimTime now) {
+  health_ = ControllerHealth::kHealthy;
+  safe_mode_seconds_ += (now - safe_mode_entered_).seconds();
+  consecutive_invalid_ = 0;
+  identical_streak_ = 0;
+  OD_LOG_INFO("goal director: telemetry recovered at t=%.1fs — safe mode off",
+              now.seconds());
+  safe_clamp_.Release([this, now](odyssey::AdaptiveApplication* app,
+                                  int level) {
+    LogFidelityChange(app, level, now);
+  });
+}
+
 void GoalDirector::OnPowerSample(odsim::SimTime now, double watts) {
+  double period = monitor_->period().seconds();
+  bool valid = std::isfinite(watts) && watts >= 0.0 &&
+               watts <= config_.max_plausible_watts;
+  // Frozen-feed detection: a wedged driver repeats its last reading
+  // bit-for-bit, which a noisy physical source never does.  Disabled when
+  // stale_sample_limit is 0 (quantized gauges repeat legitimately).
+  if (valid && config_.stale_sample_limit > 0) {
+    if (has_valid_sample_ && watts == last_valid_watts_) {
+      ++identical_streak_;
+      if (identical_streak_ >= config_.stale_sample_limit) {
+        valid = false;
+      }
+    } else {
+      identical_streak_ = 0;
+    }
+  }
+
+  if (!valid) {
+    ++invalid_samples_;
+    ++consecutive_invalid_;
+    recovery_streak_ = 0;
+    // A finite-but-rejected reading was integrated by the monitor at face
+    // value; re-count that interval at the smoothed demand rate so one
+    // drifting gauge cannot drag the residual estimate arbitrarily far.
+    // The debit is subtracted from the estimate, so backing out an
+    // over-reading means a negative contribution.
+    if (std::isfinite(watts)) {
+      telemetry_debit_joules_ +=
+          (predictor_.smoothed_watts() - watts) * period;
+      // The interval is now fully accounted (integrated by the monitor,
+      // re-counted here), so the gap bridge must not cover it again.
+      last_integrated_time_ = now;
+    }
+    if (health_ != ControllerHealth::kSafeMode) {
+      health_ = ControllerHealth::kSuspect;
+      if (consecutive_invalid_ >= config_.invalid_sample_limit) {
+        EnterSafeMode(now, "invalid readings");
+      }
+    }
+    return;  // Invalid readings never touch the predictor.
+  }
+
+  // Bridge any gap the monitor could not integrate over (dropped or NaN
+  // samples) at the smoothed demand rate.  The last period before this
+  // sample is covered by the monitor's own integration of it.  The gap is
+  // measured from the last *integrated* sample — finite-but-rejected
+  // readings were integrated (and re-counted above), so they do not leave
+  // a hole.
+  if (has_valid_sample_) {
+    odsim::SimTime anchor = std::max(last_valid_sample_time_,
+                                     last_integrated_time_);
+    double gap = (now - anchor).seconds();
+    if (gap > 1.5 * period) {
+      telemetry_debit_joules_ +=
+          predictor_.smoothed_watts() * std::max(0.0, gap - period);
+      ++telemetry_gaps_;
+    }
+  }
+  has_valid_sample_ = true;
+  last_valid_sample_time_ = now;
+  last_integrated_time_ = now;
+  last_valid_watts_ = watts;
+  consecutive_invalid_ = 0;
+
   double remaining = (goal_ - now).seconds();
-  predictor_.AddSample(watts, monitor_->period().seconds(),
-                       std::max(0.0, remaining));
+  predictor_.AddSample(watts, period, std::max(0.0, remaining));
+
+  if (health_ == ControllerHealth::kSafeMode) {
+    if (++recovery_streak_ >= config_.health_recovery_samples) {
+      ExitSafeMode(now);
+    }
+  } else {
+    health_ = identical_streak_ > 0 ? ControllerHealth::kSuspect
+                                    : ControllerHealth::kHealthy;
+  }
 }
 
 odyssey::AdaptiveApplication* GoalDirector::PickDegradeTarget() const {
@@ -112,13 +229,37 @@ void GoalDirector::Evaluate() {
     return;
   }
 
+  // Telemetry-gap watchdog: a silent feed produces no samples for
+  // OnPowerSample to reject, so silence is detected here, against the
+  // monitor's own sampling period.
+  if (health_ != ControllerHealth::kSafeMode) {
+    odsim::SimTime last_heard =
+        has_valid_sample_ ? last_valid_sample_time_ : start_time_;
+    double silence = (now - last_heard).seconds();
+    if (silence >
+        config_.telemetry_timeout_periods * monitor_->period().seconds()) {
+      EnterSafeMode(now, "gap (no samples)");
+    }
+  }
+
   double residual =
       EstimatedResidualJoules() * (1.0 - config_.residual_safety_fraction);
   double remaining = (goal_ - now).seconds();
   double demand = predictor_.PredictedDemandJoules(remaining);
 
   if (config_.record_timeline) {
-    timeline_.push_back(TimelinePoint{now, residual, demand});
+    timeline_.push_back(TimelinePoint{now, residual, demand, health_});
+  }
+
+  if (health_ == ControllerHealth::kSafeMode) {
+    // Goal re-planning is frozen: fidelity is already clamped to the
+    // cheapest levels, and adaptation decisions computed from corrupted
+    // telemetry would be noise.  Completion checks above still run — they
+    // use the true supply, not telemetry.
+    infeasible_since_.reset();
+    next_eval_ = viceroy_->sim()->Schedule(config_.evaluation_period,
+                                           [this] { Evaluate(); });
+    return;
   }
 
   AdaptAction action =

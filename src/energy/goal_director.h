@@ -8,6 +8,23 @@
 // by the hysteresis margin it upgrades the highest-priority application,
 // at most once per 15 seconds.  The run ends when the goal is reached or
 // the supply is exhausted.
+//
+// -- Controller health --------------------------------------------------
+//
+// The director trusts nothing about its telemetry.  Every power sample is
+// validated (finite, nonnegative, physically plausible) before it may
+// touch the demand predictor or the residual estimate, and the director
+// watches for the feed going silent or freezing.  Sustained corruption
+// trips a safe mode: every application is clamped to its cheapest
+// fidelity (the energy-conserving choice when consumption cannot be
+// observed) and goal re-planning freezes, since decisions made on garbage
+// telemetry are worse than no decisions.  Safe mode lifts — restoring the
+// pre-clamp fidelities — only after a streak of consecutive valid
+// samples, mirroring the viceroy's link-outage recovery hysteresis.
+// Energy the monitor failed to integrate during a gap is bridged at the
+// smoothed demand rate, and energy it integrated from implausible
+// readings is re-counted at that rate, so the residual estimate survives
+// telemetry faults with bounded error.
 
 #ifndef SRC_ENERGY_GOAL_DIRECTOR_H_
 #define SRC_ENERGY_GOAL_DIRECTOR_H_
@@ -50,12 +67,42 @@ struct GoalDirectorConfig {
   // ...and only when the deficit is material: a feasible run skirts the
   // supply/demand boundary by design, so small transients must not alert.
   double infeasibility_deficit_fraction = 0.05;
+
+  // -- Controller health (telemetry-fault tolerance) -------------------------
+
+  // A power reading is invalid when non-finite, negative, or above this
+  // bound; no state of the modeled hardware draws anywhere near it, so a
+  // larger value can only be a telemetry fault (e.g. gauge drift).
+  double max_plausible_watts = 15.0;
+  // Consecutive invalid readings that trip safe mode.
+  int invalid_sample_limit = 3;
+  // A telemetry gap — no valid sample for this many sampling periods —
+  // trips safe mode at the next evaluation.
+  double telemetry_timeout_periods = 4.0;
+  // Consecutive bit-identical readings before the feed is declared frozen
+  // (a wedged driver repeating its last value).  0 disables: quantized
+  // gauges such as SmartBattery repeat readings legitimately, so only
+  // enable this for a noisy continuous source like the multimeter.
+  int stale_sample_limit = 0;
+  // Consecutive valid readings before safe mode lifts (recovery
+  // hysteresis, mirroring the viceroy's link-outage clamp).
+  int health_recovery_samples = 8;
+};
+
+// Health of the telemetry feed as judged by the director: kSuspect while a
+// below-threshold streak of invalid/frozen readings is in progress,
+// kSafeMode once corruption tripped the fallback policy.
+enum class ControllerHealth {
+  kHealthy,
+  kSuspect,
+  kSafeMode,
 };
 
 struct TimelinePoint {
   odsim::SimTime time;
   double residual_joules;
   double demand_joules;
+  ControllerHealth health = ControllerHealth::kHealthy;
 };
 
 struct FidelityChange {
@@ -107,7 +154,25 @@ class GoalDirector {
   odsim::SimTime goal() const { return goal_; }
   GoalOutcome outcome() const { return outcome_; }
 
-  // Residual energy as the director believes it (initial minus measured).
+  // -- Controller health ----------------------------------------------------
+
+  ControllerHealth health() const { return health_; }
+  // Distinct safe-mode episodes so far.
+  int safe_mode_entries() const { return safe_mode_entries_; }
+  // Cumulative time spent in safe mode up to `now` (open episode included).
+  double SafeModeSeconds(odsim::SimTime now) const;
+  // Readings rejected as invalid (non-finite, negative, implausible, or
+  // frozen past the stale limit).
+  int invalid_samples() const { return invalid_samples_; }
+  // Telemetry gaps bridged (distinct spans with no valid sample).
+  int telemetry_gaps() const { return telemetry_gaps_; }
+  // Net correction applied to the residual estimate for energy the monitor
+  // missed (gaps, positive debit) or miscounted (implausible readings,
+  // either sign).
+  double telemetry_debit_joules() const { return telemetry_debit_joules_; }
+
+  // Residual energy as the director believes it: initial minus measured,
+  // corrected by the telemetry debit.
   double EstimatedResidualJoules() const;
 
   // Residual energy, ground truth.
@@ -123,6 +188,10 @@ class GoalDirector {
   void OnPowerSample(odsim::SimTime now, double watts);
   void Evaluate();
   void Complete(GoalOutcome outcome);
+  void EnterSafeMode(odsim::SimTime now, const char* reason);
+  void ExitSafeMode(odsim::SimTime now);
+  void LogFidelityChange(odyssey::AdaptiveApplication* app, int level,
+                         odsim::SimTime now);
 
   odyssey::AdaptiveApplication* PickDegradeTarget() const;
   odyssey::AdaptiveApplication* PickUpgradeTarget() const;
@@ -142,6 +211,27 @@ class GoalDirector {
   odsim::EventHandle next_eval_;
   odsim::SimTime last_degrade_ = odsim::SimTime::Zero();
   bool has_degraded_ = false;
+
+  // Controller health state machine.
+  ControllerHealth health_ = ControllerHealth::kHealthy;
+  odyssey::FidelityClamp safe_clamp_;
+  odsim::SimTime start_time_ = odsim::SimTime::Zero();
+  odsim::SimTime last_valid_sample_time_ = odsim::SimTime::Zero();
+  // Last sample the monitor integrated, valid or not: finite rejected
+  // readings are integrated then re-counted, so the gap bridge must not
+  // cover them again.
+  odsim::SimTime last_integrated_time_ = odsim::SimTime::Zero();
+  double last_valid_watts_ = 0.0;
+  bool has_valid_sample_ = false;
+  int consecutive_invalid_ = 0;
+  int identical_streak_ = 0;
+  int recovery_streak_ = 0;
+  int invalid_samples_ = 0;
+  int telemetry_gaps_ = 0;
+  int safe_mode_entries_ = 0;
+  double safe_mode_seconds_ = 0.0;
+  odsim::SimTime safe_mode_entered_ = odsim::SimTime::Zero();
+  double telemetry_debit_joules_ = 0.0;
 
   std::vector<TimelinePoint> timeline_;
   std::unordered_map<const odyssey::AdaptiveApplication*, std::vector<FidelityChange>>

@@ -1,0 +1,64 @@
+#include "src/fault/chaos.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace odfault {
+namespace {
+
+// All kinds the generator may draw.  Keep in sync with FaultKind; the
+// round-trip test in tests/fault covers every entry.
+constexpr FaultKind kAllKinds[] = {
+    FaultKind::kBandwidth,    FaultKind::kOutage,
+    FaultKind::kLossBurst,    FaultKind::kServerStall,
+    FaultKind::kDiskLatency,  FaultKind::kSampleDropout,
+    FaultKind::kStaleTelemetry, FaultKind::kNanTelemetry,
+    FaultKind::kGaugeDrift,
+};
+
+// Round to ~3 decimals so the generated plan survives the canonical %g
+// rendering: Parse(ToString(plan)) must reproduce the plan exactly.
+double Round3(double value) { return std::round(value * 1000.0) / 1000.0; }
+
+double DrawMagnitude(FaultKind kind, odutil::Rng& rng) {
+  switch (kind) {
+    case FaultKind::kBandwidth:
+      return Round3(rng.Uniform(0.05, 0.5));  // Keep 5-50% of nominal.
+    case FaultKind::kLossBurst:
+      return Round3(rng.Uniform(0.1, 0.6));
+    case FaultKind::kDiskLatency:
+      return Round3(rng.Uniform(2.0, 16.0));
+    case FaultKind::kGaugeDrift:
+      // Both under- and over-reading gauges, up to 4x off.
+      return Round3(rng.Uniform(0.25, 4.0));
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+FaultPlan GenerateChaosPlan(uint64_t seed, const ChaosPlanConfig& config) {
+  OD_CHECK(config.min_events >= 0 && config.max_events >= config.min_events);
+  OD_CHECK(config.min_duration_seconds > 0.0 &&
+           config.max_duration_seconds >= config.min_duration_seconds);
+  odutil::Rng rng(seed ^ 0xc4a05ULL);
+  FaultPlan plan;
+  int events = rng.UniformInt(config.min_events, config.max_events);
+  for (int i = 0; i < events; ++i) {
+    FaultEvent event;
+    event.kind = kAllKinds[rng.UniformInt(
+        0, static_cast<int>(std::size(kAllKinds)) - 1)];
+    event.at = odsim::SimDuration::Seconds(
+        Round3(rng.Uniform(0.0, config.horizon_seconds)));
+    event.duration = odsim::SimDuration::Seconds(Round3(rng.Uniform(
+        config.min_duration_seconds, config.max_duration_seconds)));
+    event.magnitude = DrawMagnitude(event.kind, rng);
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+}  // namespace odfault

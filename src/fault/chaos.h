@@ -1,0 +1,35 @@
+// Property-based fault-plan generation for the chaos soak.
+//
+// GenerateChaosPlan derives a random-but-deterministic FaultPlan from a
+// seed: a handful of windows of any kind, with uniformly drawn starts,
+// durations, and (where applicable) magnitudes inside each kind's valid
+// range.  The same seed always yields the same plan, so a soak failure is
+// reproducible from its seed alone — the plan's canonical spelling
+// (plan.ToString()) is the repro command line.
+
+#ifndef SRC_FAULT_CHAOS_H_
+#define SRC_FAULT_CHAOS_H_
+
+#include <cstdint>
+
+#include "src/fault/fault_plan.h"
+
+namespace odfault {
+
+struct ChaosPlanConfig {
+  int min_events = 2;
+  int max_events = 6;
+  // Windows start anywhere in [0, horizon_seconds); duration is drawn from
+  // [min_duration_seconds, max_duration_seconds].  Windows may overlap and
+  // may extend past the horizon (the injector nests and restores anyway).
+  double horizon_seconds = 240.0;
+  double min_duration_seconds = 5.0;
+  double max_duration_seconds = 60.0;
+};
+
+FaultPlan GenerateChaosPlan(uint64_t seed,
+                            const ChaosPlanConfig& config = ChaosPlanConfig{});
+
+}  // namespace odfault
+
+#endif  // SRC_FAULT_CHAOS_H_

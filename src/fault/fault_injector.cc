@@ -32,6 +32,15 @@ void FaultInjector::Arm(const FaultPlan& plan) {
         OD_CHECK_MSG(targets_.pm != nullptr,
                      "fault plan needs a power-manager target");
         break;
+      case FaultKind::kSampleDropout:
+      case FaultKind::kStaleTelemetry:
+      case FaultKind::kNanTelemetry:
+      case FaultKind::kGaugeDrift:
+        OD_CHECK_MSG(targets_.monitor != nullptr &&
+                         targets_.monitor->telemetry_faults() != nullptr,
+                     "fault plan needs a power-monitor target with "
+                     "telemetry-fault support");
+        break;
     }
     sim_->Schedule(event.at, [this, event] { Begin(event); });
     sim_->Schedule(event.at + event.duration, [this, event] { End(event); });
@@ -83,6 +92,21 @@ void FaultInjector::Begin(const FaultEvent& event) {
       }
       targets_.pm->set_disk_latency_scale(event.magnitude);
       break;
+    case FaultKind::kSampleDropout:
+      targets_.monitor->telemetry_faults()->set_dropout(true);
+      break;
+    case FaultKind::kStaleTelemetry:
+      targets_.monitor->telemetry_faults()->set_stale(true);
+      break;
+    case FaultKind::kNanTelemetry:
+      targets_.monitor->telemetry_faults()->set_nan(true);
+      break;
+    case FaultKind::kGaugeDrift:
+      if (first) {
+        nominal_gauge_scale_ = targets_.monitor->telemetry_faults()->gauge_scale();
+      }
+      targets_.monitor->telemetry_faults()->set_gauge_scale(event.magnitude);
+      break;
   }
 }
 
@@ -121,6 +145,26 @@ void FaultInjector::End(const FaultEvent& event) {
     case FaultKind::kDiskLatency:
       if (last) {
         targets_.pm->set_disk_latency_scale(nominal_disk_scale_);
+      }
+      break;
+    case FaultKind::kSampleDropout:
+      if (last) {
+        targets_.monitor->telemetry_faults()->set_dropout(false);
+      }
+      break;
+    case FaultKind::kStaleTelemetry:
+      if (last) {
+        targets_.monitor->telemetry_faults()->set_stale(false);
+      }
+      break;
+    case FaultKind::kNanTelemetry:
+      if (last) {
+        targets_.monitor->telemetry_faults()->set_nan(false);
+      }
+      break;
+    case FaultKind::kGaugeDrift:
+      if (last) {
+        targets_.monitor->telemetry_faults()->set_gauge_scale(nominal_gauge_scale_);
       }
       break;
   }

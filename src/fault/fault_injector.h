@@ -21,6 +21,7 @@
 #include "src/net/rpc.h"
 #include "src/odyssey/server.h"
 #include "src/power/power_manager.h"
+#include "src/powerscope/power_monitor.h"
 #include "src/sim/simulator.h"
 
 namespace odfault {
@@ -32,6 +33,8 @@ struct FaultTargets {
   odnet::RpcClient* rpc = nullptr;        // loss
   odpower::PowerManager* pm = nullptr;    // disk
   std::vector<odyssey::RemoteServer*> servers;  // stall
+  // dropout, stale, nan, gauge — must expose a TelemetryFaults switchboard.
+  odscope::PowerMonitor* monitor = nullptr;
 };
 
 class FaultInjector {
@@ -51,7 +54,7 @@ class FaultInjector {
   bool any_active() const { return active_windows() > 0; }
 
  private:
-  static constexpr int kKindCount = 5;
+  static constexpr int kKindCount = 9;
   static int Index(FaultKind kind) { return static_cast<int>(kind); }
 
   void Begin(const FaultEvent& event);
@@ -61,10 +64,11 @@ class FaultInjector {
   FaultTargets targets_;
   bool armed_ = false;
   int windows_begun_ = 0;
-  int active_[kKindCount] = {0, 0, 0, 0, 0};
+  int active_[kKindCount] = {};
   double nominal_bandwidth_bps_ = 0.0;
   double nominal_loss_probability_ = 0.0;
   double nominal_disk_scale_ = 1.0;
+  double nominal_gauge_scale_ = 1.0;
 };
 
 }  // namespace odfault

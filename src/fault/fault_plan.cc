@@ -19,6 +19,10 @@ constexpr KindInfo kKinds[] = {
     {FaultKind::kLossBurst, "loss", true, 0.3},
     {FaultKind::kServerStall, "stall", false, 0.0},
     {FaultKind::kDiskLatency, "disk", true, 8.0},
+    {FaultKind::kSampleDropout, "dropout", false, 0.0},
+    {FaultKind::kStaleTelemetry, "stale", false, 0.0},
+    {FaultKind::kNanTelemetry, "nan", false, 0.0},
+    {FaultKind::kGaugeDrift, "gauge", true, 3.0},
 };
 
 const KindInfo* FindKind(const std::string& name) {
@@ -55,9 +59,13 @@ bool MagnitudeValid(FaultKind kind, double magnitude) {
     case FaultKind::kLossBurst:
       return magnitude >= 0.0 && magnitude < 1.0;
     case FaultKind::kDiskLatency:
+    case FaultKind::kGaugeDrift:
       return magnitude > 0.0;
     case FaultKind::kOutage:
     case FaultKind::kServerStall:
+    case FaultKind::kSampleDropout:
+    case FaultKind::kStaleTelemetry:
+    case FaultKind::kNanTelemetry:
       return true;
   }
   return false;
@@ -84,7 +92,9 @@ bool ParseEvent(const std::string& text, FaultEvent* event, std::string* error) 
   }
   const KindInfo* info = FindKind(text.substr(0, at_pos));
   if (info == nullptr) {
-    return fail("unknown kind (bandwidth|outage|loss|stall|disk)");
+    return fail(
+        "unknown kind "
+        "(bandwidth|outage|loss|stall|disk|dropout|stale|nan|gauge)");
   }
   size_t plus_pos = text.find('+', at_pos + 1);
   if (plus_pos == std::string::npos) {
@@ -126,6 +136,18 @@ bool ParseEvent(const std::string& text, FaultEvent* event, std::string* error) 
 }  // namespace
 
 const char* FaultKindName(FaultKind kind) { return Info(kind).name; }
+
+bool IsTelemetryFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSampleDropout:
+    case FaultKind::kStaleTelemetry:
+    case FaultKind::kNanTelemetry:
+    case FaultKind::kGaugeDrift:
+      return true;
+    default:
+      return false;
+  }
+}
 
 std::string FaultPlan::ToString() const {
   std::string spec;

@@ -2,9 +2,10 @@
 //
 // A FaultPlan is a deterministic schedule of timed disturbances — bandwidth
 // crashes, full link outages, packet-loss bursts, server compute stalls,
-// disk latency spikes — that the FaultInjector replays through the
-// discrete-event simulator.  Plans are written in a compact spec grammar so
-// they can ride in a command-line flag and land verbatim in artifact
+// disk latency spikes, and power-telemetry corruption (sample dropouts,
+// stale/NaN readings, gauge drift) — that the FaultInjector replays through
+// the discrete-event simulator.  Plans are written in a compact spec grammar
+// so they can ride in a command-line flag and land verbatim in artifact
 // provenance:
 //
 //   event   := kind '@' start '+' duration [ '=' magnitude ]
@@ -23,6 +24,16 @@
 //   loss       per-message loss probability [0, 1); default 0.3
 //   stall      none
 //   disk       disk access latency multiplier > 0; default 8
+//   dropout    none — the power monitor delivers no readings at all
+//   stale      none — the power monitor repeats its last delivered reading
+//   nan        none — the power monitor delivers NaN readings
+//   gauge      power-reading scale factor > 0; default 3 (gas-gauge
+//              miscalibration: readings are scaled, so the integrated
+//              energy estimate develops a discontinuity)
+//
+// The last four corrupt *telemetry* only: the machine's true draw and the
+// analytic accounting are untouched, which is exactly what makes them a
+// test of the goal controller's health machinery (src/energy).
 //
 // ToString() renders the canonical spec; Parse(ToString()) round-trips.
 
@@ -42,10 +53,21 @@ enum class FaultKind {
   kLossBurst,
   kServerStall,
   kDiskLatency,
+  // Telemetry faults: corrupt what the power monitor reports, not what the
+  // machine draws.
+  kSampleDropout,
+  kStaleTelemetry,
+  kNanTelemetry,
+  kGaugeDrift,
 };
 
-// Spec-grammar keyword ("bandwidth", "outage", "loss", "stall", "disk").
+// Spec-grammar keyword ("bandwidth", "outage", "loss", "stall", "disk",
+// "dropout", "stale", "nan", "gauge").
 const char* FaultKindName(FaultKind kind);
+
+// True for the kinds that disturb power telemetry (and therefore need a
+// PowerMonitor target rather than a link/rpc/pm/server one).
+bool IsTelemetryFault(FaultKind kind);
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kOutage;

@@ -9,6 +9,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/net/bandwidth_monitor.h"
 #include "src/odyssey/warden.h"
+#include "src/powerscope/online_monitor.h"
 #include "src/util/check.h"
 
 namespace odfault {
@@ -64,6 +65,13 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioOptions& options) {
       targets.servers.push_back(warden->server());
     }
   }
+  // Injection target for telemetry kinds, so any plan the grammar accepts
+  // is legal here.  This scenario runs no goal director; the monitor is
+  // never started and the faults land on a feed nothing reads.
+  odscope::OnlineMonitor idle_monitor(&bed.sim(), &bed.laptop().machine(),
+                                      odscope::OnlineMonitorConfig{},
+                                      options.seed ^ 0xf00dULL);
+  targets.monitor = &idle_monitor;
   FaultInjector injector(&bed.sim(), targets);
 
   odapps::Settle(bed);

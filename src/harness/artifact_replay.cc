@@ -1,11 +1,14 @@
 #include "src/harness/artifact_replay.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 namespace odharness {
 
-ArtifactReplay::ArtifactReplay(std::string dir) : dir_(std::move(dir)) {}
+ArtifactReplay::ArtifactReplay(std::string dir, std::string expected_fault_plan)
+    : dir_(std::move(dir)),
+      expected_fault_plan_(std::move(expected_fault_plan)) {}
 
 const ArtifactReplay& ArtifactReplay::Env() {
   static const ArtifactReplay* instance = [] {
@@ -22,10 +25,24 @@ const RunArtifact* ArtifactReplay::Get(const std::string& experiment) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = cache_.find(experiment);
   if (it == cache_.end()) {
-    it = cache_
-             .emplace(experiment,
-                      RunArtifact::ReadFile(dir_ + "/" + experiment + ".json"))
-             .first;
+    std::optional<RunArtifact> artifact =
+        RunArtifact::ReadFile(dir_ + "/" + experiment + ".json");
+    if (artifact.has_value() &&
+        artifact->provenance.fault_plan != expected_fault_plan_) {
+      // Recorded under a different disturbance plan than the one the
+      // consumer is asserting against: replaying it would compare numbers
+      // from two different experiments.  Diagnose once, then fall back to
+      // live simulation via the usual nullopt path.
+      std::fprintf(
+          stderr,
+          "ArtifactReplay: ignoring %s/%s.json: recorded fault plan \"%s\" "
+          "differs from expected \"%s\"; falling back to live simulation\n",
+          dir_.c_str(), experiment.c_str(),
+          artifact->provenance.fault_plan.c_str(),
+          expected_fault_plan_.c_str());
+      artifact.reset();
+    }
+    it = cache_.emplace(experiment, std::move(artifact)).first;
   }
   return it->second.has_value() ? &*it->second : nullptr;
 }

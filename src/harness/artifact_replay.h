@@ -35,7 +35,13 @@ class ArtifactReplay {
  public:
   // Reads artifacts from `dir` (one <experiment>.json per experiment); an
   // empty dir disables replay and every accessor returns nullopt.
-  explicit ArtifactReplay(std::string dir);
+  //
+  // `expected_fault_plan` is the canonical disturbance spec the consumer
+  // is asserting against ("" = a clean run, the usual case for the band
+  // tests).  An artifact recorded under a *different* plan answers a
+  // different question, so it is rejected — with a one-time diagnostic —
+  // and the caller's nullopt path falls back to live simulation.
+  explicit ArtifactReplay(std::string dir, std::string expected_fault_plan = "");
 
   // Shared instance configured from $ODBENCH_ARTIFACT_DIR.
   static const ArtifactReplay& Env();
@@ -66,6 +72,7 @@ class ArtifactReplay {
                           const std::string& label) const;
 
   std::string dir_;
+  std::string expected_fault_plan_;
   mutable std::mutex mutex_;
   mutable std::map<std::string, std::optional<RunArtifact>> cache_;
 };

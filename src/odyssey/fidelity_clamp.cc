@@ -1,0 +1,53 @@
+#include "src/odyssey/fidelity_clamp.h"
+
+#include <algorithm>
+
+#include "src/odyssey/application.h"
+#include "src/odyssey/viceroy.h"
+#include "src/util/check.h"
+
+namespace odyssey {
+
+FidelityClamp::FidelityClamp(Viceroy* viceroy) : viceroy_(viceroy) {
+  OD_CHECK(viceroy != nullptr);
+}
+
+void FidelityClamp::Engage(const ChangeFn& on_change) {
+  if (engaged_) {
+    return;
+  }
+  engaged_ = true;
+  ++engagements_;
+  saved_levels_.clear();
+  for (AdaptiveApplication* app : viceroy_->applications()) {
+    saved_levels_.emplace_back(app, app->current_fidelity());
+    int lowest = app->fidelity_spec().lowest();
+    bool changes = app->current_fidelity() != lowest;
+    viceroy_->IssueUpcall(app, lowest);
+    if (changes && on_change) {
+      on_change(app, lowest);
+    }
+  }
+}
+
+void FidelityClamp::Release(const ChangeFn& on_change) {
+  if (!engaged_) {
+    return;
+  }
+  engaged_ = false;
+  for (auto& [app, level] : saved_levels_) {
+    bool changes = app->current_fidelity() != level;
+    viceroy_->IssueUpcall(app, level);
+    if (changes && on_change) {
+      on_change(app, level);
+    }
+  }
+  saved_levels_.clear();
+}
+
+void FidelityClamp::Forget(const AdaptiveApplication* app) {
+  std::erase_if(saved_levels_,
+                [app](const auto& saved) { return saved.first == app; });
+}
+
+}  // namespace odyssey

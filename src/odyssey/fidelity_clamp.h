@@ -1,0 +1,61 @@
+// Save-clamp-restore of application fidelity.
+//
+// Two emergency paths pin every application to its cheapest fidelity and
+// later restore what the user had: the viceroy's link-outage clamp and the
+// energy layer's controller safe mode (GoalDirector).  Both need the same
+// careful bookkeeping — save pre-clamp levels in registration order so
+// restoration is deterministic, survive apps unregistering mid-clamp, count
+// distinct engagements — so it lives here once.  Each clamping authority
+// owns its own FidelityClamp instance; the instances are independent (a
+// link clamp and a safe-mode clamp may overlap, and each restores the
+// levels *it* saved).
+
+#ifndef SRC_ODYSSEY_FIDELITY_CLAMP_H_
+#define SRC_ODYSSEY_FIDELITY_CLAMP_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace odyssey {
+
+class AdaptiveApplication;
+class Viceroy;
+
+class FidelityClamp {
+ public:
+  explicit FidelityClamp(Viceroy* viceroy);
+
+  FidelityClamp(const FidelityClamp&) = delete;
+  FidelityClamp& operator=(const FidelityClamp&) = delete;
+
+  // Observes every fidelity level actually issued by Engage/Release (apps
+  // already at the target level produce no call).
+  using ChangeFn = std::function<void(AdaptiveApplication*, int level)>;
+
+  // Saves every registered application's fidelity and clamps it to its
+  // lowest.  No-op when already engaged.
+  void Engage(const ChangeFn& on_change = nullptr);
+
+  // Restores the saved levels.  No-op when not engaged.
+  void Release(const ChangeFn& on_change = nullptr);
+
+  // Drops any saved level for `app` (call when an app unregisters while
+  // the clamp is engaged; restoring into a dead app would be an error).
+  void Forget(const AdaptiveApplication* app);
+
+  bool engaged() const { return engaged_; }
+  // Distinct engagements so far.
+  int engagements() const { return engagements_; }
+
+ private:
+  Viceroy* viceroy_;
+  bool engaged_ = false;
+  int engagements_ = 0;
+  // Registration order, so restoration issues upcalls deterministically.
+  std::vector<std::pair<AdaptiveApplication*, int>> saved_levels_;
+};
+
+}  // namespace odyssey
+
+#endif  // SRC_ODYSSEY_FIDELITY_CLAMP_H_

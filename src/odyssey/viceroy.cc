@@ -28,9 +28,7 @@ void Viceroy::UnregisterApplication(AdaptiveApplication* app) {
   apps_.erase(std::remove(apps_.begin(), apps_.end(), app), apps_.end());
   std::erase_if(expectations_,
                 [app](const Expectation& e) { return e.app == app; });
-  std::erase_if(saved_levels_, [app](const auto& saved) {
-    return saved.first == app;
-  });
+  clamp_.Forget(app);
 }
 
 Warden* Viceroy::RegisterWarden(std::unique_ptr<Warden> warden) {
@@ -94,7 +92,7 @@ void Viceroy::ClearExpectation(AdaptiveApplication* app, ResourceId resource) {
 }
 
 void Viceroy::NotifyResourceLevel(ResourceId resource, double value) {
-  if (clamped_) {
+  if (clamp_.engaged()) {
     // The outage clamp owns fidelity until the link recovers; a stream of
     // zero-bandwidth estimates must not pile extra downgrade upcalls on top
     // (or let an energy expectation raise fidelity into a dead channel).
@@ -125,33 +123,22 @@ void Viceroy::set_recovery_hysteresis(int ticks) {
 void Viceroy::NotifyLinkHealth(const odnet::BandwidthEstimate& estimate) {
   if (!estimate.healthy()) {
     healthy_streak_ = 0;
-    if (!clamped_) {
-      clamped_ = true;
-      ++outage_clamps_;
+    if (!clamp_.engaged()) {
       OD_LOG_DEBUG("link unhealthy t=%.1fs: clamping %zu apps to lowest",
                    sim_->Now().seconds(), apps_.size());
-      saved_levels_.clear();
-      for (AdaptiveApplication* app : apps_) {
-        saved_levels_.emplace_back(app, app->current_fidelity());
-        IssueUpcall(app, app->fidelity_spec().lowest());
-      }
+      clamp_.Engage();
     }
     return;
   }
-  if (!clamped_) {
+  if (!clamp_.engaged()) {
     return;
   }
   if (++healthy_streak_ < recovery_hysteresis_) {
     return;
   }
-  clamped_ = false;
   healthy_streak_ = 0;
-  OD_LOG_DEBUG("link recovered t=%.1fs: restoring %zu apps",
-               sim_->Now().seconds(), saved_levels_.size());
-  for (auto& [app, level] : saved_levels_) {
-    IssueUpcall(app, level);
-  }
-  saved_levels_.clear();
+  OD_LOG_DEBUG("link recovered t=%.1fs: restoring apps", sim_->Now().seconds());
+  clamp_.Release();
 }
 
 }  // namespace odyssey

@@ -18,6 +18,7 @@
 #include "src/net/link.h"
 #include "src/net/rpc.h"
 #include "src/odyssey/application.h"
+#include "src/odyssey/fidelity_clamp.h"
 #include "src/power/power_manager.h"
 #include "src/sim/simulator.h"
 
@@ -84,9 +85,9 @@ class Viceroy {
   // does not whipsaw fidelity.
   void NotifyLinkHealth(const odnet::BandwidthEstimate& estimate);
 
-  bool link_clamped() const { return clamped_; }
+  bool link_clamped() const { return clamp_.engaged(); }
   // Times the clamp engaged (distinct unhealthy episodes).
-  int outage_clamps() const { return outage_clamps_; }
+  int outage_clamps() const { return clamp_.engagements(); }
   void set_recovery_hysteresis(int ticks);
 
   // -- Shared plumbing -------------------------------------------------------
@@ -114,13 +115,11 @@ class Viceroy {
   std::unordered_map<const AdaptiveApplication*, int> adaptation_counts_;
   std::vector<Expectation> expectations_;
 
-  // Outage clamp state.  saved_levels_ is ordered (registration order) so
-  // restoration issues upcalls deterministically.
-  bool clamped_ = false;
+  // Outage clamp state (save/clamp/restore itself lives in FidelityClamp,
+  // shared with the energy layer's controller safe mode).
+  FidelityClamp clamp_{this};
   int healthy_streak_ = 0;
   int recovery_hysteresis_ = 3;
-  int outage_clamps_ = 0;
-  std::vector<std::pair<AdaptiveApplication*, int>> saved_levels_;
 };
 
 }  // namespace odyssey

@@ -1,6 +1,8 @@
 #include "src/powerscope/online_monitor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 
 #include "src/util/check.h"
 
@@ -18,6 +20,7 @@ void OnlineMonitor::Start() {
   OD_CHECK(!running_);
   running_ = true;
   measured_joules_ = 0.0;
+  has_delivered_ = false;
   TakeSample();
 }
 
@@ -34,9 +37,23 @@ void OnlineMonitor::TakeSample() {
   if (config_.noise_watts > 0.0) {
     watts = std::max(0.0, rng_.Normal(watts, config_.noise_watts));
   }
-  last_watts_ = watts;
-  // Constant power assumed until the next sample.
-  measured_joules_ += watts * config_.period.seconds();
+  std::optional<double> delivered =
+      faults_.Corrupt(watts, last_watts_, has_delivered_);
+  if (!delivered.has_value()) {
+    // Sample dropped: no reading, no integration, no callback.  The
+    // sampling clock keeps ticking so recovery needs no re-arming.
+    next_ = sim_->Schedule(config_.period, [this] { TakeSample(); });
+    return;
+  }
+  watts = *delivered;
+  if (std::isfinite(watts)) {
+    last_watts_ = watts;
+    has_delivered_ = true;
+    // Constant power assumed until the next sample.  Non-finite readings
+    // are delivered (the adaptation layer must cope) but never integrated:
+    // one NaN must not poison the running energy estimate.
+    measured_joules_ += watts * config_.period.seconds();
+  }
   if (callback_) {
     callback_(sim_->Now(), watts);
   }

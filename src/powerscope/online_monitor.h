@@ -47,6 +47,8 @@ class OnlineMonitor : public PowerMonitor {
   // Invoked on every sample, after internal state updates.
   void set_callback(SampleFn callback) override { callback_ = std::move(callback); }
 
+  TelemetryFaults* telemetry_faults() override { return &faults_; }
+
   const OnlineMonitorConfig& config() const { return config_; }
 
  private:
@@ -56,7 +58,9 @@ class OnlineMonitor : public PowerMonitor {
   odpower::Machine* machine_;
   OnlineMonitorConfig config_;
   odutil::Rng rng_;
+  TelemetryFaults faults_;
   bool running_ = false;
+  bool has_delivered_ = false;
   odsim::EventHandle next_;
   double last_watts_ = 0.0;
   double measured_joules_ = 0.0;

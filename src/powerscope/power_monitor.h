@@ -10,6 +10,7 @@
 
 #include <functional>
 
+#include "src/powerscope/telemetry_faults.h"
 #include "src/sim/time.h"
 
 namespace odscope {
@@ -35,6 +36,10 @@ class PowerMonitor {
 
   // Invoked on every reading, after internal state updates.
   virtual void set_callback(SampleFn callback) = 0;
+
+  // Telemetry disturbance switchboard, for fault injection.  Nullptr when
+  // the implementation does not support telemetry faults.
+  virtual TelemetryFaults* telemetry_faults() { return nullptr; }
 };
 
 }  // namespace odscope

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "src/util/check.h"
 
@@ -37,6 +38,7 @@ void SmartBattery::Start() {
   OD_CHECK(!running_);
   running_ = true;
   measured_joules_ = 0.0;
+  has_delivered_ = false;
   last_reading_time_ = sim_->Now();
   TakeReading();
 }
@@ -58,12 +60,25 @@ void SmartBattery::TakeReading() {
   // Gas-gauge quantization.
   watts = std::round(watts / config_.power_quantum_watts) *
           config_.power_quantum_watts;
-  last_watts_ = watts;
-  // Constant power assumed over the trailing interval.
-  measured_joules_ += watts * (now - last_reading_time_).seconds();
-  last_reading_time_ = now;
-  if (callback_) {
-    callback_(now, watts);
+  std::optional<double> delivered =
+      faults_.Corrupt(watts, last_watts_, has_delivered_);
+  if (delivered.has_value()) {
+    watts = *delivered;
+    if (std::isfinite(watts)) {
+      last_watts_ = watts;
+      has_delivered_ = true;
+      // Constant power assumed over the trailing interval.  NaN readings
+      // are delivered but never integrated; energy over a dropped or NaN
+      // window is simply missing from the estimate (the goal controller
+      // bridges such gaps itself — see GoalDirector).
+      measured_joules_ += watts * (now - last_reading_time_).seconds();
+    }
+    last_reading_time_ = now;
+    if (callback_) {
+      callback_(now, watts);
+    }
+  } else {
+    last_reading_time_ = now;
   }
   // Jittered schedule to decouple sampling from periodic app activity.
   double scale = 1.0;

@@ -48,6 +48,8 @@ class SmartBattery : public PowerMonitor {
   odsim::SimDuration period() const override { return config_.period; }
   void set_callback(SampleFn callback) override { callback_ = std::move(callback); }
 
+  TelemetryFaults* telemetry_faults() override { return &faults_; }
+
   const SmartBatteryConfig& config() const { return config_; }
 
  private:
@@ -57,7 +59,9 @@ class SmartBattery : public PowerMonitor {
   odpower::Machine* machine_;
   SmartBatteryConfig config_;
   odutil::Rng rng_;
+  TelemetryFaults faults_;
   bool running_ = false;
+  bool has_delivered_ = false;
   odsim::EventHandle next_;
   odsim::SimTime last_reading_time_;
   double last_watts_ = 0.0;

@@ -1,0 +1,22 @@
+#include "src/powerscope/telemetry_faults.h"
+
+#include <limits>
+
+namespace odscope {
+
+std::optional<double> TelemetryFaults::Corrupt(double raw_watts,
+                                               double last_delivered,
+                                               bool has_last) const {
+  if (dropout_) {
+    return std::nullopt;
+  }
+  if (nan_) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (stale_ && has_last) {
+    return last_delivered;
+  }
+  return raw_watts * gauge_scale_;
+}
+
+}  // namespace odscope

@@ -1,0 +1,96 @@
+// Seeded chaos soak (`ctest -L chaos`): deterministic random fault plans
+// drive the full goal-directed scenario under invariant checks.  Each seed
+// generates a plan of 2-6 overlapping fault windows across every kind the
+// grammar knows — network, server, disk, and the telemetry kinds that
+// attack the director's own power feed — and the run must preserve the
+// simulator's physical invariants no matter what the plan does:
+//
+//   * energy conservation: total accounted energy equals the sum of
+//     per-component energy plus the synergy term, at every probe tick;
+//   * monotone battery drain: the true residual never increases;
+//   * no negative component power;
+//   * termination: the scenario ends (goal met or supply exhausted)
+//     before the overrun safety valve, for every plan.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/goal_scenario.h"
+#include "src/fault/chaos.h"
+#include "src/fault/fault_plan.h"
+
+namespace {
+
+class ChaosSoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosSoakTest, InvariantsHoldUnderRandomPlan) {
+  const uint64_t seed = 0xC0FFEEULL + static_cast<uint64_t>(GetParam());
+  odfault::FaultPlan plan = odfault::GenerateChaosPlan(seed);
+  ASSERT_FALSE(plan.empty());
+
+  // The generated plan must survive the canonical round-trip: a plan we
+  // cannot replay from its artifact stamp is not a reproducible test.
+  odfault::FaultPlan reparsed;
+  std::string error;
+  ASSERT_TRUE(odfault::FaultPlan::Parse(plan.ToString(), &reparsed, &error))
+      << error;
+  EXPECT_EQ(plan.ToString(), reparsed.ToString());
+
+  odapps::GoalScenarioOptions options;
+  options.seed = seed;
+  options.initial_joules = 4000.0;
+  options.goal = odsim::SimDuration::Seconds(300);  // Covers the default
+                                                    // 240 s chaos horizon.
+  options.fault_plan = plan;
+
+  double last_residual = options.initial_joules;
+  int ticks = 0;
+  options.tick_probe = [&](odapps::TestBed& bed,
+                           odpower::EnergySupply& supply) {
+    odsim::SimTime now = bed.sim().Now();
+    odpower::EnergyAccounting& acct = bed.laptop().accounting();
+    odpower::Machine& machine = bed.laptop().machine();
+
+    // Energy conservation: the whole is the sum of its parts.
+    double total = acct.TotalJoules(now);
+    double parts = acct.SynergyJoules(now);
+    for (int i = 0; i < machine.component_count(); ++i) {
+      EXPECT_GE(machine.component(i).power(), 0.0)
+          << machine.component(i).name() << " draws negative power at t="
+          << now.seconds();
+      parts += acct.ComponentJoules(i, now);
+    }
+    EXPECT_NEAR(total, parts, 1e-6 * std::max(1.0, total))
+        << "accounting leak at t=" << now.seconds();
+
+    // Monotone drain: no fault may put energy back into the battery.
+    double residual = supply.ResidualJoules(now);
+    EXPECT_LE(residual, last_residual + 1e-9)
+        << "residual rose at t=" << now.seconds();
+    EXPECT_GE(residual, 0.0);
+    last_residual = residual;
+    ++ticks;
+  };
+
+  odapps::GoalScenarioResult result = odapps::RunGoalScenario(options);
+
+  // Termination: the run decided its outcome and never hit the overrun
+  // safety valve.
+  EXPECT_NE(result.outcome, odenergy::GoalOutcome::kRunning)
+      << "plan " << plan.ToString();
+  EXPECT_LE(result.elapsed_seconds,
+            options.goal.seconds() + options.max_overrun.seconds() - 1.0)
+      << "plan " << plan.ToString();
+  EXPECT_GT(ticks, 0);
+
+  // The director's residual estimate stayed finite and sane.
+  EXPECT_TRUE(std::isfinite(result.estimated_residual_joules));
+  EXPECT_GE(result.estimated_residual_joules, 0.0);
+  EXPECT_LE(result.estimated_residual_joules, options.initial_joules);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest, ::testing::Range(0, 50));
+
+}  // namespace

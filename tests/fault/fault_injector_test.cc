@@ -1,11 +1,14 @@
 #include "src/fault/fault_injector.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/net/link.h"
 #include "src/net/rpc.h"
 #include "src/odyssey/server.h"
 #include "src/power/thinkpad560x.h"
+#include "src/powerscope/online_monitor.h"
 #include "src/sim/simulator.h"
 
 namespace odfault {
@@ -24,6 +27,8 @@ struct Rig {
   odnet::Link link{&sim, &laptop->power_manager(), odnet::LinkConfig{}};
   odnet::RpcClient rpc{&sim, &link, &laptop->power_manager(), 7};
   odyssey::RemoteServer server{&sim, "test-server"};
+  odscope::OnlineMonitor monitor{&sim, &laptop->machine(),
+                                 odscope::OnlineMonitorConfig{}, 1};
 
   FaultInjector MakeInjector() {
     FaultTargets targets;
@@ -31,6 +36,7 @@ struct Rig {
     targets.rpc = &rpc;
     targets.pm = &laptop->power_manager();
     targets.servers.push_back(&server);
+    targets.monitor = &monitor;
     return FaultInjector(&sim, std::move(targets));
   }
 
@@ -113,6 +119,27 @@ TEST(FaultInjectorTest, NestedWindowsRestoreNominalOnlyAtLastEnd) {
   EXPECT_EQ(injector.windows_begun(), 2);
 }
 
+TEST(FaultInjectorTest, TelemetryWindowsToggleTheSwitchboard) {
+  Rig rig;
+  FaultInjector injector = rig.MakeInjector();
+  injector.Arm(Plan("dropout@5+5;nan@12+5;stale@20+5;gauge@28+5=2.5"));
+  odscope::TelemetryFaults* faults = rig.monitor.telemetry_faults();
+
+  rig.RunUntil(4.0);
+  EXPECT_FALSE(faults->any_active());
+  rig.RunUntil(6.0);
+  EXPECT_FALSE(faults->Corrupt(9.8, 9.8, true).has_value());  // Dropout on.
+  rig.RunUntil(13.0);
+  EXPECT_TRUE(std::isnan(*faults->Corrupt(9.8, 9.7, true)));  // NaN on.
+  rig.RunUntil(21.0);
+  EXPECT_DOUBLE_EQ(*faults->Corrupt(9.8, 9.7, true), 9.7);    // Stale on.
+  rig.RunUntil(29.0);
+  EXPECT_DOUBLE_EQ(*faults->Corrupt(9.8, 9.7, true), 24.5);   // Gauge x2.5.
+  rig.RunUntil(40.0);
+  EXPECT_FALSE(faults->any_active());  // Every window closed and restored.
+  EXPECT_EQ(injector.windows_begun(), 4);
+}
+
 TEST(FaultInjectorTest, EmptyPlanIsANoop) {
   Rig rig;
   FaultInjector injector = rig.MakeInjector();
@@ -126,6 +153,12 @@ TEST(FaultInjectorDeathTest, ArmRejectsPlanWithoutItsTarget) {
   odsim::Simulator sim;
   FaultInjector injector(&sim, FaultTargets{});  // No link target.
   EXPECT_DEATH(injector.Arm(Plan("outage@1+1")), "OD_CHECK failed");
+}
+
+TEST(FaultInjectorDeathTest, ArmRejectsTelemetryPlanWithoutMonitor) {
+  odsim::Simulator sim;
+  FaultInjector injector(&sim, FaultTargets{});  // No monitor target.
+  EXPECT_DEATH(injector.Arm(Plan("dropout@1+1")), "OD_CHECK failed");
 }
 
 }  // namespace

@@ -39,16 +39,31 @@ TEST(FaultPlanTest, ParsesSingleEvent) {
 TEST(FaultPlanTest, ParsesAllKindsAndRoundTrips) {
   const std::string spec =
       "bandwidth@20+30=0.1;outage@60+10;loss@90+15=0.3;stall@100+5;"
-      "disk@110+20=8";
+      "disk@110+20=8;dropout@130+10;stale@150+10;nan@170+5;gauge@180+10=3";
   FaultPlan plan = MustParse(spec);
-  ASSERT_EQ(plan.events.size(), 5u);
+  ASSERT_EQ(plan.events.size(), 9u);
   EXPECT_EQ(plan.events[1].kind, FaultKind::kOutage);
   EXPECT_EQ(plan.events[2].kind, FaultKind::kLossBurst);
   EXPECT_EQ(plan.events[3].kind, FaultKind::kServerStall);
   EXPECT_EQ(plan.events[4].kind, FaultKind::kDiskLatency);
+  EXPECT_EQ(plan.events[5].kind, FaultKind::kSampleDropout);
+  EXPECT_EQ(plan.events[6].kind, FaultKind::kStaleTelemetry);
+  EXPECT_EQ(plan.events[7].kind, FaultKind::kNanTelemetry);
+  EXPECT_EQ(plan.events[8].kind, FaultKind::kGaugeDrift);
   // ToString is canonical: parsing its own output must reproduce it.
   EXPECT_EQ(plan.ToString(), spec);
   EXPECT_EQ(MustParse(plan.ToString()).ToString(), plan.ToString());
+}
+
+TEST(FaultPlanTest, EveryKindRoundTripsIndividually) {
+  for (const char* spec :
+       {"bandwidth@1.5+2.25=0.125", "outage@0+1", "loss@3+4=0.45",
+        "stall@5+6", "disk@7+8=2.5", "dropout@9+10", "stale@11+12",
+        "nan@13+14", "gauge@15+16=0.5"}) {
+    FaultPlan plan = MustParse(spec);
+    EXPECT_EQ(plan.ToString(), spec);
+    EXPECT_EQ(MustParse(plan.ToString()).ToString(), spec);
+  }
 }
 
 TEST(FaultPlanTest, FractionalSecondsSurviveTheRoundTrip) {
@@ -62,6 +77,7 @@ TEST(FaultPlanTest, MagnitudeDefaultsPerKind) {
   EXPECT_DOUBLE_EQ(MustParse("bandwidth@0+1").events[0].magnitude, 0.1);
   EXPECT_DOUBLE_EQ(MustParse("loss@0+1").events[0].magnitude, 0.3);
   EXPECT_DOUBLE_EQ(MustParse("disk@0+1").events[0].magnitude, 8.0);
+  EXPECT_DOUBLE_EQ(MustParse("gauge@0+1").events[0].magnitude, 3.0);
 }
 
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
@@ -77,6 +93,11 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   ParseError("disk@0+1=-2");         // Scale must be > 0.
   ParseError("outage@0+1=0.5");      // Outage takes no magnitude.
   ParseError("stall@0+1=0.5");       // Stall takes no magnitude.
+  ParseError("dropout@0+1=0.5");     // Dropout takes no magnitude.
+  ParseError("stale@0+1=0.5");       // Stale takes no magnitude.
+  ParseError("nan@0+1=0.5");         // NaN takes no magnitude.
+  ParseError("gauge@0+1=0");         // Gauge scale must be > 0.
+  ParseError("gauge@0+1=-3");        // Gauge scale must be > 0.
 }
 
 TEST(FaultPlanTest, EmptyPiecesBetweenSeparatorsAreSkipped) {
@@ -96,6 +117,22 @@ TEST(FaultPlanTest, KindNamesMatchTheGrammar) {
   EXPECT_STREQ(FaultKindName(FaultKind::kLossBurst), "loss");
   EXPECT_STREQ(FaultKindName(FaultKind::kServerStall), "stall");
   EXPECT_STREQ(FaultKindName(FaultKind::kDiskLatency), "disk");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSampleDropout), "dropout");
+  EXPECT_STREQ(FaultKindName(FaultKind::kStaleTelemetry), "stale");
+  EXPECT_STREQ(FaultKindName(FaultKind::kNanTelemetry), "nan");
+  EXPECT_STREQ(FaultKindName(FaultKind::kGaugeDrift), "gauge");
+}
+
+TEST(FaultPlanTest, TelemetryKindPredicate) {
+  EXPECT_TRUE(IsTelemetryFault(FaultKind::kSampleDropout));
+  EXPECT_TRUE(IsTelemetryFault(FaultKind::kStaleTelemetry));
+  EXPECT_TRUE(IsTelemetryFault(FaultKind::kNanTelemetry));
+  EXPECT_TRUE(IsTelemetryFault(FaultKind::kGaugeDrift));
+  EXPECT_FALSE(IsTelemetryFault(FaultKind::kBandwidth));
+  EXPECT_FALSE(IsTelemetryFault(FaultKind::kOutage));
+  EXPECT_FALSE(IsTelemetryFault(FaultKind::kLossBurst));
+  EXPECT_FALSE(IsTelemetryFault(FaultKind::kServerStall));
+  EXPECT_FALSE(IsTelemetryFault(FaultKind::kDiskLatency));
 }
 
 }  // namespace

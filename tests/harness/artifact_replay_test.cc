@@ -67,6 +67,39 @@ TEST_F(ArtifactReplayTest, BreakdownComponentAndNoteLookups) {
   EXPECT_DOUBLE_EQ(*note, 0.94);
 }
 
+TEST_F(ArtifactReplayTest, FaultPlanMismatchFallsBackToLive) {
+  // An artifact recorded under a disturbance plan answers a different
+  // question than a clean-run assertion: the guard must reject it.
+  RunArtifact disturbed;
+  disturbed.experiment = "fig20_goal_summary";
+  disturbed.provenance.fault_plan = "outage@300+60";
+  TrialSet set;
+  set.base_seed = 2000;
+  TrialSample sample;
+  sample.value = 1200.0;
+  set.trials.push_back(std::move(sample));
+  set.Summarize();
+  disturbed.AddSet("Goal 20 min", std::move(set));
+  ASSERT_TRUE(disturbed.WriteFile(dir_ + "/fig20_goal_summary.json"));
+
+  // Default expectation is a clean run ("") -> recorded plan mismatches.
+  ArtifactReplay clean_replay(dir_);
+  EXPECT_EQ(clean_replay.Get("fig20_goal_summary"), nullptr);
+  EXPECT_FALSE(clean_replay.SetMean("fig20_goal_summary", "Goal 20 min")
+                   .has_value());
+
+  // The matching expectation replays it fine.
+  ArtifactReplay matching(dir_, "outage@300+60");
+  EXPECT_NE(matching.Get("fig20_goal_summary"), nullptr);
+  auto mean = matching.SetMean("fig20_goal_summary", "Goal 20 min");
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_DOUBLE_EQ(*mean, 1200.0);
+
+  // And the guard cuts both ways: a clean artifact must not satisfy a
+  // consumer expecting a disturbed run.
+  EXPECT_EQ(matching.Get("fig06_video"), nullptr);
+}
+
 TEST_F(ArtifactReplayTest, AbsentPiecesReturnNullopt) {
   // Each miss — experiment, set, key, note — is the caller's signal to
   // fall back to live simulation, so none of them may throw.

@@ -1,5 +1,5 @@
 // Links the odbench_experiments object library, so the registry here holds
-// exactly the experiments the odbench binary ships: all 24 of them.
+// exactly the experiments the odbench binary ships: all 25 of them.
 
 #include <string>
 #include <vector>
@@ -19,12 +19,13 @@ const char* const kExpected[] = {
     "fig13_web",          "fig14_web_think",   "fig15_concurrency",
     "fig16_summary",      "fig18_zoned",       "fig19_goal_timeline",
     "fig20_goal_summary", "fig21_halflife",    "fig22_longrun",
-    "goalprobe",          "lifetime",          "micro_overhead",
+    "goal_fault_sweep",   "goalprobe",         "lifetime",
+    "micro_overhead",
 };
 
-TEST(OdbenchRegistrationTest, AllTwentyFourExperimentsRegistered) {
+TEST(OdbenchRegistrationTest, AllTwentyFiveExperimentsRegistered) {
   auto& registry = ExperimentRegistry::Instance();
-  EXPECT_EQ(registry.size(), 24u);
+  EXPECT_EQ(registry.size(), 25u);
   for (const char* name : kExpected) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }

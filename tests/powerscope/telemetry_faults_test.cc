@@ -1,0 +1,146 @@
+#include "src/powerscope/telemetry_faults.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/power/cpu.h"
+#include "src/power/machine.h"
+#include "src/powerscope/online_monitor.h"
+#include "src/sim/simulator.h"
+
+namespace odscope {
+namespace {
+
+TEST(TelemetryFaultsTest, CleanPassThrough) {
+  TelemetryFaults faults;
+  EXPECT_FALSE(faults.any_active());
+  auto delivered = faults.Corrupt(7.5, 3.0, true);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_DOUBLE_EQ(*delivered, 7.5);
+}
+
+TEST(TelemetryFaultsTest, DropoutSwallowsTheSample) {
+  TelemetryFaults faults;
+  faults.set_dropout(true);
+  EXPECT_TRUE(faults.any_active());
+  EXPECT_FALSE(faults.Corrupt(7.5, 3.0, true).has_value());
+  faults.set_dropout(false);
+  EXPECT_FALSE(faults.any_active());
+  EXPECT_TRUE(faults.Corrupt(7.5, 3.0, true).has_value());
+}
+
+TEST(TelemetryFaultsTest, NanDeliversNonFinite) {
+  TelemetryFaults faults;
+  faults.set_nan(true);
+  auto delivered = faults.Corrupt(7.5, 3.0, true);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_TRUE(std::isnan(*delivered));
+}
+
+TEST(TelemetryFaultsTest, StaleRepeatsTheLastDeliveredReading) {
+  TelemetryFaults faults;
+  faults.set_stale(true);
+  auto delivered = faults.Corrupt(7.5, 3.0, true);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_DOUBLE_EQ(*delivered, 3.0);
+  // Nothing delivered yet: there is nothing to repeat, so the raw reading
+  // goes through.
+  auto first = faults.Corrupt(7.5, 0.0, false);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(*first, 7.5);
+}
+
+TEST(TelemetryFaultsTest, GaugeScalesTheReading) {
+  TelemetryFaults faults;
+  faults.set_gauge_scale(3.0);
+  EXPECT_TRUE(faults.any_active());
+  auto delivered = faults.Corrupt(7.5, 3.0, true);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_DOUBLE_EQ(*delivered, 22.5);
+  faults.set_gauge_scale(1.0);
+  EXPECT_FALSE(faults.any_active());
+}
+
+TEST(TelemetryFaultsTest, PrecedenceDropoutOverNanOverStaleOverGauge) {
+  TelemetryFaults faults;
+  faults.set_dropout(true);
+  faults.set_nan(true);
+  faults.set_stale(true);
+  faults.set_gauge_scale(3.0);
+  EXPECT_FALSE(faults.Corrupt(7.5, 3.0, true).has_value());
+  faults.set_dropout(false);
+  EXPECT_TRUE(std::isnan(*faults.Corrupt(7.5, 3.0, true)));
+  faults.set_nan(false);
+  EXPECT_DOUBLE_EQ(*faults.Corrupt(7.5, 3.0, true), 3.0);
+  faults.set_stale(false);
+  EXPECT_DOUBLE_EQ(*faults.Corrupt(7.5, 3.0, true), 22.5);
+}
+
+// -- Integration with the on-line monitor ------------------------------------
+
+struct Rig {
+  odsim::Simulator sim;
+  odpower::Machine machine{&sim, 0.0};
+  odpower::OtherComponent* other =
+      machine.AddComponent(std::make_unique<odpower::OtherComponent>(10.0));
+
+  OnlineMonitorConfig Noiseless() {
+    OnlineMonitorConfig config;
+    config.noise_watts = 0.0;
+    return config;
+  }
+};
+
+TEST(TelemetryFaultsTest, MonitorDropoutSuppressesCallbacksAndIntegration) {
+  Rig rig;
+  OnlineMonitor monitor(&rig.sim, &rig.machine, rig.Noiseless(), 1);
+  int calls = 0;
+  monitor.set_callback([&](odsim::SimTime, double) { ++calls; });
+  monitor.Start();
+  rig.sim.RunUntil(odsim::SimTime::Seconds(1));
+  int before = calls;
+  double joules_before = monitor.measured_joules();
+
+  monitor.telemetry_faults()->set_dropout(true);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(2));
+  EXPECT_EQ(calls, before);  // No samples delivered during the dropout.
+  EXPECT_DOUBLE_EQ(monitor.measured_joules(), joules_before);
+
+  monitor.telemetry_faults()->set_dropout(false);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(3));
+  EXPECT_GT(calls, before);  // Sampling resumes on the same cadence.
+}
+
+TEST(TelemetryFaultsTest, MonitorNanDeliversButNeverIntegrates) {
+  Rig rig;
+  OnlineMonitor monitor(&rig.sim, &rig.machine, rig.Noiseless(), 1);
+  int nan_calls = 0;
+  monitor.set_callback([&](odsim::SimTime, double watts) {
+    if (std::isnan(watts)) {
+      ++nan_calls;
+    }
+  });
+  monitor.Start();
+  rig.sim.RunUntil(odsim::SimTime::Seconds(1));
+  double joules_before = monitor.measured_joules();
+
+  monitor.telemetry_faults()->set_nan(true);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(2));
+  EXPECT_GT(nan_calls, 0);  // The consumer sees the garbage...
+  EXPECT_DOUBLE_EQ(monitor.measured_joules(), joules_before);  // ...we don't.
+}
+
+TEST(TelemetryFaultsTest, MonitorGaugeDriftInflatesIntegration) {
+  Rig rig;
+  OnlineMonitor monitor(&rig.sim, &rig.machine, rig.Noiseless(), 1);
+  monitor.telemetry_faults()->set_gauge_scale(3.0);
+  monitor.Start();
+  rig.sim.RunUntil(odsim::SimTime::Seconds(10));
+  // 10 W machine read as 30 W: the monitor integrates the corrupted value
+  // (that is the point — the director must correct for it).
+  EXPECT_NEAR(monitor.measured_joules(), 300.0, 5.0);
+}
+
+}  // namespace
+}  // namespace odscope
