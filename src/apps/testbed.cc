@@ -1,15 +1,26 @@
 #include "src/apps/testbed.h"
 
+#include "src/odyssey/server.h"
+#include "src/odyssey/warden.h"
 #include "src/util/check.h"
 
 namespace odapps {
 
 TestBed::TestBed(const Options& options) : rng_(options.seed) {
-  laptop_ = odpower::MakeThinkPad560X(&sim_);
-  link_ = std::make_unique<odnet::Link>(&sim_, &laptop_->power_manager(),
+  if (options.sim != nullptr) {
+    sim_ = options.sim;
+  } else {
+    owned_sim_ = std::make_unique<odsim::Simulator>();
+    sim_ = owned_sim_.get();
+  }
+  laptop_ = odpower::MakeThinkPad560X(sim_);
+  link_ = std::make_unique<odnet::Link>(sim_, &laptop_->power_manager(),
                                         options.link);
-  viceroy_ = std::make_unique<odyssey::Viceroy>(&sim_, link_.get(),
+  viceroy_ = std::make_unique<odyssey::Viceroy>(sim_, link_.get(),
                                                 &laptop_->power_manager());
+  if (options.services) {
+    viceroy_->set_service_provider(options.services);
+  }
   arbiter_ = std::make_unique<DisplayArbiter>(&laptop_->power_manager());
 
   // Priorities follow Section 5.2: Speech lowest, then Video, Map, Web.
@@ -44,28 +55,28 @@ double TestBed::Measurement::Process(const std::string& name) const {
 
 TestBed::Measurement TestBed::Measure(
     const std::function<void(odsim::EventFn done)>& body) {
-  odsim::SimTime start = sim_.Now();
+  odsim::SimTime start = sim_->Now();
   laptop_->accounting().Reset(start);
 
   bool finished = false;
   body([this, &finished] {
     finished = true;
-    sim_.Stop();
+    sim_->Stop();
   });
-  sim_.Run();
+  sim_->Run();
   OD_CHECK_MSG(finished, "workload did not signal completion");
   return Collect(start);
 }
 
 TestBed::Measurement TestBed::MeasureFor(odsim::SimDuration duration) {
-  odsim::SimTime start = sim_.Now();
+  odsim::SimTime start = sim_->Now();
   laptop_->accounting().Reset(start);
-  sim_.RunUntil(start + duration);
+  sim_->RunUntil(start + duration);
   return Collect(start);
 }
 
 TestBed::Measurement TestBed::Collect(odsim::SimTime start) {
-  odsim::SimTime now = sim_.Now();
+  odsim::SimTime now = sim_->Now();
   odpower::EnergyAccounting& accounting = laptop_->accounting();
 
   Measurement m;
@@ -80,9 +91,19 @@ TestBed::Measurement TestBed::Collect(odsim::SimTime start) {
 
   for (odsim::ProcessId pid : accounting.Processes(now)) {
     odpower::ContextUsage usage = accounting.ProcessUsage(pid, now);
-    const std::string& name = sim_.processes().ProcessName(pid);
+    const std::string& name = sim_->processes().ProcessName(pid);
     m.by_process[name] = usage.joules;
     m.cpu_seconds[name] = usage.cpu_seconds;
+  }
+
+  for (const auto& warden : viceroy_->wardens()) {
+    odserve::SharedService* service = warden->server()->service();
+    Measurement::ServerStats& stats = m.by_server[service->name()];
+    stats.queue_depth = service->queue_depth();
+    stats.busy_seconds = service->total_busy_seconds();
+    stats.completed_requests = service->completed_requests();
+    stats.wait_p50_seconds = service->WaitPercentileSeconds(50.0);
+    stats.wait_p95_seconds = service->WaitPercentileSeconds(95.0);
   }
   return m;
 }

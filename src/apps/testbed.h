@@ -31,6 +31,17 @@ class TestBed {
     uint64_t seed = 1;
     bool hw_pm = false;
     odnet::LinkConfig link;
+    // Optional external simulator: fleet scenarios place several testbeds
+    // in one event loop so their wardens can share services.  When null
+    // the testbed owns a private simulator (the classic single client).
+    odsim::Simulator* sim = nullptr;
+    // Optional shared-service provider, installed on the viceroy before
+    // the applications register their wardens: each warden attaches as a
+    // session on the service returned for its data type instead of
+    // creating a private server.  A default-configured shared service is
+    // event-for-event identical to a private server, so a fleet of one
+    // wired this way reproduces the single-client goldens.
+    odyssey::Viceroy::ServiceProviderFn services;
   };
 
   explicit TestBed(const Options& options);
@@ -40,7 +51,7 @@ class TestBed {
   TestBed(const TestBed&) = delete;
   TestBed& operator=(const TestBed&) = delete;
 
-  odsim::Simulator& sim() { return sim_; }
+  odsim::Simulator& sim() { return *sim_; }
   odpower::Laptop& laptop() { return *laptop_; }
   odnet::Link& link() { return *link_; }
   odyssey::Viceroy& viceroy() { return *viceroy_; }
@@ -68,6 +79,17 @@ class TestBed {
     // Energy and CPU time by software component (process name).
     std::map<std::string, double> by_process;
     std::map<std::string, double> cpu_seconds;
+    // Server-side view at collection time, keyed by service name: what the
+    // wardens' (possibly shared) distillation services did during the
+    // measured window.  Counters are cumulative over the service lifetime.
+    struct ServerStats {
+      int queue_depth = 0;
+      double busy_seconds = 0.0;
+      int completed_requests = 0;
+      double wait_p50_seconds = 0.0;
+      double wait_p95_seconds = 0.0;
+    };
+    std::map<std::string, ServerStats> by_server;
 
     double average_watts() const { return seconds > 0.0 ? joules / seconds : 0.0; }
     double Component(const std::string& name) const;
@@ -84,7 +106,8 @@ class TestBed {
  private:
   Measurement Collect(odsim::SimTime start);
 
-  odsim::Simulator sim_;
+  std::unique_ptr<odsim::Simulator> owned_sim_;
+  odsim::Simulator* sim_;
   odutil::Rng rng_;
   std::unique_ptr<odpower::Laptop> laptop_;
   std::unique_ptr<odnet::Link> link_;

@@ -16,6 +16,8 @@ const char* RpcStatusName(RpcStatus status) {
       return "retries-exhausted";
     case RpcStatus::kDeadlineExceeded:
       return "deadline-exceeded";
+    case RpcStatus::kRejected:
+      return "rejected";
   }
   return "unknown";
 }
@@ -70,6 +72,17 @@ void RpcClient::CallWithCompute(size_t request_bytes, size_t reply_bytes,
 
 void RpcClient::CallWithStatus(size_t request_bytes, size_t reply_bytes,
                                ComputeFn compute, StatusFn on_complete) {
+  // A plain compute never refuses: adapt it onto the outcome-aware path.
+  CallWithOutcome(
+      request_bytes, reply_bytes,
+      [compute = std::move(compute)](std::function<void(bool)> done) {
+        compute([done = std::move(done)] { done(true); });
+      },
+      std::move(on_complete));
+}
+
+void RpcClient::CallWithOutcome(size_t request_bytes, size_t reply_bytes,
+                                OutcomeComputeFn compute, StatusFn on_complete) {
   // Hold the interface out of standby across the whole exchange: the client
   // must listen for the reply while the server computes.
   pm_->BeginNetworkUse();
@@ -116,7 +129,7 @@ odsim::SimDuration RpcClient::BackoffDelay(int retry_index) {
 }
 
 void RpcClient::Attempt(size_t request_bytes, size_t reply_bytes,
-                        const ComputeFn& compute,
+                        const OutcomeComputeFn& compute,
                         const std::shared_ptr<CallState>& state) {
   // Shared between the request-lost and reply-lost paths.  Captures the
   // state by value: a retry scheduled before the deadline fires must notice
@@ -155,8 +168,24 @@ void RpcClient::Attempt(size_t request_bytes, size_t reply_bytes,
           retry();
           return;
         }
-        compute([this, reply_bytes, retry, state] {
+        compute([this, reply_bytes, retry, state](bool served) {
           if (state->settled) {
+            return;
+          }
+          if (!served) {
+            // Admission reject: the server answers with a small typed
+            // refusal.  Not retried — the refusal is deliberate, and the
+            // reject reply shares the loss-free fate of being short (the
+            // client treats a lost refusal as the refusal it is only
+            // after its deadline; modeling that adds nothing here).
+            ++rejected_;
+            link_->Transfer(Direction::kReceive, kRejectReplyBytes,
+                            [this, state] {
+                              if (state->settled) {
+                                return;
+                              }
+                              Settle(state, RpcStatus::kRejected);
+                            });
             return;
           }
           bool reply_lost = rng_.Bernoulli(config_.loss_probability);

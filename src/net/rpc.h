@@ -37,6 +37,7 @@ enum class RpcStatus {
   kOk,
   kRetriesExhausted,   // max_retries spent without a reply.
   kDeadlineExceeded,   // Per-call deadline elapsed (e.g. link outage).
+  kRejected,           // Server admission control refused the request.
 };
 
 const char* RpcStatusName(RpcStatus status);
@@ -96,6 +97,24 @@ class RpcClient {
   void CallWithStatus(size_t request_bytes, size_t reply_bytes, ComputeFn compute,
                       StatusFn on_complete);
 
+  // Server-side computation that may refuse the request: invoked with a
+  // completion taking `served` — true for content produced (the full reply
+  // follows), false for an admission reject (the server answered with a
+  // small typed refusal instead of computing).
+  using OutcomeComputeFn = std::function<void(std::function<void(bool served)>)>;
+
+  // As CallWithStatus, but the server may reject at admission.  A reject
+  // transmits a `kRejectReplyBytes` refusal back to the client and settles
+  // the call with RpcStatus::kRejected immediately — no retransmission:
+  // the server deliberately refused, and retrying into an overloaded
+  // queue only deepens it.  Backpressure belongs to the caller (the
+  // viceroy's overload clamp), not the transport.
+  void CallWithOutcome(size_t request_bytes, size_t reply_bytes,
+                       OutcomeComputeFn compute, StatusFn on_complete);
+
+  // Size of the refusal message an admission reject sends back.
+  static constexpr size_t kRejectReplyBytes = 64;
+
   void set_config(const RpcConfig& config);
   const RpcConfig& config() const { return config_; }
 
@@ -109,6 +128,8 @@ class RpcClient {
   // Calls that ended without a reply, by failure type.
   int retries_exhausted() const { return retries_exhausted_; }
   int deadlines_exceeded() const { return deadlines_exceeded_; }
+  // Calls the server refused at admission.
+  int rejected() const { return rejected_; }
 
  private:
   // Per-call bookkeeping shared by the attempt chain, the retry timer, and
@@ -117,7 +138,8 @@ class RpcClient {
   // harmless no-ops.
   struct CallState;
 
-  void Attempt(size_t request_bytes, size_t reply_bytes, const ComputeFn& compute,
+  void Attempt(size_t request_bytes, size_t reply_bytes,
+               const OutcomeComputeFn& compute,
                const std::shared_ptr<CallState>& state);
   void Settle(const std::shared_ptr<CallState>& state, RpcStatus status);
   odsim::SimDuration BackoffDelay(int retry_index);
@@ -132,6 +154,7 @@ class RpcClient {
   int reply_losses_ = 0;
   int retries_exhausted_ = 0;
   int deadlines_exceeded_ = 0;
+  int rejected_ = 0;
 };
 
 }  // namespace odnet

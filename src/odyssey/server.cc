@@ -7,47 +7,32 @@
 namespace odyssey {
 
 RemoteServer::RemoteServer(odsim::Simulator* sim, std::string name,
-                           double speed_factor)
-    : sim_(sim), name_(std::move(name)), speed_factor_(speed_factor) {
+                           double speed_factor) {
   OD_CHECK(sim != nullptr);
   OD_CHECK(speed_factor > 0.0);
+  odserve::ServiceConfig config;
+  config.speed_factor = speed_factor;
+  owned_ = std::make_unique<odserve::SharedService>(sim, std::move(name), config);
+  service_ = owned_.get();
+  session_ = service_->OpenSession("client");
+}
+
+RemoteServer::RemoteServer(odserve::SharedService* service,
+                           std::string client_name)
+    : service_(service) {
+  OD_CHECK(service != nullptr);
+  session_ = service_->OpenSession(std::move(client_name));
 }
 
 void RemoteServer::Submit(odsim::SimDuration work, odsim::EventFn on_done) {
-  OD_CHECK(work >= odsim::SimDuration::Zero());
-  queue_.push_back(Request{work * (1.0 / speed_factor_), std::move(on_done)});
-  if (!busy_) {
-    StartNext();
-  }
+  service_->Submit(session_, work, std::move(on_done));
 }
 
-void RemoteServer::SetStalled(bool stalled) {
-  if (stalled_ == stalled) {
-    return;
-  }
-  stalled_ = stalled;
-  if (!stalled_ && !busy_) {
-    StartNext();  // Drain whatever queued while the server was wedged.
-  }
+void RemoteServer::SubmitKeyed(const std::string& key, odsim::SimDuration work,
+                               odserve::SharedService::ServeFn on_done) {
+  service_->SubmitKeyed(session_, key, work, std::move(on_done));
 }
 
-void RemoteServer::StartNext() {
-  if (queue_.empty() || stalled_) {
-    busy_ = false;
-    return;
-  }
-  busy_ = true;
-  Request request = std::move(queue_.front());
-  queue_.pop_front();
-  total_busy_seconds_ += request.work.seconds();
-  sim_->Schedule(request.work,
-                 [this, on_done = std::move(request.on_done)]() mutable {
-                   ++completed_;
-                   if (on_done) {
-                     on_done();
-                   }
-                   StartNext();
-                 });
-}
+void RemoteServer::SetStalled(bool stalled) { service_->SetStalled(stalled); }
 
 }  // namespace odyssey

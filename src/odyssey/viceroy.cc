@@ -29,14 +29,33 @@ void Viceroy::UnregisterApplication(AdaptiveApplication* app) {
   std::erase_if(expectations_,
                 [app](const Expectation& e) { return e.app == app; });
   clamp_.Forget(app);
+  overload_clamp_.Forget(app);
 }
 
 Warden* Viceroy::RegisterWarden(std::unique_ptr<Warden> warden) {
   OD_CHECK(warden != nullptr);
+  if (service_provider_ != nullptr) {
+    if (odserve::SharedService* service =
+            service_provider_(warden->data_type())) {
+      return RegisterWarden(std::move(warden), service);
+    }
+  }
   OD_CHECK(FindWarden(warden->data_type()) == nullptr);
   warden->viceroy_ = this;
   warden->server_ =
       std::make_unique<RemoteServer>(sim_, warden->data_type() + "-server");
+  wardens_.push_back(std::move(warden));
+  return wardens_.back().get();
+}
+
+Warden* Viceroy::RegisterWarden(std::unique_ptr<Warden> warden,
+                                odserve::SharedService* service) {
+  OD_CHECK(warden != nullptr);
+  OD_CHECK(service != nullptr);
+  OD_CHECK(FindWarden(warden->data_type()) == nullptr);
+  warden->viceroy_ = this;
+  warden->server_ =
+      std::make_unique<RemoteServer>(service, warden->data_type() + "-client");
   wardens_.push_back(std::move(warden));
   return wardens_.back().get();
 }
@@ -92,10 +111,11 @@ void Viceroy::ClearExpectation(AdaptiveApplication* app, ResourceId resource) {
 }
 
 void Viceroy::NotifyResourceLevel(ResourceId resource, double value) {
-  if (clamp_.engaged()) {
-    // The outage clamp owns fidelity until the link recovers; a stream of
+  if (clamp_.engaged() || overload_clamp_.engaged()) {
+    // A clamp owns fidelity until its authority releases it; a stream of
     // zero-bandwidth estimates must not pile extra downgrade upcalls on top
-    // (or let an energy expectation raise fidelity into a dead channel).
+    // (or let an energy expectation raise fidelity into a dead channel or
+    // a saturated server).
     return;
   }
   // Collect the violated expectations first: upcalls may re-register.
@@ -118,6 +138,38 @@ void Viceroy::NotifyResourceLevel(ResourceId resource, double value) {
 void Viceroy::set_recovery_hysteresis(int ticks) {
   OD_CHECK(ticks >= 1);
   recovery_hysteresis_ = ticks;
+}
+
+void Viceroy::set_overload_threshold(int rejects) {
+  OD_CHECK(rejects >= 1);
+  overload_threshold_ = rejects;
+}
+
+void Viceroy::NotifyAdmissionReject() {
+  overload_ok_streak_ = 0;
+  if (overload_clamp_.engaged()) {
+    return;
+  }
+  if (++consecutive_rejects_ < overload_threshold_) {
+    return;
+  }
+  consecutive_rejects_ = 0;
+  OD_LOG_DEBUG("server overloaded t=%.1fs: clamping %zu apps to lowest",
+               sim_->Now().seconds(), apps_.size());
+  overload_clamp_.Engage();
+}
+
+void Viceroy::NotifyFetchOk() {
+  consecutive_rejects_ = 0;
+  if (!overload_clamp_.engaged()) {
+    return;
+  }
+  if (++overload_ok_streak_ < recovery_hysteresis_) {
+    return;
+  }
+  overload_ok_streak_ = 0;
+  OD_LOG_DEBUG("server recovered t=%.1fs: restoring apps", sim_->Now().seconds());
+  overload_clamp_.Release();
 }
 
 void Viceroy::NotifyLinkHealth(const odnet::BandwidthEstimate& estimate) {

@@ -9,6 +9,7 @@
 #ifndef SRC_ODYSSEY_VICEROY_H_
 #define SRC_ODYSSEY_VICEROY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -21,6 +22,10 @@
 #include "src/odyssey/fidelity_clamp.h"
 #include "src/power/power_manager.h"
 #include "src/sim/simulator.h"
+
+namespace odserve {
+class SharedService;
+}  // namespace odserve
 
 namespace odyssey {
 
@@ -48,9 +53,26 @@ class Viceroy {
 
   // -- Wardens ---------------------------------------------------------------
 
-  // The viceroy owns wardens; one per data type in the system.
+  // The viceroy owns wardens; one per data type in the system.  The
+  // one-argument form gives the warden a private server (the classic
+  // single-client testbed); the two-argument form attaches the warden as a
+  // session on a shared service so many devices multiplex one server.
   Warden* RegisterWarden(std::unique_ptr<Warden> warden);
+  Warden* RegisterWarden(std::unique_ptr<Warden> warden,
+                         odserve::SharedService* service);
   Warden* FindWarden(const std::string& data_type);
+  const std::vector<std::unique_ptr<Warden>>& wardens() const { return wardens_; }
+
+  // Service provider: when set, wardens registered through the one-argument
+  // RegisterWarden attach to the service this returns for their data type
+  // (nullptr falls back to a private server).  This is the seam that lets a
+  // full testbed join a fleet's shared services without threading service
+  // pointers through every application constructor.
+  using ServiceProviderFn =
+      std::function<odserve::SharedService*(const std::string& data_type)>;
+  void set_service_provider(ServiceProviderFn provider) {
+    service_provider_ = std::move(provider);
+  }
 
   // -- Upcalls ---------------------------------------------------------------
 
@@ -90,6 +112,24 @@ class Viceroy {
   int outage_clamps() const { return clamp_.engagements(); }
   void set_recovery_hysteresis(int ticks);
 
+  // -- Server overload and the overload clamp --------------------------------
+
+  // Wardens report keyed-fetch outcomes here.  A run of consecutive
+  // admission rejects (>= overload_threshold) means the shared service is
+  // saturated: every app is clamped to its cheapest fidelity, which both
+  // shrinks this device's demand and — because low fidelity keys repeat —
+  // raises the chance later fetches hit the service cache.  The clamp
+  // releases after `recovery_hysteresis` consecutive successful fetches,
+  // the same hysteresis discipline as the link clamp, so a service
+  // hovering at capacity does not whipsaw fidelity.
+  void NotifyAdmissionReject();
+  void NotifyFetchOk();
+
+  bool overload_clamped() const { return overload_clamp_.engaged(); }
+  // Times the overload clamp engaged (distinct saturation episodes).
+  int overload_clamps() const { return overload_clamp_.engagements(); }
+  void set_overload_threshold(int rejects);
+
   // -- Shared plumbing -------------------------------------------------------
 
   odsim::Simulator* sim() { return sim_; }
@@ -112,6 +152,7 @@ class Viceroy {
 
   std::vector<AdaptiveApplication*> apps_;
   std::vector<std::unique_ptr<Warden>> wardens_;
+  ServiceProviderFn service_provider_;
   std::unordered_map<const AdaptiveApplication*, int> adaptation_counts_;
   std::vector<Expectation> expectations_;
 
@@ -120,6 +161,13 @@ class Viceroy {
   FidelityClamp clamp_{this};
   int healthy_streak_ = 0;
   int recovery_hysteresis_ = 3;
+
+  // Overload clamp state; independent of the outage clamp (both may be
+  // engaged at once, each restores the levels it saved).
+  FidelityClamp overload_clamp_{this};
+  int consecutive_rejects_ = 0;
+  int overload_ok_streak_ = 0;
+  int overload_threshold_ = 3;
 };
 
 }  // namespace odyssey

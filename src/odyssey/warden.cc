@@ -21,6 +21,41 @@ void Warden::Fetch(size_t request_bytes, size_t reply_bytes,
                   });
 }
 
+void Warden::FetchKeyed(const std::string& key, size_t request_bytes,
+                        size_t reply_bytes, odsim::SimDuration server_time,
+                        OutcomeFn on_done) {
+  OD_CHECK_MSG(viceroy_ != nullptr, "warden used before registration");
+  RemoteServer* server = server_.get();
+  // The serve outcome is produced inside the compute step and consumed by
+  // the status completion; the shared slot carries it across.
+  auto serve = std::make_shared<odserve::ServeOutcome>(odserve::ServeOutcome::kServed);
+  viceroy_->rpc().CallWithOutcome(
+      request_bytes, reply_bytes,
+      [server, key, server_time, serve](std::function<void(bool)> done) {
+        server->SubmitKeyed(key, server_time,
+                            [serve, done = std::move(done)](odserve::ServeOutcome o) {
+                              *serve = o;
+                              done(o != odserve::ServeOutcome::kRejected);
+                            });
+      },
+      [this, serve, on_done = std::move(on_done)](odnet::RpcStatus status) {
+        if (status == odnet::RpcStatus::kRejected) {
+          ++rejected_fetches_;
+          viceroy_->NotifyAdmissionReject();
+        } else if (status != odnet::RpcStatus::kOk) {
+          ++failed_fetches_;
+        } else {
+          if (*serve == odserve::ServeOutcome::kCacheHit) {
+            ++cache_hits_;
+          }
+          viceroy_->NotifyFetchOk();
+        }
+        if (on_done) {
+          on_done(FetchOutcome{status, *serve});
+        }
+      });
+}
+
 void Warden::FetchWithStatus(size_t request_bytes, size_t reply_bytes,
                              odsim::SimDuration server_time,
                              odnet::RpcClient::StatusFn on_done) {

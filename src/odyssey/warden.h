@@ -10,6 +10,7 @@
 #define SRC_ODYSSEY_WARDEN_H_
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -46,8 +47,31 @@ class Warden {
                        odsim::SimDuration server_time,
                        odnet::RpcClient::StatusFn on_done);
 
+  // How a keyed fetch ended: the RPC outcome plus, for completed calls,
+  // how the service satisfied it (dedicated/batched compute vs the
+  // distilled-content cache).
+  struct FetchOutcome {
+    odnet::RpcStatus status = odnet::RpcStatus::kOk;
+    odserve::ServeOutcome serve = odserve::ServeOutcome::kServed;
+  };
+  using OutcomeFn = std::function<void(const FetchOutcome&)>;
+
+  // Keyed fetch against this type's (possibly shared) service.  `key`
+  // names the distilled content — object id plus fidelity level — so the
+  // service can batch identical in-flight work and serve repeats from its
+  // cache.  Admission rejects come back typed (RpcStatus::kRejected); the
+  // warden counts them and reports server overload to the viceroy, whose
+  // clamp degrades the client rather than letting it hammer a full queue.
+  void FetchKeyed(const std::string& key, size_t request_bytes,
+                  size_t reply_bytes, odsim::SimDuration server_time,
+                  OutcomeFn on_done);
+
   // Fetches that ended without a reply (retries exhausted or deadline).
   int failed_fetches() const { return failed_fetches_; }
+  // Keyed fetches refused by admission control.
+  int rejected_fetches() const { return rejected_fetches_; }
+  // Keyed fetches served from the distilled-content cache.
+  int cache_hits() const { return cache_hits_; }
 
   Viceroy* viceroy() { return viceroy_; }
 
@@ -61,6 +85,8 @@ class Warden {
   Viceroy* viceroy_ = nullptr;  // Set at registration.
   std::unique_ptr<RemoteServer> server_;
   int failed_fetches_ = 0;
+  int rejected_fetches_ = 0;
+  int cache_hits_ = 0;
 };
 
 }  // namespace odyssey

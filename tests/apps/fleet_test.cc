@@ -1,0 +1,139 @@
+#include "src/apps/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/apps/experiments.h"
+#include "src/apps/testbed.h"
+#include "src/fault/fault_plan.h"
+#include "src/serve/shared_service.h"
+
+namespace odapps {
+namespace {
+
+odfault::FaultPlan Plan(const std::string& spec) {
+  odfault::FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(odfault::FaultPlan::Parse(spec, &plan, &error)) << error;
+  return plan;
+}
+
+// A small fleet saturating a deliberately slow service: rejects, batching,
+// cache hits, an overload clamp, and a mid-run stall all in one pot.  The
+// 1 Hz probe checks that fleet-scale accounting stays honest per device:
+// supply residual plus consumed energy equals the initial budget, and the
+// per-component energies (plus synergy) sum to the device total.  One
+// shared event loop must not let devices bleed energy into each other.
+TEST(FleetScenarioTest, ChaosSoakConservesPerDeviceEnergy) {
+  FleetOptions options;
+  options.clients = 6;
+  options.seed = 7;
+  options.goal = odsim::SimDuration::Seconds(120);
+  options.service.speed_factor = 0.05;
+  options.service.max_queue = 3;
+  options.service.cache_capacity = 4;
+  options.shared_objects = 16;
+  options.fetch_period = odsim::SimDuration::Seconds(2);
+  options.fault_plan = Plan("stall@30+20");
+
+  int probes = 0;
+  double max_supply_error = 0.0;
+  double max_component_error = 0.0;
+  options.device_probe = [&](int, odsim::SimTime now, odpower::Laptop& laptop,
+                             odpower::EnergySupply& supply) {
+    ++probes;
+    double total = laptop.accounting().TotalJoules(now);
+    // The supply clamps at empty, so past exhaustion the expected residual
+    // is zero while the accountant keeps metering the (still powered-on)
+    // device.
+    double expected_residual = std::max(0.0, supply.initial_joules() - total);
+    max_supply_error = std::max(
+        max_supply_error,
+        std::fabs(supply.ResidualJoules(now) - expected_residual));
+    double parts = laptop.accounting().SynergyJoules(now);
+    for (int c = 0; c < laptop.machine().component_count(); ++c) {
+      parts += laptop.accounting().ComponentJoules(c, now);
+    }
+    max_component_error =
+        std::max(max_component_error, std::fabs(parts - total));
+  };
+
+  FleetResult result = RunFleetScenario(options);
+
+  EXPECT_GE(probes, options.clients * 100);
+  EXPECT_LT(max_supply_error, 1e-6);
+  EXPECT_LT(max_component_error, 1e-6);
+
+  // The pot actually boiled: contention and the stall left visible marks.
+  EXPECT_GT(result.total_fetches, 0);
+  EXPECT_GT(result.server_batch_joins, 0);
+  EXPECT_GT(result.server_cache_hits, 0);
+  EXPECT_GT(result.total_rejected_fetches, 0);
+}
+
+TEST(FleetScenarioTest, SameSeedReproducesExactly) {
+  FleetOptions options;
+  options.clients = 4;
+  options.seed = 11;
+  options.goal = odsim::SimDuration::Seconds(60);
+  options.service.cache_capacity = 32;
+
+  FleetResult a = RunFleetScenario(options);
+  FleetResult b = RunFleetScenario(options);
+  EXPECT_EQ(a.goal_met_count, b.goal_met_count);
+  EXPECT_EQ(a.total_fetches, b.total_fetches);
+  EXPECT_EQ(a.server_completed, b.server_completed);
+  EXPECT_EQ(a.server_cache_hits, b.server_cache_hits);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.devices[i].consumed_joules, b.devices[i].consumed_joules);
+    EXPECT_EQ(a.devices[i].fetches, b.devices[i].fetches);
+  }
+}
+
+// A fleet of one wired through the service-provider seam — every warden a
+// session on an explicit default-configured SharedService — must measure
+// exactly what the classic testbed with private per-warden servers
+// measures.  This is the facade equivalence the goldens rely on, asserted
+// at the seam itself.
+TEST(FleetScenarioTest, FleetOfOneThroughProviderMatchesPrivateServers) {
+  auto run = [](bool through_provider) {
+    auto sim = std::make_unique<odsim::Simulator>();
+    std::vector<std::unique_ptr<odserve::SharedService>> services;
+    TestBed::Options options;
+    options.seed = 42;
+    options.hw_pm = true;
+    if (through_provider) {
+      options.sim = sim.get();
+      options.services = [&sim, &services](const std::string& data_type) {
+        services.push_back(std::make_unique<odserve::SharedService>(
+            sim.get(), data_type + "-shared"));
+        return services.back().get();
+      };
+    }
+    TestBed bed(options);
+    bed.map().SetFidelity(static_cast<int>(MapFidelity::kFull));
+    bed.map().set_think_seconds(1.0);
+    Settle(bed);
+    TestBed::Measurement m = bed.Measure([&](odsim::EventFn done) {
+      bed.map().ViewMap(StandardMaps()[0], std::move(done));
+    });
+    return m;
+  };
+
+  TestBed::Measurement direct = run(false);
+  TestBed::Measurement shared = run(true);
+  EXPECT_DOUBLE_EQ(direct.joules, shared.joules);
+  EXPECT_DOUBLE_EQ(direct.seconds, shared.seconds);
+  for (const auto& [name, joules] : direct.by_component) {
+    auto it = shared.by_component.find(name);
+    ASSERT_NE(it, shared.by_component.end()) << name;
+    EXPECT_DOUBLE_EQ(joules, it->second) << name;
+  }
+}
+
+}  // namespace
+}  // namespace odapps

@@ -1,5 +1,5 @@
 // Links the odbench_experiments object library, so the registry here holds
-// exactly the experiments the odbench binary ships: all 25 of them.
+// exactly the experiments the odbench binary ships: all 27 of them.
 
 #include <string>
 #include <vector>
@@ -19,13 +19,13 @@ const char* const kExpected[] = {
     "fig13_web",          "fig14_web_think",   "fig15_concurrency",
     "fig16_summary",      "fig18_zoned",       "fig19_goal_timeline",
     "fig20_goal_summary", "fig21_halflife",    "fig22_longrun",
-    "goal_fault_sweep",   "goalprobe",         "lifetime",
-    "micro_overhead",
+    "fleet_small",        "fleet_sweep",       "goal_fault_sweep",
+    "goalprobe",          "lifetime",          "micro_overhead",
 };
 
-TEST(OdbenchRegistrationTest, AllTwentyFiveExperimentsRegistered) {
+TEST(OdbenchRegistrationTest, AllTwentySevenExperimentsRegistered) {
   auto& registry = ExperimentRegistry::Instance();
-  EXPECT_EQ(registry.size(), 25u);
+  EXPECT_EQ(registry.size(), 27u);
   for (const char* name : kExpected) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/net/link.h"
 #include "src/odyssey/viceroy.h"
 #include "src/odyssey/warden.h"
@@ -42,6 +44,41 @@ TEST(RemoteServerTest, SpeedFactorScalesWork) {
   server.Submit(odsim::SimDuration::Seconds(2), [&] { done_at = sim.Now(); });
   sim.Run();
   EXPECT_EQ(done_at, odsim::SimTime::Seconds(1));
+}
+
+// Regression: a stall clear landing at the same timestamp as new submits
+// must drain in submission order — backlog first, then the same-timestamp
+// submits in the order they arrived, regardless of whether their events run
+// before or after the clear's event.
+TEST(RemoteServerTest, StallClearAtSubmitTimestampDrainsInSubmissionOrder) {
+  odsim::Simulator sim;
+  RemoteServer server(&sim, "test-server");
+  server.SetStalled(true);
+
+  std::vector<int> order;
+  std::vector<odsim::SimTime> at;
+  auto track = [&](int id) {
+    return [&, id] {
+      order.push_back(id);
+      at.push_back(sim.Now());
+    };
+  };
+  server.Submit(odsim::SimDuration::Seconds(1), track(0));  // Backlog.
+
+  // Three same-timestamp events at t=3: submit, clear, submit.
+  sim.Schedule(odsim::SimDuration::Seconds(3), [&] {
+    server.Submit(odsim::SimDuration::Seconds(1), track(1));
+  });
+  sim.Schedule(odsim::SimDuration::Seconds(3), [&] { server.SetStalled(false); });
+  sim.Schedule(odsim::SimDuration::Seconds(3), [&] {
+    server.Submit(odsim::SimDuration::Seconds(1), track(2));
+  });
+  sim.Run();
+
+  ASSERT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(at[0], odsim::SimTime::Seconds(4));
+  EXPECT_EQ(at[1], odsim::SimTime::Seconds(5));
+  EXPECT_EQ(at[2], odsim::SimTime::Seconds(6));
 }
 
 TEST(RemoteServerTest, ZeroWorkCompletesImmediately) {

@@ -1,0 +1,263 @@
+#include "src/serve/shared_service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/link.h"
+#include "src/odyssey/application.h"
+#include "src/odyssey/viceroy.h"
+#include "src/odyssey/warden.h"
+#include "src/power/thinkpad560x.h"
+#include "src/sim/simulator.h"
+
+namespace odserve {
+namespace {
+
+odsim::SimDuration Sec(double s) { return odsim::SimDuration::Seconds(s); }
+
+// -- Cache: deterministic LRU eviction at capacity ---------------------------
+
+TEST(SharedServiceCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  odsim::Simulator sim;
+  SharedService service(&sim, "s", ServiceConfig{.cache_capacity = 2});
+  int session = service.OpenSession("c");
+
+  // Serve A then B: cache holds {B, A} (most recent first).
+  service.SubmitKeyed(session, "A", Sec(1), nullptr);
+  sim.Run();
+  service.SubmitKeyed(session, "B", Sec(1), nullptr);
+  sim.Run();
+  EXPECT_EQ(service.cache_size(), 2u);
+  EXPECT_EQ(service.cache_evictions(), 0);
+
+  // A hit on A refreshes its recency: cache order becomes {A, B}.
+  ServeOutcome outcome = ServeOutcome::kServed;
+  service.SubmitKeyed(session, "A", Sec(1), [&](ServeOutcome o) { outcome = o; });
+  EXPECT_EQ(outcome, ServeOutcome::kCacheHit);
+
+  // Serving C at capacity evicts B — the least recently used — not A.
+  service.SubmitKeyed(session, "C", Sec(1), nullptr);
+  sim.Run();
+  EXPECT_EQ(service.cache_size(), 2u);
+  EXPECT_EQ(service.cache_evictions(), 1);
+
+  outcome = ServeOutcome::kServed;
+  service.SubmitKeyed(session, "A", Sec(1), [&](ServeOutcome o) { outcome = o; });
+  EXPECT_EQ(outcome, ServeOutcome::kCacheHit);
+
+  // B was evicted: it queues for compute instead of hitting.
+  bool served_b = false;
+  service.SubmitKeyed(session, "B", Sec(1),
+                      [&](ServeOutcome o) { served_b = o == ServeOutcome::kServed; });
+  sim.Run();
+  EXPECT_TRUE(served_b);
+  EXPECT_EQ(service.cache_evictions(), 2);  // Re-serving B evicted C.
+}
+
+// -- Batching: identical keys across sessions share one compute unit --------
+
+TEST(SharedServiceBatchTest, IdenticalKeysAcrossSessionsBatch) {
+  odsim::Simulator sim;
+  SharedService service(&sim, "s", ServiceConfig{.batch_same_key = true});
+  int alice = service.OpenSession("alice");
+  int bob = service.OpenSession("bob");
+  int carol = service.OpenSession("carol");
+
+  odsim::SimTime done_alice, done_bob, done_carol;
+  service.SubmitKeyed(alice, "tile", Sec(4),
+                      [&](ServeOutcome) { done_alice = sim.Now(); });
+  // Bob joins the in-service request; Carol joins the same batch later.
+  service.SubmitKeyed(bob, "tile", Sec(4),
+                      [&](ServeOutcome) { done_bob = sim.Now(); });
+  sim.Schedule(Sec(1), [&] {
+    service.SubmitKeyed(carol, "tile", Sec(4),
+                        [&](ServeOutcome) { done_carol = sim.Now(); });
+  });
+  sim.Run();
+
+  // One unit of compute, every waiter completed at the same instant.
+  EXPECT_EQ(done_alice, odsim::SimTime::Seconds(4));
+  EXPECT_EQ(done_bob, done_alice);
+  EXPECT_EQ(done_carol, done_alice);
+  EXPECT_DOUBLE_EQ(service.total_busy_seconds(), 4.0);
+  EXPECT_EQ(service.batch_joins(), 2);
+  EXPECT_EQ(service.completed_requests(), 3);
+  EXPECT_EQ(service.SessionCompleted(alice), 1);
+  EXPECT_EQ(service.SessionCompleted(bob), 1);
+  EXPECT_EQ(service.SessionCompleted(carol), 1);
+}
+
+TEST(SharedServiceBatchTest, DifferentKeysDoNotBatch) {
+  odsim::Simulator sim;
+  SharedService service(&sim, "s", ServiceConfig{.batch_same_key = true});
+  int session = service.OpenSession("c");
+  service.SubmitKeyed(session, "A", Sec(1), nullptr);
+  service.SubmitKeyed(session, "B", Sec(1), nullptr);
+  sim.Run();
+  EXPECT_EQ(service.batch_joins(), 0);
+  EXPECT_DOUBLE_EQ(service.total_busy_seconds(), 2.0);
+}
+
+// -- Admission control -------------------------------------------------------
+
+TEST(SharedServiceAdmissionTest, FullQueueRejectsSynchronously) {
+  odsim::Simulator sim;
+  SharedService service(&sim, "s", ServiceConfig{.max_queue = 2});
+  int session = service.OpenSession("c");
+
+  std::vector<ServeOutcome> outcomes;
+  for (int i = 0; i < 3; ++i) {
+    service.SubmitKeyed(session, "k" + std::to_string(i), Sec(1),
+                        [&](ServeOutcome o) { outcomes.push_back(o); });
+  }
+  // The third submit found depth == max_queue and was refused immediately.
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0], ServeOutcome::kRejected);
+  EXPECT_EQ(service.rejected_requests(), 1);
+
+  sim.Run();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[1], ServeOutcome::kServed);
+  EXPECT_EQ(outcomes[2], ServeOutcome::kServed);
+  EXPECT_EQ(service.completed_requests(), 2);
+}
+
+TEST(SharedServiceAdmissionTest, CacheHitBypassesAdmission) {
+  odsim::Simulator sim;
+  SharedService service(&sim, "s",
+                        ServiceConfig{.max_queue = 1, .cache_capacity = 4});
+  int session = service.OpenSession("c");
+  service.SubmitKeyed(session, "A", Sec(1), nullptr);
+  sim.Run();
+
+  // Fill the queue, then ask for cached content: served, not rejected.
+  service.SubmitKeyed(session, "B", Sec(5), nullptr);
+  ServeOutcome outcome = ServeOutcome::kServed;
+  service.SubmitKeyed(session, "A", Sec(1), [&](ServeOutcome o) { outcome = o; });
+  EXPECT_EQ(outcome, ServeOutcome::kCacheHit);
+  EXPECT_EQ(service.rejected_requests(), 0);
+  sim.Run();
+}
+
+// -- Stall drain: same-timestamp clear vs submit tie-break -------------------
+
+// The documented contract: requests drain in submission order when a stall
+// clears, including submits landing at the very timestamp of the clear.
+// Whether a same-timestamp submit's event runs before or after the clear's
+// event, it was submitted after the stalled backlog — so it serves last.
+TEST(SharedServiceStallTest, SameTimestampClearDrainsInSubmissionOrder) {
+  odsim::Simulator sim;
+  SharedService service(&sim, "s");
+  int session = service.OpenSession("c");
+
+  service.SetStalled(true);
+  std::vector<int> order;
+  std::vector<odsim::SimTime> at;
+  auto track = [&](int id) {
+    return [&, id](ServeOutcome) {
+      order.push_back(id);
+      at.push_back(sim.Now());
+    };
+  };
+  // Backlog queued while wedged.
+  service.SubmitKeyed(session, "q0", Sec(1), track(0));
+  service.SubmitKeyed(session, "q1", Sec(1), track(1));
+
+  // At t=5, three events share the timestamp: a submit scheduled before the
+  // clear, the clear itself, and a submit scheduled after the clear.
+  sim.Schedule(Sec(5), [&] { service.SubmitKeyed(session, "q2", Sec(1), track(2)); });
+  sim.Schedule(Sec(5), [&] { service.SetStalled(false); });
+  sim.Schedule(Sec(5), [&] { service.SubmitKeyed(session, "q3", Sec(1), track(3)); });
+  sim.Run();
+
+  ASSERT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  // Service resumed at the clear instant: completions at 6, 7, 8, 9 s.
+  EXPECT_EQ(at[0], odsim::SimTime::Seconds(6));
+  EXPECT_EQ(at[1], odsim::SimTime::Seconds(7));
+  EXPECT_EQ(at[2], odsim::SimTime::Seconds(8));
+  EXPECT_EQ(at[3], odsim::SimTime::Seconds(9));
+}
+
+TEST(SharedServiceStallTest, CacheServesWhileStalled) {
+  odsim::Simulator sim;
+  SharedService service(&sim, "s", ServiceConfig{.cache_capacity = 4});
+  int session = service.OpenSession("c");
+  service.SubmitKeyed(session, "A", Sec(1), nullptr);
+  sim.Run();
+
+  service.SetStalled(true);
+  ServeOutcome outcome = ServeOutcome::kServed;
+  service.SubmitKeyed(session, "A", Sec(1), [&](ServeOutcome o) { outcome = o; });
+  EXPECT_EQ(outcome, ServeOutcome::kCacheHit);
+}
+
+// -- Admission reject -> viceroy overload clamp -> hysteresis recovery -------
+
+class LadderApp : public odyssey::AdaptiveApplication {
+ public:
+  LadderApp() : spec_({"min", "low", "mid", "high"}) { fidelity_ = 2; }
+
+  const std::string& name() const override { return name_; }
+  int priority() const override { return 0; }
+  const odyssey::FidelitySpec& fidelity_spec() const override { return spec_; }
+  int current_fidelity() const override { return fidelity_; }
+  void SetFidelity(int level) override { fidelity_ = level; }
+
+ private:
+  std::string name_ = "ladder";
+  odyssey::FidelitySpec spec_;
+  int fidelity_;
+};
+
+TEST(SharedServiceOverloadTest, RejectsClampThenRecoveryRestoresFidelity) {
+  odsim::Simulator sim;
+  auto laptop = odpower::MakeThinkPad560X(&sim);
+  odnet::Link link(&sim, &laptop->power_manager(), odnet::LinkConfig{});
+  odyssey::Viceroy viceroy(&sim, &link, &laptop->power_manager());
+  viceroy.set_overload_threshold(3);
+  viceroy.set_recovery_hysteresis(3);
+
+  SharedService service(&sim, "distill", ServiceConfig{.max_queue = 1});
+  LadderApp app;
+  viceroy.RegisterApplication(&app);
+  odyssey::Warden* warden = viceroy.RegisterWarden(
+      std::make_unique<odyssey::Warden>("distill"), &service);
+
+  // Wedge the service: a long request occupies the single admission slot.
+  int filler = service.OpenSession("filler");
+  service.SubmitKeyed(filler, "block", Sec(30), nullptr);
+
+  // Three keyed fetches, spaced out, all refused at the full queue.  The
+  // third consecutive reject engages the overload clamp: fidelity drops
+  // from mid-ladder to the floor.
+  for (int i = 0; i < 3; ++i) {
+    sim.Schedule(Sec(1 + i), [&, i] {
+      warden->FetchKeyed("k" + std::to_string(i), 256, 1024, Sec(1), nullptr);
+    });
+  }
+  sim.RunUntil(odsim::SimTime::Seconds(10));
+  EXPECT_EQ(warden->rejected_fetches(), 3);
+  EXPECT_TRUE(viceroy.overload_clamped());
+  EXPECT_EQ(viceroy.overload_clamps(), 1);
+  EXPECT_EQ(app.current_fidelity(), 0);
+
+  // After the blocker drains, successful fetches accumulate.  Two are not
+  // enough at hysteresis 3; the third releases the clamp and restores the
+  // exact pre-clamp fidelity.
+  for (int i = 0; i < 3; ++i) {
+    sim.Schedule(Sec(35 + 5 * i), [&, i] {
+      warden->FetchKeyed("ok" + std::to_string(i), 256, 1024, Sec(1), nullptr);
+    });
+  }
+  sim.RunUntil(odsim::SimTime::Seconds(44));
+  EXPECT_TRUE(viceroy.overload_clamped());  // Two of three: still clamped.
+  sim.RunUntil(odsim::SimTime::Seconds(60));
+  EXPECT_FALSE(viceroy.overload_clamped());
+  EXPECT_EQ(app.current_fidelity(), 2);
+  EXPECT_EQ(viceroy.overload_clamps(), 1);  // Same episode, no re-engage.
+}
+
+}  // namespace
+}  // namespace odserve
