@@ -1,0 +1,139 @@
+// Simulator core throughput (ROADMAP "simulator core speed").
+//
+// Runs the fixed seeded workloads in src/apps/simspeed.h — pure event-queue
+// churn, the power/energy sampling grid, and a fleet-shaped cell — and
+// reports events/sec plus sim-seconds-per-wall-second for each.  The
+// deterministic facts (event count, simulated seconds, workload checksum)
+// go into the run artifact, which stays byte-identical across machines and
+// --jobs; the wall-derived rates go into a BENCH_simspeed.json trajectory
+// record instead (src/harness/bench_baseline.h).
+//
+// Environment:
+//   ODBENCH_BENCH_DIR=<dir>       write <dir>/BENCH_simspeed.json
+//   ODBENCH_BENCH_BASELINE=<file> compare against a committed baseline and
+//                                 exit 3 if any cell's events/sec fell more
+//                                 than 20% below it
+//   ODBENCH_BENCH_WARN_ONLY=1     demote that failure to a warning (noisy
+//                                 shared CI runners)
+//
+// Run cells serially (the default --jobs is fine: each cell is a single
+// trial, and trial sets run one after another), on an otherwise quiet
+// machine, when regenerating the committed baseline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/simspeed.h"
+#include "src/harness/bench_baseline.h"
+#include "src/util/table.h"
+
+namespace {
+
+constexpr double kMaxLossFraction = 0.20;
+
+struct CellSpec {
+  const char* name;
+  uint64_t seed;
+  odapps::SimspeedCell (*run)(uint64_t seed);
+};
+
+const std::vector<CellSpec>& Cells() {
+  static const std::vector<CellSpec> kCells = {
+      {"queue_churn", 97001, &odapps::RunQueueChurnCell},
+      {"monitor_grid", 97002, &odapps::RunMonitorGridCell},
+      {"fleet_2k", 97003,
+       [](uint64_t seed) { return odapps::RunFleetShapedCell(seed); }},
+  };
+  return kCells;
+}
+
+}  // namespace
+
+ODBENCH_EXPERIMENT_COST(simspeed,
+                        "Simulator core throughput: events/sec and "
+                        "sim-time/wall-time for fixed seeded workloads",
+                        4000) {
+  odharness::BenchRecord record;
+  record.experiment = ctx.name();
+
+  odutil::Table table(
+      "Simulator core throughput (deterministic workloads; rates are "
+      "wall-derived and machine-dependent)");
+  table.SetHeader({"Cell", "Events", "Sim s", "Wall s", "Events/s",
+                   "Sim s / wall s"});
+
+  for (const CellSpec& spec : Cells()) {
+    odapps::SimspeedCell cell;
+    ctx.RunTrials(spec.name, 1, spec.seed, [&cell, &spec](uint64_t seed) {
+      cell = spec.run(seed);
+      odharness::TrialSample sample;
+      sample.value = static_cast<double>(cell.events);
+      sample.breakdown["sim_seconds"] = cell.sim_seconds;
+      sample.breakdown["checksum"] = static_cast<double>(cell.checksum);
+      return sample;
+    });
+
+    odharness::BenchCell bench;
+    bench.name = spec.name;
+    bench.events = static_cast<double>(cell.events);
+    bench.sim_seconds = cell.sim_seconds;
+    bench.wall_seconds = cell.wall_seconds;
+    bench.events_per_sec =
+        cell.wall_seconds > 0.0 ? bench.events / cell.wall_seconds : 0.0;
+    bench.sim_per_wall =
+        cell.wall_seconds > 0.0 ? cell.sim_seconds / cell.wall_seconds : 0.0;
+    bench.checksum = static_cast<double>(cell.checksum);
+    record.cells.push_back(bench);
+
+    table.AddRow({spec.name, odutil::Table::Num(bench.events, 0),
+                  odutil::Table::Num(bench.sim_seconds, 0),
+                  odutil::Table::Num(bench.wall_seconds, 2),
+                  odutil::Table::Num(bench.events_per_sec, 0),
+                  odutil::Table::Num(bench.sim_per_wall, 1)});
+  }
+  table.Print();
+
+  if (const char* dir = std::getenv("ODBENCH_BENCH_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    std::string path = std::string(dir) + "/BENCH_simspeed.json";
+    if (!record.WriteFile(path)) {
+      std::fprintf(stderr, "simspeed: cannot write %s\n", path.c_str());
+      return 74;
+    }
+    std::printf("Wrote %s\n", path.c_str());
+  }
+
+  const char* baseline_path = std::getenv("ODBENCH_BENCH_BASELINE");
+  if (baseline_path == nullptr || baseline_path[0] == '\0') {
+    return 0;
+  }
+  std::optional<odharness::BenchRecord> baseline =
+      odharness::BenchRecord::ReadFile(baseline_path);
+  if (!baseline.has_value()) {
+    std::fprintf(stderr, "simspeed: cannot read baseline %s\n", baseline_path);
+    return 66;
+  }
+  std::vector<odharness::BenchRegression> regressions =
+      odharness::CompareEventsPerSec(*baseline, record, kMaxLossFraction);
+  for (const odharness::BenchRegression& r : regressions) {
+    std::printf(
+        "REGRESSION %s: %.0f events/s vs baseline %.0f (%.0f%%, limit "
+        "-%.0f%%)\n",
+        r.cell.c_str(), r.fresh_events_per_sec, r.baseline_events_per_sec,
+        100.0 * (r.ratio - 1.0), 100.0 * kMaxLossFraction);
+  }
+  if (regressions.empty()) {
+    std::printf("No events/sec regression against %s (limit -%.0f%%)\n",
+                baseline_path, 100.0 * kMaxLossFraction);
+    return 0;
+  }
+  const char* warn_only = std::getenv("ODBENCH_BENCH_WARN_ONLY");
+  if (warn_only != nullptr && std::string(warn_only) == "1") {
+    std::printf("ODBENCH_BENCH_WARN_ONLY=1: reporting only, not failing\n");
+    return 0;
+  }
+  return 3;
+}

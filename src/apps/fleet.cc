@@ -193,6 +193,7 @@ FleetResult RunFleetScenario(const FleetOptions& options) {
   FleetResult result;
   result.clients = options.clients;
   result.elapsed_seconds = (end - start).seconds();
+  result.events_processed = sim.events_processed();
   result.devices.reserve(options.clients);
   for (auto& d : devices) {
     FleetDeviceResult dev;

@@ -1,0 +1,51 @@
+// Simulator-core speed workloads.
+//
+// Fleet scale (src/apps/fleet.h) multiplies event counts by orders of
+// magnitude, making the event queue, the power integrator, and callback
+// dispatch the hot path.  These cells are the fixed, seeded workloads behind
+// `odbench run simspeed`: each returns the deterministic facts (event count,
+// simulated seconds, a workload checksum) plus the measured wall time, from
+// which the experiment derives events/sec and sim-seconds-per-wall-second.
+//
+// Everything except `wall_seconds` must be byte-identical for a fixed seed,
+// on any machine, at any --jobs: the checksum is the determinism signature a
+// regression test replays, and the wall-derived rates are what the committed
+// BENCH_simspeed.json trajectory tracks across PRs.
+
+#ifndef SRC_APPS_SIMSPEED_H_
+#define SRC_APPS_SIMSPEED_H_
+
+#include <cstdint>
+
+namespace odapps {
+
+struct SimspeedCell {
+  // Deterministic for a fixed seed.
+  uint64_t events = 0;        // Simulator events dispatched.
+  double sim_seconds = 0.0;   // Simulated time covered.
+  uint32_t checksum = 0;      // Folded FNV-1a signature of the replay.
+  // Measured; never recorded in artifacts (it would break --jobs
+  // byte-identity), only in the BENCH trajectory and on stdout.
+  double wall_seconds = 0.0;
+};
+
+// Pure event-queue churn: 512 self-rescheduling timers with seeded jitter,
+// each push also arming a deadline timer that is almost always cancelled
+// before it fires — the RPC-deadline pattern that grows the pending set
+// with lazily-cancelled entries.
+SimspeedCell RunQueueChurnCell(uint64_t seed);
+
+// The power/energy layer: 96 ThinkPad machines, each with a noisy online
+// monitor at 100 ms and a display toggling bright/dim, so every sample
+// crosses Machine::TotalPower and every toggle crosses the analytic
+// accountant.
+SimspeedCell RunMonitorGridCell(uint64_t seed);
+
+// The fleet-shaped cell: RunFleetScenario with `clients` devices and the
+// distilled-content cache on — the same shape as the fleet_sweep cells that
+// motivated this benchmark.
+SimspeedCell RunFleetShapedCell(uint64_t seed, int clients = 2000);
+
+}  // namespace odapps
+
+#endif  // SRC_APPS_SIMSPEED_H_

@@ -1,0 +1,130 @@
+#include "src/harness/bench_baseline.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace odharness {
+
+namespace {
+constexpr char kSchema[] = "odbench-bench-v1";
+}  // namespace
+
+const BenchCell* BenchRecord::FindCell(const std::string& name) const {
+  for (const BenchCell& cell : cells) {
+    if (cell.name == name) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue BenchRecord::ToJson() const {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("schema", kSchema);
+  root.Set("experiment", experiment);
+  JsonValue array = JsonValue::MakeArray();
+  for (const BenchCell& cell : cells) {
+    JsonValue c = JsonValue::MakeObject();
+    c.Set("name", cell.name);
+    c.Set("events", cell.events);
+    c.Set("sim_seconds", cell.sim_seconds);
+    c.Set("wall_seconds", cell.wall_seconds);
+    c.Set("events_per_sec", cell.events_per_sec);
+    c.Set("sim_per_wall", cell.sim_per_wall);
+    c.Set("checksum", cell.checksum);
+    array.Append(std::move(c));
+  }
+  root.Set("cells", std::move(array));
+  return root;
+}
+
+std::optional<BenchRecord> BenchRecord::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return std::nullopt;
+  }
+  const JsonValue* schema = json.Find("schema");
+  if (schema == nullptr || schema->AsString() != kSchema) {
+    return std::nullopt;
+  }
+  const JsonValue* cells = json.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    return std::nullopt;
+  }
+  BenchRecord record;
+  const JsonValue* experiment = json.Find("experiment");
+  record.experiment = experiment != nullptr ? experiment->AsString() : "";
+  for (const JsonValue& c : cells->array()) {
+    const JsonValue* name = c.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return std::nullopt;
+    }
+    BenchCell cell;
+    cell.name = name->AsString();
+    cell.events = c.DoubleAt("events");
+    cell.sim_seconds = c.DoubleAt("sim_seconds");
+    cell.wall_seconds = c.DoubleAt("wall_seconds");
+    cell.events_per_sec = c.DoubleAt("events_per_sec");
+    cell.sim_per_wall = c.DoubleAt("sim_per_wall");
+    cell.checksum = c.DoubleAt("checksum");
+    record.cells.push_back(std::move(cell));
+  }
+  return record;
+}
+
+bool BenchRecord::WriteFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+        std::fopen(tmp.c_str(), "w"), &std::fclose);
+    if (file == nullptr) {
+      return false;
+    }
+    const std::string text = ToJson().Dump(/*indent=*/2) + "\n";
+    if (std::fwrite(text.data(), 1, text.size(), file.get()) != text.size() ||
+        std::fflush(file.get()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<BenchRecord> BenchRecord::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::optional<JsonValue> json = JsonValue::Parse(text.str());
+  if (!json.has_value()) {
+    return std::nullopt;
+  }
+  return FromJson(*json);
+}
+
+std::vector<BenchRegression> CompareEventsPerSec(const BenchRecord& baseline,
+                                                 const BenchRecord& fresh,
+                                                 double max_loss_fraction) {
+  std::vector<BenchRegression> regressions;
+  for (const BenchCell& base : baseline.cells) {
+    const BenchCell* cell = fresh.FindCell(base.name);
+    if (cell == nullptr || base.events_per_sec <= 0.0) {
+      continue;
+    }
+    double ratio = cell->events_per_sec / base.events_per_sec;
+    if (ratio < 1.0 - max_loss_fraction) {
+      regressions.push_back(BenchRegression{base.name, base.events_per_sec,
+                                            cell->events_per_sec, ratio});
+    }
+  }
+  return regressions;
+}
+
+}  // namespace odharness

@@ -1,0 +1,64 @@
+// Performance-trajectory records (BENCH_*.json).
+//
+// Run artifacts deliberately exclude wall-clock quantities so their bytes
+// are machine- and --jobs-independent; performance numbers therefore live
+// in a separate record: a committed BENCH_<experiment>.json baseline that
+// perf-tracked experiments (simspeed) regenerate and compare against.  The
+// comparison is rate-based (events/sec), with a tolerance wide enough for
+// run-to-run noise on a quiet machine; noisy shared runners demote failures
+// to warnings via ODBENCH_BENCH_WARN_ONLY=1.
+
+#ifndef SRC_HARNESS_BENCH_BASELINE_H_
+#define SRC_HARNESS_BENCH_BASELINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/harness/json.h"
+
+namespace odharness {
+
+struct BenchCell {
+  std::string name;
+  double events = 0.0;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double sim_per_wall = 0.0;  // Simulated seconds per wall second.
+  // Deterministic workload signature (folded to 32 bits so it is exact in
+  // a double); 0 when the producer records none.
+  double checksum = 0.0;
+};
+
+struct BenchRecord {
+  std::string experiment;
+  std::vector<BenchCell> cells;
+
+  const BenchCell* FindCell(const std::string& name) const;
+
+  JsonValue ToJson() const;
+  static std::optional<BenchRecord> FromJson(const JsonValue& json);
+
+  // Atomic write-then-rename, mirroring RunArtifact::WriteFile.
+  bool WriteFile(const std::string& path) const;
+  static std::optional<BenchRecord> ReadFile(const std::string& path);
+};
+
+struct BenchRegression {
+  std::string cell;
+  double baseline_events_per_sec = 0.0;
+  double fresh_events_per_sec = 0.0;
+  double ratio = 0.0;  // fresh / baseline.
+};
+
+// Cells of `fresh` whose events/sec fell more than `max_loss_fraction`
+// below the matching baseline cell (cells missing from either side are
+// skipped: a renamed cell is a baseline refresh, not a regression).
+std::vector<BenchRegression> CompareEventsPerSec(const BenchRecord& baseline,
+                                                 const BenchRecord& fresh,
+                                                 double max_loss_fraction);
+
+}  // namespace odharness
+
+#endif  // SRC_HARNESS_BENCH_BASELINE_H_

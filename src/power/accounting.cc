@@ -43,14 +43,16 @@ void EnergyAccounting::AccrueTo(odsim::SimTime now) {
   for (size_t i = 0; i < snapshot_component_watts_.size(); ++i) {
     component_joules_[i] += snapshot_component_watts_[i] * dt;
   }
-  ContextUsage& process = by_process_[snapshot_pid_];
-  ContextUsage& context = by_context_[ContextKey(snapshot_pid_, snapshot_proc_)];
+  if (cached_process_ == nullptr) {
+    cached_process_ = &by_process_[snapshot_pid_];
+    cached_context_ = &by_context_[ContextKey(snapshot_pid_, snapshot_proc_)];
+  }
   double joules = snapshot_total_watts_ * dt;
-  process.joules += joules;
-  context.joules += joules;
+  cached_process_->joules += joules;
+  cached_context_->joules += joules;
   if (snapshot_pid_ != odsim::kIdlePid) {
-    process.cpu_seconds += dt;
-    context.cpu_seconds += dt;
+    cached_process_->cpu_seconds += dt;
+    cached_context_->cpu_seconds += dt;
   }
 }
 
@@ -102,6 +104,8 @@ void EnergyAccounting::Reset(odsim::SimTime now) {
   std::fill(component_joules_.begin(), component_joules_.end(), 0.0);
   by_process_.clear();
   by_context_.clear();
+  cached_process_ = nullptr;
+  cached_context_ = nullptr;
 }
 
 void EnergyAccounting::OnMachinePowerChanged(odsim::SimTime now) {
@@ -114,6 +118,8 @@ void EnergyAccounting::OnCpuContextSwitch(odsim::SimTime now, odsim::ProcessId p
   AccrueTo(now);
   snapshot_pid_ = pid;
   snapshot_proc_ = proc;
+  cached_process_ = nullptr;
+  cached_context_ = nullptr;
 }
 
 }  // namespace odpower

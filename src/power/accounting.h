@@ -26,7 +26,7 @@ struct ContextUsage {
   double joules = 0.0;
 };
 
-class EnergyAccounting : public MachineObserver, public odsim::CpuObserver {
+class EnergyAccounting final : public MachineObserver, public odsim::CpuObserver {
  public:
   // Registers itself as an observer of both the machine and the simulator.
   explicit EnergyAccounting(Machine* machine);
@@ -88,6 +88,12 @@ class EnergyAccounting : public MachineObserver, public odsim::CpuObserver {
   std::vector<double> component_joules_;
   std::unordered_map<odsim::ProcessId, ContextUsage> by_process_;
   std::unordered_map<uint64_t, ContextUsage> by_context_;
+
+  // Accumulator entries for the snapshot context, refilled lazily after a
+  // context switch or Reset.  Element pointers into unordered_map survive
+  // rehashing, so these stay valid until the maps are cleared.
+  ContextUsage* cached_process_ = nullptr;
+  ContextUsage* cached_context_ = nullptr;
 };
 
 }  // namespace odpower

@@ -27,7 +27,7 @@ enum class CpuState : int {
   kHalt = 1,
 };
 
-class Cpu : public Component, public odsim::CpuObserver {
+class Cpu final : public Component, public odsim::CpuObserver {
  public:
   explicit Cpu(double busy_watts, double scaling_exponent = 3.0)
       : Component("CPU", {busy_watts, 0.0}, static_cast<int>(CpuState::kHalt)),

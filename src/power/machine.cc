@@ -31,11 +31,15 @@ double Machine::SynergyPower() const {
 }
 
 double Machine::TotalPower() const {
-  double sum = 0.0;
-  for (const auto& c : components_) {
-    sum += c->power();
+  if (total_dirty_) {
+    double sum = 0.0;
+    for (const auto& c : components_) {
+      sum += c->power();
+    }
+    cached_total_watts_ = sum + SynergyPower();
+    total_dirty_ = false;
   }
-  return sum + SynergyPower();
+  return cached_total_watts_;
 }
 
 Component* Machine::FindComponent(const std::string& name) {
@@ -53,6 +57,8 @@ void Machine::AddObserver(MachineObserver* observer) {
 }
 
 void Machine::OnComponentPowerChanged() {
+  // Invalidate before notifying: observers commonly read TotalPower().
+  total_dirty_ = true;
   for (MachineObserver* observer : observers_) {
     observer->OnMachinePowerChanged(sim_->Now());
   }

@@ -45,6 +45,10 @@ class Machine {
   }
 
   // Total instantaneous draw: sum of components plus the superlinear term.
+  // Cached between component power changes: every draw change funnels
+  // through OnComponentPowerChanged (SetState / NotifyPowerChanged), which
+  // invalidates.  Recomputation sums in attach order, so the cached value
+  // is bit-identical to the uncached sum.
   double TotalPower() const;
 
   // Superlinear excess alone (for accounting: it is not attributable to any
@@ -75,6 +79,8 @@ class Machine {
   double synergy_watts_;
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<MachineObserver*> observers_;
+  mutable double cached_total_watts_ = 0.0;
+  mutable bool total_dirty_ = true;
 };
 
 }  // namespace odpower

@@ -20,21 +20,23 @@ EventHandle Simulator::ScheduleAt(SimTime at, EventFn fn) {
 
 void Simulator::Run() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    auto [time, fn] = queue_.Pop();
-    OD_CHECK(time >= now_);
-    now_ = time;
-    fn();
+  EventQueue::Popped popped;
+  while (!stopped_ && queue_.PopIfAtOrBefore(SimTime::Max(), &popped)) {
+    OD_CHECK(popped.time >= now_);
+    now_ = popped.time;
+    ++events_processed_;
+    popped.fn();
   }
 }
 
 void Simulator::RunUntil(SimTime deadline) {
   OD_CHECK(deadline >= now_);
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.NextTime() <= deadline) {
-    auto [time, fn] = queue_.Pop();
-    now_ = time;
-    fn();
+  EventQueue::Popped popped;
+  while (!stopped_ && queue_.PopIfAtOrBefore(deadline, &popped)) {
+    now_ = popped.time;
+    ++events_processed_;
+    popped.fn();
   }
   if (!stopped_ && now_ < deadline) {
     now_ = deadline;
@@ -48,11 +50,6 @@ std::vector<ProcessId> Simulator::RunnablePids() const {
     pids.push_back(item.pid);
   }
   return pids;
-}
-
-void Simulator::AddCpuObserver(CpuObserver* observer) {
-  OD_CHECK(observer != nullptr);
-  cpu_observers_.push_back(observer);
 }
 
 void Simulator::set_cpu_quantum(SimDuration quantum) {
@@ -72,8 +69,9 @@ void Simulator::SetContext(SimTime now, ProcessId pid, ProcedureId proc) {
   }
   current_pid_ = pid;
   current_proc_ = proc;
-  for (CpuObserver* observer : cpu_observers_) {
-    observer->OnCpuContextSwitch(now, pid, proc, pid != kIdlePid);
+  const bool busy = pid != kIdlePid;
+  for (const CpuSwitchHook& hook : cpu_observers_) {
+    hook.fn(hook.object, now, pid, proc, busy);
   }
 }
 
@@ -98,9 +96,20 @@ void Simulator::Dispatch(SimTime now) {
   // The slice is bounded by the quantum in wall time; at reduced clock
   // speed it consumes proportionally less of the item's remaining work.
   SimDuration max_work_this_quantum = quantum_ * cpu_speed_;
+  if (max_work_this_quantum <= SimDuration::Zero()) {
+    // quantum * speed rounded to zero microseconds (sub-µs quantum or
+    // extreme clock scaling).  A zero-length slice would reschedule at the
+    // same timestamp forever; guarantee at least 1 µs of work per slice.
+    max_work_this_quantum = SimDuration::Micros(1);
+  }
   SimDuration work =
       item.remaining < max_work_this_quantum ? item.remaining : max_work_this_quantum;
   SimDuration wall = work * (1.0 / cpu_speed_);
+  // Minimum-progress invariant: every slice advances the clock and retires
+  // work.  wall >= work holds because speed <= 1 and SimTime scaling
+  // rounds half-up, so the per-slice wall/work rounding drift is at most
+  // half a microsecond and never goes negative.
+  OD_CHECK(work > SimDuration::Zero() && wall >= work);
   slice_end_ = queue_.Push(now + wall, [this, work] {
     OD_CHECK(!run_queue_.empty());
     WorkItem& front = run_queue_.front();

@@ -11,11 +11,13 @@
 
 #include <deque>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/process.h"
 #include "src/sim/time.h"
+#include "src/util/check.h"
 
 namespace odsim {
 
@@ -55,6 +57,10 @@ class Simulator {
   void Stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
+  // Events dispatched by Run()/RunUntil() since construction.  The simspeed
+  // benchmark divides this by wall time to track simulator throughput.
+  uint64_t events_processed() const { return events_processed_; }
+
   // -- CPU -------------------------------------------------------------------
 
   // Submits `work` of CPU time for the given context; `on_complete` (may be
@@ -77,7 +83,30 @@ class Simulator {
   std::vector<ProcessId> RunnablePids() const;
 
   // Observers are not owned; they must outlive the simulator's run.
-  void AddCpuObserver(CpuObserver* observer);
+  // Registration captures the observer's concrete type, so context-switch
+  // dispatch goes through a flat (object, function-pointer) table with the
+  // virtual hop resolved at compile time; registering through an abstract
+  // pointer keeps the virtual call.  Context switches are the hottest
+  // notification in the simulator, hence the registered-callback shape.
+  template <typename T>
+  void AddCpuObserver(T* observer) {
+    static_assert(std::is_base_of_v<CpuObserver, T>,
+                  "observer must implement CpuObserver");
+    OD_CHECK(observer != nullptr);
+    cpu_observers_.push_back(CpuSwitchHook{
+        observer,
+        [](void* o, SimTime now, ProcessId pid, ProcedureId proc, bool busy) {
+          T* t = static_cast<T*>(o);
+          if constexpr (std::is_abstract_v<T>) {
+            t->OnCpuContextSwitch(now, pid, proc, busy);
+          } else {
+            // Qualified call: bypasses the vtable.  Sound because the
+            // registered pointer's static type is the dynamic type (no
+            // class in the tree derives from a concrete observer).
+            t->T::OnCpuContextSwitch(now, pid, proc, busy);
+          }
+        }});
+  }
 
   // Scheduling quantum (default 10 ms).  Must be set before any work is
   // submitted.
@@ -104,6 +133,7 @@ class Simulator {
   EventQueue queue_;
   ProcessTable processes_;
   bool stopped_ = false;
+  uint64_t events_processed_ = 0;
 
   std::deque<WorkItem> run_queue_;
   bool cpu_dispatching_ = false;
@@ -113,7 +143,12 @@ class Simulator {
 
   ProcessId current_pid_ = kIdlePid;
   ProcedureId current_proc_ = kIdleProc;
-  std::vector<CpuObserver*> cpu_observers_;
+  struct CpuSwitchHook {
+    void* object;
+    void (*fn)(void* object, SimTime now, ProcessId pid, ProcedureId proc,
+               bool busy);
+  };
+  std::vector<CpuSwitchHook> cpu_observers_;
 };
 
 }  // namespace odsim

@@ -42,5 +42,13 @@ TEST(OdbenchDeterminismTest, AblateCpuScalingArtifactIndependentOfJobs) {
             ArtifactBytes("ablate_cpu_scaling", 8));
 }
 
+// The simspeed artifact records only the deterministic facts of each cell
+// (event count, simulated seconds, workload checksum); the wall-derived
+// rates live in the side BENCH file.  The artifact must therefore be
+// byte-identical regardless of --jobs.
+TEST(OdbenchDeterminismTest, SimspeedArtifactIndependentOfJobs) {
+  EXPECT_EQ(ArtifactBytes("simspeed", 1), ArtifactBytes("simspeed", 8));
+}
+
 }  // namespace
 }  // namespace odharness

@@ -1,5 +1,5 @@
 // Links the odbench_experiments object library, so the registry here holds
-// exactly the experiments the odbench binary ships: all 27 of them.
+// exactly the experiments the odbench binary ships: all 28 of them.
 
 #include <string>
 #include <vector>
@@ -21,11 +21,12 @@ const char* const kExpected[] = {
     "fig20_goal_summary", "fig21_halflife",    "fig22_longrun",
     "fleet_small",        "fleet_sweep",       "goal_fault_sweep",
     "goalprobe",          "lifetime",          "micro_overhead",
+    "simspeed",
 };
 
-TEST(OdbenchRegistrationTest, AllTwentySevenExperimentsRegistered) {
+TEST(OdbenchRegistrationTest, AllTwentyEightExperimentsRegistered) {
   auto& registry = ExperimentRegistry::Instance();
-  EXPECT_EQ(registry.size(), 27u);
+  EXPECT_EQ(registry.size(), 28u);
   for (const char* name : kExpected) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }

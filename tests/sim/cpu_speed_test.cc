@@ -56,6 +56,22 @@ TEST(CpuSpeedTest, SpeedChangeAppliesToSubsequentSlices) {
   EXPECT_NEAR(done_at.seconds(), 1.5, 0.02);
 }
 
+// quantum * speed can round to zero microseconds (sub-µs quantum at deep
+// clock scaling); the dispatcher must still make forward progress instead
+// of rescheduling a zero-length slice at the same timestamp forever.
+TEST(CpuSpeedTest, ZeroLengthSliceIsClampedToMinimumProgress) {
+  Simulator sim;
+  sim.set_cpu_quantum(SimDuration::Micros(1));
+  sim.set_cpu_speed(0.001);  // 1 µs quantum * 0.001 rounds to 0 µs of work.
+  ProcessId pid = sim.processes().RegisterProcess("p");
+  ProcedureId proc = sim.processes().RegisterProcedure("_p");
+  SimTime done_at;
+  sim.SubmitWork(pid, proc, SimDuration::Micros(10), [&] { done_at = sim.Now(); });
+  sim.Run();
+  // Each slice retires the 1 µs minimum at 1000 µs of wall time.
+  EXPECT_EQ(done_at, SimTime::Micros(10000));
+}
+
 TEST(CpuSpeedTest, LaptopScalesPowerCubically) {
   Simulator sim;
   auto laptop = odpower::MakeThinkPad560X(&sim);

@@ -101,5 +101,93 @@ TEST(EventQueueTest, CopiedHandleCancelsSameEvent) {
   EXPECT_FALSE(fired);
 }
 
+TEST(EventQueueTest, PopIfAtOrBeforeRespectsDeadline) {
+  EventQueue q;
+  q.Push(SimTime::Seconds(5), [] {});
+  EventQueue::Popped popped;
+  EXPECT_FALSE(q.PopIfAtOrBefore(SimTime::Seconds(4), &popped));
+  EXPECT_FALSE(q.empty());
+  ASSERT_TRUE(q.PopIfAtOrBefore(SimTime::Seconds(5), &popped));
+  EXPECT_EQ(popped.time, SimTime::Seconds(5));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.PopIfAtOrBefore(SimTime::Max(), &popped));
+}
+
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsInert) {
+  EventQueue q;
+  bool second_fired = false;
+  EventHandle first = q.Push(SimTime::Seconds(1), [] {});
+  q.Pop();  // Fires (and recycles) the first event's slot.
+  // The recycled slot is reused by the next push; the stale handle must
+  // neither report pending nor cancel the new occupant.
+  EventHandle second = q.Push(SimTime::Seconds(2), [&] { second_fired = true; });
+  EXPECT_FALSE(first.pending());
+  first.Cancel();
+  EXPECT_TRUE(second.pending());
+  q.Pop().fn();
+  EXPECT_TRUE(second_fired);
+}
+
+// RPC deadline timers are armed per call and almost always cancelled; the
+// pending set must stay bounded by the live-event count, not by the total
+// cancel traffic.
+TEST(EventQueueTest, CancelHeavySoakKeepsHeapBounded) {
+  EventQueue q;
+  std::vector<int> order;
+  constexpr int kRounds = 20000;
+  SimTime far = SimTime::Seconds(1e6);
+  for (int i = 0; i < kRounds; ++i) {
+    // A deadline far in the future, cancelled immediately — the lazy-
+    // cancellation worst case: it would never reach the top of the heap.
+    EventHandle deadline = q.Push(far, [] {});
+    deadline.Cancel();
+    // Cancelled closures are released eagerly and compaction keeps the
+    // heap itself bounded.
+    EXPECT_LE(q.size_for_testing(), 256u) << "round " << i;
+    EXPECT_LE(q.cancelled_count_for_testing(), 128u) << "round " << i;
+  }
+  // A live event scheduled after the churn still pops, in order.
+  q.Push(SimTime::Seconds(2), [&] { order.push_back(2); });
+  q.Push(SimTime::Seconds(1), [&] { order.push_back(1); });
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Compaction must not perturb the (time, seq) pop order of surviving
+// events, including FIFO ties.
+TEST(EventQueueTest, CompactionPreservesPopOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 300; ++i) {
+    int bucket = i % 10;
+    q.Push(SimTime::Seconds(bucket), [&order, i] { order.push_back(i); });
+    // Two doomed per live event, so cancelled entries outnumber live ones
+    // and the cancel loop crosses the compaction threshold.
+    doomed.push_back(q.Push(SimTime::Seconds(1000 + bucket), [] {}));
+    doomed.push_back(q.Push(SimTime::Seconds(2000 + bucket), [] {}));
+  }
+  for (EventHandle& h : doomed) {
+    h.Cancel();  // Triggers at least one threshold compaction.
+  }
+  std::vector<int> popped_order;
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  // Survivors fire grouped by time bucket, FIFO within a bucket.
+  ASSERT_EQ(order.size(), 300u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    int prev = order[i - 1];
+    int cur = order[i];
+    if (prev % 10 == cur % 10) {
+      EXPECT_LT(prev, cur) << "FIFO violated within an equal-time bucket";
+    } else {
+      EXPECT_LT(prev % 10, cur % 10) << "time order violated";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace odsim
