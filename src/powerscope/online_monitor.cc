@@ -21,10 +21,18 @@ void OnlineMonitor::Start() {
   running_ = true;
   measured_joules_ = 0.0;
   has_delivered_ = false;
+  anchor_ = sim_->Now();
   TakeSample();
 }
 
 void OnlineMonitor::Stop() {
+  if (running_ && has_delivered_) {
+    // Close out the partial interval since the last sample at the last
+    // known power, so stopping mid-period neither loses that tail nor
+    // (as the forward-charging scheme did) counts time past the stop.
+    measured_joules_ += last_watts_ * (sim_->Now() - anchor_).seconds();
+    anchor_ = sim_->Now();
+  }
   running_ = false;
   next_.Cancel();
 }
@@ -33,6 +41,7 @@ void OnlineMonitor::TakeSample() {
   if (!running_) {
     return;
   }
+  odsim::SimTime now = sim_->Now();
   double watts = machine_->TotalPower();
   if (config_.noise_watts > 0.0) {
     watts = std::max(0.0, rng_.Normal(watts, config_.noise_watts));
@@ -40,22 +49,32 @@ void OnlineMonitor::TakeSample() {
   std::optional<double> delivered =
       faults_.Corrupt(watts, last_watts_, has_delivered_);
   if (!delivered.has_value()) {
-    // Sample dropped: no reading, no integration, no callback.  The
-    // sampling clock keeps ticking so recovery needs no re-arming.
+    // Sample dropped: no reading, no integration, no callback — the
+    // interval ending here is a hole in the estimate.  The sampling
+    // clock keeps ticking so recovery needs no re-arming.
+    anchor_ = now;
     next_ = sim_->Schedule(config_.period, [this] { TakeSample(); });
     return;
   }
   watts = *delivered;
   if (std::isfinite(watts)) {
+    // Integrate the *trailing* interval at the reading that opened it:
+    // energy is only charged for time that has actually elapsed.  (The
+    // previous scheme charged the upcoming period at the new reading,
+    // biasing the estimate a full period forward — wrong at Start, at
+    // Stop, and across every power change.)  Non-finite readings are
+    // delivered (the adaptation layer must cope) but never integrated
+    // and never become the interval-opening reading: one NaN must not
+    // poison the running energy estimate.
+    if (has_delivered_) {
+      measured_joules_ += last_watts_ * (now - anchor_).seconds();
+    }
     last_watts_ = watts;
     has_delivered_ = true;
-    // Constant power assumed until the next sample.  Non-finite readings
-    // are delivered (the adaptation layer must cope) but never integrated:
-    // one NaN must not poison the running energy estimate.
-    measured_joules_ += watts * config_.period.seconds();
   }
+  anchor_ = now;
   if (callback_) {
-    callback_(sim_->Now(), watts);
+    callback_(now, watts);
   }
   next_ = sim_->Schedule(config_.period, [this] { TakeSample(); });
 }

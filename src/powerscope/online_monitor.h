@@ -61,6 +61,9 @@ class OnlineMonitor : public PowerMonitor {
   TelemetryFaults faults_;
   bool running_ = false;
   bool has_delivered_ = false;
+  // End of the last integrated (or skipped) interval: energy is charged
+  // for trailing intervals only, at the power reading that opened them.
+  odsim::SimTime anchor_;
   odsim::EventHandle next_;
   double last_watts_ = 0.0;
   double measured_joules_ = 0.0;

@@ -65,6 +65,34 @@ TEST(OnlineMonitorTest, StopFreezesIntegration) {
   EXPECT_DOUBLE_EQ(monitor.measured_joules(), frozen);
 }
 
+// Trailing integration is exact at sample boundaries: after exactly N
+// periods, energy is watts * N * period.  The old forward-charging scheme
+// counted N+1 full periods here (the first sample charged a period that
+// had not elapsed yet).
+TEST(OnlineMonitorTest, FirstSampleChargesNoEnergy) {
+  Rig rig;
+  OnlineMonitor monitor(&rig.sim, &rig.machine, rig.Noiseless(), 1);
+  monitor.Start();
+  EXPECT_DOUBLE_EQ(monitor.measured_joules(), 0.0);
+  rig.sim.RunUntil(odsim::SimTime::Seconds(1));
+  // Samples at 0, 0.1, ..., 1.0: ten elapsed 100 ms intervals at 10 W.
+  EXPECT_DOUBLE_EQ(monitor.measured_joules(), 10.0);
+}
+
+TEST(OnlineMonitorTest, StopMidPeriodChargesOnlyElapsedTime) {
+  Rig rig;
+  OnlineMonitor monitor(&rig.sim, &rig.machine, rig.Noiseless(), 1);
+  monitor.Start();
+  rig.sim.RunUntil(odsim::SimTime::Millis(250));
+  monitor.Stop();
+  // Two whole intervals plus the 50 ms tail since the t=200 ms sample —
+  // exactly the 250 ms that elapsed, at 10 W.
+  EXPECT_DOUBLE_EQ(monitor.measured_joules(), 2.5);
+  double frozen = monitor.measured_joules();
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  EXPECT_DOUBLE_EQ(monitor.measured_joules(), frozen);
+}
+
 TEST(OnlineMonitorTest, NoiseDoesNotBiasIntegration) {
   Rig rig;
   OnlineMonitorConfig config;
