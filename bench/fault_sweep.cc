@@ -17,6 +17,7 @@
 #include "bench/bench_util.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/fault_scenario.h"
+#include "src/trace/trace_artifact.h"
 #include "src/util/check.h"
 #include "src/util/table.h"
 
@@ -131,5 +132,32 @@ ODBENCH_EXPERIMENT(fault_sweep,
       "Expected shape: every rung stays live; the outage rungs clamp to\n"
       "fidelity 0 and recover by scenario end; degraded/failed counts grow\n"
       "with severity while energy stays bounded (no retry storms).\n");
+
+  if (ctx.trace_enabled()) {
+    // Power-profile signatures: the clean baseline and the harshest
+    // single-fault rung (or the custom plan), re-run deterministically at
+    // the base seed.  An outage's radio-down / retransmission-recovery
+    // shape is exactly what a scalar mean averages away.
+    const uint64_t seed = ctx.options().seed > 0 ? ctx.options().seed : 42000;
+    odtrace::TraceArtifact traces;
+    for (const Rung& rung : rungs) {
+      const std::string label = rung.label;
+      if (label != "clean" && label != "link outage" && label != "custom") {
+        continue;
+      }
+      odfault::FaultPlan plan;
+      std::string error;
+      OD_CHECK_MSG(odfault::FaultPlan::Parse(rung.spec, &plan, &error),
+                   error.c_str());
+      odfault::FaultScenarioOptions options;
+      options.seed = seed;
+      options.plan = plan;
+      options.duration = odsim::SimDuration::Seconds(120);
+      options.trace = true;
+      odfault::FaultScenarioResult result = RunFaultScenario(options);
+      traces.Add(label, seed, *result.trace);
+    }
+    odtrace::AttachTraceArtifact(ctx, std::move(traces));
+  }
   return worst;
 }

@@ -4,10 +4,12 @@
 // are cross-trial means as well.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/apps/calibration.h"
 #include "src/apps/experiments.h"
+#include "src/trace/trace_artifact.h"
 
 using odapps::RunVideoExperiment;
 using odapps::StandardVideoClips;
@@ -79,5 +81,22 @@ ODBENCH_EXPERIMENT(fig06_video,
   std::printf(
       "Paper: HW-only PM saves 9-10%%; Premiere-C 16-17%%, reduced window\n"
       "19-20%%, combined 28-30%% below HW-only (~35%% below baseline).\n");
+
+  if (ctx.trace_enabled()) {
+    // Power-profile signatures: deterministic single-trial re-runs of the
+    // two extreme bars on the first clip, at the base seed.  Every trial is
+    // an independent TestBed at a fixed seed, so the traced re-run is
+    // bit-identical to trial 0 of the scalar sets above.
+    const uint64_t seed = ctx.options().seed > 0 ? ctx.options().seed : 1000;
+    const odapps::VideoClip& clip = StandardVideoClips()[0];
+    odtrace::TraceArtifact traces;
+    for (const Bar& bar : {kBars[0], kBars[5]}) {
+      odapps::TestBed::Measurement m =
+          RunVideoExperiment(clip, bar.track, bar.window, bar.hw_pm, seed,
+                             /*trace=*/true);
+      traces.Add(std::string(clip.name) + "/" + bar.label, seed, *m.trace);
+    }
+    odtrace::AttachTraceArtifact(ctx, std::move(traces));
+  }
   return 0;
 }

@@ -3,9 +3,11 @@
 // columns are cross-trial means.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/apps/experiments.h"
+#include "src/trace/trace_artifact.h"
 
 using odapps::RunWebExperiment;
 using odapps::StandardWebImages;
@@ -73,5 +75,20 @@ ODBENCH_EXPERIMENT(fig13_web,
       "Paper: HW-only PM saves 22-26%% (mostly during think time); even JPEG-5\n"
       "distillation saves merely 4-14%% more — fidelity reduction is\n"
       "disappointing for this workload.\n");
+
+  if (ctx.trace_enabled()) {
+    // Power-profile signatures: the undistilled baseline and the deepest
+    // distillation on the first image, re-run deterministically at the
+    // base seed (bit-identical to trial 0 of the scalar sets above).
+    const uint64_t seed = ctx.options().seed > 0 ? ctx.options().seed : 5000;
+    const odapps::WebImage& image = StandardWebImages()[0];
+    odtrace::TraceArtifact traces;
+    for (const Bar& bar : {kBars[0], kBars[4]}) {
+      odapps::TestBed::Measurement m = RunWebExperiment(
+          image, bar.fidelity, 5.0, bar.hw_pm, seed, /*trace=*/true);
+      traces.Add(std::string(image.name) + "/" + bar.label, seed, *m.trace);
+    }
+    odtrace::AttachTraceArtifact(ctx, std::move(traces));
+  }
   return 0;
 }

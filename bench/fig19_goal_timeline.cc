@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
+#include "src/trace/trace_artifact.h"
 #include "src/util/csv.h"
 #include "src/util/table.h"
 
@@ -19,11 +20,15 @@ using namespace odapps;
 namespace {
 
 void PrintRun(odharness::RunContext& ctx, double goal_seconds,
-              const odfault::FaultPlan& plan) {
+              const odfault::FaultPlan& plan,
+              odtrace::TraceArtifact* traces) {
   GoalScenarioOptions options;
   options.goal = odsim::SimDuration::Seconds(goal_seconds);
   options.seed = 19;
   options.fault_plan = plan;
+  // The recorder observes draws passively, so the traced run is
+  // bit-identical to the untraced one — same artifact either way.
+  options.trace = traces != nullptr;
   GoalScenarioResult result = RunGoalScenario(options);
 
   const std::string goal_label =
@@ -61,6 +66,9 @@ void PrintRun(odharness::RunContext& ctx, double goal_seconds,
         result.estimated_residual_joules;
   }
   ctx.Record(goal_label, options.seed, std::move(sample));
+  if (traces != nullptr) {
+    traces->Add(goal_label, options.seed, *result.trace);
+  }
 
   std::printf("--- Goal: %.0f minutes (initial supply %.0f J) ---\n",
               goal_seconds / 60.0, options.initial_joules);
@@ -119,7 +127,12 @@ ODBENCH_EXPERIMENT(fig19_goal_timeline,
     std::printf("Disturbance plan: %s\n", plan.ToString().c_str());
   }
   std::printf("\n");
-  PrintRun(ctx, 1200.0, plan);
-  PrintRun(ctx, 1560.0, plan);
+  odtrace::TraceArtifact traces;
+  odtrace::TraceArtifact* traces_ptr = ctx.trace_enabled() ? &traces : nullptr;
+  PrintRun(ctx, 1200.0, plan, traces_ptr);
+  PrintRun(ctx, 1560.0, plan, traces_ptr);
+  if (traces_ptr != nullptr) {
+    odtrace::AttachTraceArtifact(ctx, std::move(traces));
+  }
   return 0;
 }

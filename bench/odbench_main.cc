@@ -24,6 +24,13 @@
 //       key).  Exit 0: identical measurements; 1: numeric drift, all
 //       within |a-b| <= atol + rtol*max(|a|,|b|); 2: out-of-tolerance or
 //       structural changes; 64: usage; 66: unreadable artifact.
+//   odbench diff --traces <a.trace.json> <b.trace.json>
+//           [--rtol R] [--atol A] [--max-shift S]
+//       Shape-level comparison of two power-trace documents (written by
+//       `run --trace`): step functions are walked along merged segment
+//       boundaries; divergent windows no longer than --max-shift seconds
+//       count as drift (boundary jitter), longer ones as regression.  Same
+//       exit codes as the scalar diff.
 
 #include <cstdio>
 #include <filesystem>
@@ -37,6 +44,7 @@
 #include "src/harness/flags.h"
 #include "src/harness/registry.h"
 #include "src/harness/scheduler.h"
+#include "src/trace/trace_diff.h"
 
 namespace {
 
@@ -46,9 +54,12 @@ int Usage(const char* prog) {
                "       %s run <name|all> [--trials N] [--seed S] [--jobs J]"
                " [--out DIR]\n"
                "           [--compact] [--experiment-timeout SECONDS]"
-               " [--fault-plan SPEC]\n"
-               "       %s diff <a.json> <b.json> [--rtol R] [--atol A]\n",
-               prog, prog, prog);
+               " [--fault-plan SPEC] [--trace]\n"
+               "       %s diff <a.json> <b.json> [--rtol R] [--atol A]\n"
+               "       %s diff --traces <a.trace.json> <b.trace.json>"
+               " [--rtol R] [--atol A]\n"
+               "           [--max-shift SECONDS]\n",
+               prog, prog, prog, prog);
   return 64;
 }
 
@@ -66,7 +77,61 @@ int List() {
   return 0;
 }
 
+int DiffTraces(const odharness::Flags& flags, const char* prog) {
+  const auto& positional = flags.positional();
+  // The flag grammar binds a bare word right after `--traces` as its
+  // value, so `diff --traces a.json b.json` parses as traces=a.json with
+  // one positional path; accept that form alongside the trailing-switch
+  // spelling `diff a.json b.json --traces`.
+  std::vector<std::string> paths(positional.begin() + 1, positional.end());
+  const std::string bound = flags.GetString("traces", "");
+  if (!bound.empty()) {
+    paths.insert(paths.begin(), bound);
+  }
+  std::string error;
+  const bool flags_ok =
+      flags.Validate({"rtol", "atol", "max-shift", "traces"}, {}, &error) ||
+      flags.Validate({"rtol", "atol", "max-shift"}, {"traces"}, &error);
+  if (paths.size() != 2 || !flags_ok) {
+    if (!flags_ok && !error.empty()) {
+      std::fprintf(stderr, "odbench: %s\n", error.c_str());
+    }
+    return Usage(prog);
+  }
+  odtrace::TraceDiffOptions options;
+  options.rtol = flags.GetDouble("rtol", 0.0);
+  options.atol = flags.GetDouble("atol", 0.0);
+  const double max_shift_seconds = flags.GetDouble("max-shift", 0.0);
+  if (max_shift_seconds < 0) {
+    std::fprintf(stderr, "odbench: --max-shift must be >= 0\n");
+    return Usage(prog);
+  }
+  options.max_shift_us = static_cast<int64_t>(max_shift_seconds * 1e6);
+
+  auto read = [](const std::string& path)
+      -> std::optional<odtrace::TraceArtifact> {
+    auto artifact = odtrace::TraceArtifact::ReadFile(path);
+    if (!artifact.has_value()) {
+      std::fprintf(stderr, "odbench: cannot read trace artifact %s\n",
+                   path.c_str());
+    }
+    return artifact;
+  };
+  auto a = read(paths[0]);
+  auto b = read(paths[1]);
+  if (!a.has_value() || !b.has_value()) {
+    return 66;  // EX_NOINPUT
+  }
+
+  odtrace::TraceDiff diff = odtrace::DiffTraceArtifacts(*a, *b, options);
+  odtrace::PrintTraceDiff(diff, stdout);
+  return diff.ExitCode();
+}
+
 int Diff(const odharness::Flags& flags, const char* prog) {
+  if (flags.Has("traces")) {
+    return DiffTraces(flags, prog);
+  }
   const auto& positional = flags.positional();
   std::string error;
   if (positional.size() != 3 || !flags.Validate({"rtol", "atol"}, {}, &error)) {
@@ -131,7 +196,7 @@ int Main(int argc, char** argv) {
   if (!flags.Validate(
           {"trials", "seed", "jobs", "out", "experiment-timeout",
            "fault-plan"},
-          {"compact"}, &error)) {
+          {"compact", "trace"}, &error)) {
     std::fprintf(stderr, "odbench: %s\n", error.c_str());
     return Usage(argv[0]);
   }
@@ -142,6 +207,7 @@ int Main(int argc, char** argv) {
   options.jobs = flags.GetInt("jobs", 1);
   options.out_dir = flags.GetString("out", "artifacts");
   options.compact_artifacts = flags.Has("compact");
+  options.trace = flags.Has("trace");
   options.experiment_timeout_seconds =
       flags.GetDouble("experiment-timeout", 0.0);
   if (options.experiment_timeout_seconds < 0) {

@@ -14,8 +14,9 @@ void Settle(TestBed& bed) {
 
 TestBed::Measurement RunVideoExperiment(const VideoClip& clip, VideoTrack track,
                                         double window_scale, bool hw_pm,
-                                        uint64_t seed) {
-  TestBed bed(TestBed::Options{.seed = seed, .hw_pm = hw_pm, .link = {}});
+                                        uint64_t seed, bool trace) {
+  TestBed bed(TestBed::Options{
+      .seed = seed, .hw_pm = hw_pm, .link = {}, .trace = trace});
   bed.video().SetConfigOverride(VideoPlayer::Config{track, window_scale});
   Settle(bed);
   return bed.Measure([&](odsim::EventFn done) {
@@ -49,8 +50,9 @@ TestBed::Measurement RunMapExperiment(const MapObject& map, MapFidelity fidelity
 
 TestBed::Measurement RunWebExperiment(const WebImage& image, WebFidelity fidelity,
                                       double think_seconds, bool hw_pm,
-                                      uint64_t seed) {
-  TestBed bed(TestBed::Options{.seed = seed, .hw_pm = hw_pm, .link = {}});
+                                      uint64_t seed, bool trace) {
+  TestBed bed(TestBed::Options{
+      .seed = seed, .hw_pm = hw_pm, .link = {}, .trace = trace});
   bed.web().SetFidelity(static_cast<int>(fidelity));
   bed.web().set_think_seconds(think_seconds);
   Settle(bed);

@@ -24,9 +24,12 @@ void Settle(TestBed& bed);
 
 // -- Section 3.3: video ------------------------------------------------------
 
+// `trace` records the measured window's per-component power timeline into
+// Measurement::trace (see TestBed::Options::trace); the energy numbers are
+// bit-identical either way.
 TestBed::Measurement RunVideoExperiment(const VideoClip& clip, VideoTrack track,
                                         double window_scale, bool hw_pm,
-                                        uint64_t seed);
+                                        uint64_t seed, bool trace = false);
 
 // -- Section 3.4: speech -----------------------------------------------------
 
@@ -44,7 +47,7 @@ TestBed::Measurement RunMapExperiment(const MapObject& map, MapFidelity fidelity
 
 TestBed::Measurement RunWebExperiment(const WebImage& image, WebFidelity fidelity,
                                       double think_seconds, bool hw_pm,
-                                      uint64_t seed);
+                                      uint64_t seed, bool trace = false);
 
 // -- Section 3.7: concurrency ------------------------------------------------
 

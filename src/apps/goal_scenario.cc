@@ -15,7 +15,8 @@
 namespace odapps {
 
 GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
-  TestBed bed(TestBed::Options{.seed = options.seed, .hw_pm = true, .link = {}});
+  TestBed bed(TestBed::Options{
+      .seed = options.seed, .hw_pm = true, .link = {}, .trace = options.trace});
   if (options.invert_priorities) {
     bed.speech().set_priority(3);
     bed.video().set_priority(2);
@@ -53,6 +54,9 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
 
   odsim::SimTime start = bed.sim().Now();
   bed.laptop().accounting().Reset(start);
+  if (bed.tracer() != nullptr) {
+    bed.tracer()->Restart(start);
+  }
   odpower::EnergySupply supply(&bed.laptop().accounting(), options.initial_joules);
   std::unique_ptr<odscope::PowerMonitor> monitor;
   odenergy::GoalDirectorConfig director_config = options.director;
@@ -168,6 +172,11 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
   result.invalid_samples = director.invalid_samples();
   result.telemetry_gaps = director.telemetry_gaps();
   result.outage_clamps = bed.viceroy().outage_clamps();
+  result.accounted_joules = bed.laptop().accounting().TotalJoules(end);
+  if (bed.tracer() != nullptr) {
+    result.trace = std::make_shared<const odtrace::PowerTrace>(
+        bed.tracer()->Snapshot(end));
+  }
   return result;
 }
 

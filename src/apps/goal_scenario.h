@@ -78,6 +78,12 @@ struct GoalScenarioOptions {
   // Safety valve for infeasible configurations: the simulation aborts at
   // goal + this slack if neither completion condition fires.
   odsim::SimDuration max_overrun = odsim::SimDuration::Seconds(600);
+
+  // Record the run's per-component power timeline (see
+  // TestBed::Options::trace); returned in GoalScenarioResult::trace.  The
+  // recorder observes draws passively — results are bit-identical either
+  // way.
+  bool trace = false;
 };
 
 struct GoalScenarioResult {
@@ -109,6 +115,14 @@ struct GoalScenarioResult {
   int invalid_samples = 0;
   int telemetry_gaps = 0;
   int outage_clamps = 0;
+
+  // Per-component power timeline over [scenario start, end]; set only when
+  // GoalScenarioOptions::trace was enabled.
+  std::shared_ptr<const odtrace::PowerTrace> trace;
+  // Ground-truth energy drawn over the same window, from the analytic
+  // accounting (the trace integral must reproduce it; residual_joules
+  // additionally reflects the supply model).
+  double accounted_joules = 0.0;
 };
 
 GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options);

@@ -30,6 +30,11 @@ TestBed::TestBed(const Options& options) : rng_(options.seed) {
   web_ = std::make_unique<WebBrowser>(viceroy_.get(), arbiter_.get(), &rng_, 3);
 
   SetHardwarePm(options.hw_pm);
+
+  if (options.trace) {
+    tracer_ = std::make_unique<odscope::TraceRecorder>(&laptop_->machine(),
+                                                       sim_->Now());
+  }
 }
 
 TestBed::~TestBed() = default;
@@ -57,6 +62,9 @@ TestBed::Measurement TestBed::Measure(
     const std::function<void(odsim::EventFn done)>& body) {
   odsim::SimTime start = sim_->Now();
   laptop_->accounting().Reset(start);
+  if (tracer_ != nullptr) {
+    tracer_->Restart(start);
+  }
 
   bool finished = false;
   body([this, &finished] {
@@ -71,6 +79,9 @@ TestBed::Measurement TestBed::Measure(
 TestBed::Measurement TestBed::MeasureFor(odsim::SimDuration duration) {
   odsim::SimTime start = sim_->Now();
   laptop_->accounting().Reset(start);
+  if (tracer_ != nullptr) {
+    tracer_->Restart(start);
+  }
   sim_->RunUntil(start + duration);
   return Collect(start);
 }
@@ -104,6 +115,11 @@ TestBed::Measurement TestBed::Collect(odsim::SimTime start) {
     stats.completed_requests = service->completed_requests();
     stats.wait_p50_seconds = service->WaitPercentileSeconds(50.0);
     stats.wait_p95_seconds = service->WaitPercentileSeconds(95.0);
+  }
+
+  if (tracer_ != nullptr) {
+    m.trace =
+        std::make_shared<const odtrace::PowerTrace>(tracer_->Snapshot(now));
   }
   return m;
 }

@@ -20,7 +20,9 @@
 #include "src/net/link.h"
 #include "src/odyssey/viceroy.h"
 #include "src/power/thinkpad560x.h"
+#include "src/powerscope/trace_recorder.h"
 #include "src/sim/simulator.h"
+#include "src/trace/power_trace.h"
 #include "src/util/rng.h"
 
 namespace odapps {
@@ -42,6 +44,11 @@ class TestBed {
     // event-for-event identical to a private server, so a fleet of one
     // wired this way reproduces the single-client goldens.
     odyssey::Viceroy::ServiceProviderFn services;
+    // Record per-component power traces: attaches an odscope::TraceRecorder
+    // to the machine, and every Measure()/MeasureFor() returns its window's
+    // trace alongside the scalar breakdowns.  The recorder observes draws
+    // passively — energy numbers are bit-identical with tracing off.
+    bool trace = false;
   };
 
   explicit TestBed(const Options& options);
@@ -62,6 +69,9 @@ class TestBed {
   SpeechRecognizer& speech() { return *speech_; }
   WebBrowser& web() { return *web_; }
   MapViewer& map() { return *map_; }
+
+  // The power-trace recorder, or null when Options::trace was off.
+  odscope::TraceRecorder* tracer() { return tracer_.get(); }
 
   // Enables/disables hardware power management (disk spin-down, network
   // standby, display off when no visual app is active).
@@ -90,6 +100,9 @@ class TestBed {
       double wait_p95_seconds = 0.0;
     };
     std::map<std::string, ServerStats> by_server;
+    // Per-component power timeline over the measured window; set only when
+    // Options::trace was enabled (shared so Measurement stays copyable).
+    std::shared_ptr<const odtrace::PowerTrace> trace;
 
     double average_watts() const { return seconds > 0.0 ? joules / seconds : 0.0; }
     double Component(const std::string& name) const;
@@ -117,6 +130,7 @@ class TestBed {
   std::unique_ptr<SpeechRecognizer> speech_;
   std::unique_ptr<WebBrowser> web_;
   std::unique_ptr<MapViewer> map_;
+  std::unique_ptr<odscope::TraceRecorder> tracer_;
 };
 
 }  // namespace odapps

@@ -23,8 +23,8 @@ int WardenFailures(odyssey::Viceroy& viceroy, const char* data_type) {
 }  // namespace
 
 FaultScenarioResult RunFaultScenario(const FaultScenarioOptions& options) {
-  odapps::TestBed bed(
-      odapps::TestBed::Options{.seed = options.seed, .hw_pm = true, .link = {}});
+  odapps::TestBed bed(odapps::TestBed::Options{
+      .seed = options.seed, .hw_pm = true, .link = {}, .trace = options.trace});
 
   // Bounded retransmission and a per-call deadline: the liveness half of
   // graceful degradation.  Without the deadline an outage would park every
@@ -160,6 +160,7 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioOptions& options) {
   result.completed = result.pages_browsed > 0 && result.maps_viewed > 0 &&
                      result.utterances_recognized > 0 &&
                      result.chunks_played > 0;
+  result.trace = m.trace;
   return result;
 }
 

@@ -14,9 +14,11 @@
 #define SRC_FAULT_FAULT_SCENARIO_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/fault/fault_plan.h"
 #include "src/sim/time.h"
+#include "src/trace/power_trace.h"
 
 namespace odfault {
 
@@ -36,6 +38,10 @@ struct FaultScenarioOptions {
   // Think time between pages/maps; short so the loops exercise the network
   // often enough to meet faults.
   double think_seconds = 2.0;
+
+  // Record the run's per-component power timeline (see
+  // TestBed::Options::trace); returned in FaultScenarioResult::trace.
+  bool trace = false;
 };
 
 struct FaultScenarioResult {
@@ -78,6 +84,10 @@ struct FaultScenarioResult {
   // The scenario ran to its full duration with every loop having made
   // progress — the liveness property fault plans must not break.
   bool completed = false;
+
+  // Per-component power timeline over the measured window; set only when
+  // FaultScenarioOptions::trace was enabled.
+  std::shared_ptr<const odtrace::PowerTrace> trace;
 };
 
 FaultScenarioResult RunFaultScenario(const FaultScenarioOptions& options);

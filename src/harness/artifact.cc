@@ -61,6 +61,75 @@ const std::vector<std::pair<std::string, double>>& ProvenanceCalibration() {
 
 std::string BuildGitRevision() { return ODHARNESS_GIT_REVISION; }
 
+JsonValue ProvenanceToJson(const Provenance& provenance) {
+  JsonValue prov = JsonValue::MakeObject();
+  prov.Set("git_revision", provenance.git_revision);
+  JsonValue seed_policy = JsonValue::MakeObject();
+  seed_policy.Set("trials_override", provenance.trials_override);
+  seed_policy.Set("seed_override", provenance.seed_override);
+  prov.Set("seed_policy", std::move(seed_policy));
+  if (!provenance.fault_plan.empty()) {
+    prov.Set("fault_plan", provenance.fault_plan);
+  }
+  JsonValue calibration = JsonValue::MakeObject();
+  for (const auto& [key, value] : provenance.calibration) {
+    calibration.Set(key, value);
+  }
+  prov.Set("calibration", std::move(calibration));
+  return prov;
+}
+
+Provenance ProvenanceFromJson(const JsonValue* json) {
+  Provenance provenance;
+  if (json == nullptr || !json->is_object()) {
+    return provenance;
+  }
+  if (const JsonValue* rev = json->Find("git_revision")) {
+    provenance.git_revision = rev->AsString();
+  }
+  if (const JsonValue* seed_policy = json->Find("seed_policy")) {
+    provenance.trials_override =
+        static_cast<int>(seed_policy->DoubleAt("trials_override"));
+    provenance.seed_override =
+        static_cast<uint64_t>(seed_policy->DoubleAt("seed_override"));
+  }
+  if (const JsonValue* fault_plan = json->Find("fault_plan")) {
+    provenance.fault_plan = fault_plan->AsString();
+  }
+  if (const JsonValue* calibration = json->Find("calibration")) {
+    for (const auto& [key, value] : calibration->object()) {
+      provenance.calibration.emplace_back(key, value.AsDouble());
+    }
+  }
+  return provenance;
+}
+
+bool WriteJsonFile(const std::string& path, const JsonValue& json,
+                   bool compact) {
+  // Write-then-rename: a child killed mid-write (run-all schedules each
+  // experiment in its own process) must never leave a truncated document
+  // that a later diff or replay would consume as truth.
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+        std::fopen(tmp.c_str(), "w"), &std::fclose);
+    if (file == nullptr) {
+      return false;
+    }
+    const std::string text = json.Dump(/*indent=*/compact ? 0 : 2);
+    if (std::fwrite(text.data(), 1, text.size(), file.get()) != text.size() ||
+        std::fflush(file.get()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 void RunArtifact::AddSet(std::string label, TrialSet set) {
   sets.push_back(LabeledSet{std::move(label), std::move(set)});
 }
@@ -100,21 +169,7 @@ JsonValue RunArtifact::ToJson() const {
   root.Set("experiment", experiment);
   root.Set("exit_code", exit_code);
 
-  JsonValue prov = JsonValue::MakeObject();
-  prov.Set("git_revision", provenance.git_revision);
-  JsonValue seed_policy = JsonValue::MakeObject();
-  seed_policy.Set("trials_override", provenance.trials_override);
-  seed_policy.Set("seed_override", provenance.seed_override);
-  prov.Set("seed_policy", std::move(seed_policy));
-  if (!provenance.fault_plan.empty()) {
-    prov.Set("fault_plan", provenance.fault_plan);
-  }
-  JsonValue calibration = JsonValue::MakeObject();
-  for (const auto& [key, value] : provenance.calibration) {
-    calibration.Set(key, value);
-  }
-  prov.Set("calibration", std::move(calibration));
-  root.Set("provenance", std::move(prov));
+  root.Set("provenance", ProvenanceToJson(provenance));
 
   JsonValue sets_json = JsonValue::MakeArray();
   for (const LabeledSet& labeled : sets) {
@@ -175,29 +230,14 @@ std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
   artifact.experiment = name->AsString();
   artifact.exit_code = static_cast<int>(json.DoubleAt("exit_code"));
 
-  // v2 documents predate provenance; leave the defaults in place.
+  // v2 documents predate provenance; ProvenanceFromJson leaves the
+  // defaults in place for an absent block.
   if (const JsonValue* prov = json.Find("provenance")) {
     if (!prov->is_object()) {
       return std::nullopt;
     }
-    if (const JsonValue* rev = prov->Find("git_revision")) {
-      artifact.provenance.git_revision = rev->AsString();
-    }
-    if (const JsonValue* seed_policy = prov->Find("seed_policy")) {
-      artifact.provenance.trials_override =
-          static_cast<int>(seed_policy->DoubleAt("trials_override"));
-      artifact.provenance.seed_override =
-          static_cast<uint64_t>(seed_policy->DoubleAt("seed_override"));
-    }
-    if (const JsonValue* fault_plan = prov->Find("fault_plan")) {
-      artifact.provenance.fault_plan = fault_plan->AsString();
-    }
-    if (const JsonValue* calibration = prov->Find("calibration")) {
-      for (const auto& [key, value] : calibration->object()) {
-        artifact.provenance.calibration.emplace_back(key, value.AsDouble());
-      }
-    }
   }
+  artifact.provenance = ProvenanceFromJson(json.Find("provenance"));
 
   if (const JsonValue* sets = json.Find("sets")) {
     if (!sets->is_array()) {
@@ -241,28 +281,7 @@ std::optional<RunArtifact> RunArtifact::FromJson(const JsonValue& json) {
 }
 
 bool RunArtifact::WriteFile(const std::string& path, bool compact) const {
-  // Write-then-rename: a child killed mid-write (run-all schedules each
-  // experiment in its own process) must never leave a truncated artifact
-  // that a later diff or replay would consume as truth.
-  const std::string tmp = path + ".tmp";
-  {
-    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-        std::fopen(tmp.c_str(), "w"), &std::fclose);
-    if (file == nullptr) {
-      return false;
-    }
-    const std::string text = ToJson().Dump(/*indent=*/compact ? 0 : 2);
-    if (std::fwrite(text.data(), 1, text.size(), file.get()) != text.size() ||
-        std::fflush(file.get()) != 0) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return WriteJsonFile(path, ToJson(), compact);
 }
 
 std::optional<RunArtifact> RunArtifact::ReadFile(const std::string& path) {

@@ -90,6 +90,20 @@ const std::vector<std::pair<std::string, double>>& ProvenanceCalibration();
 // "unknown" outside a git checkout.
 std::string BuildGitRevision();
 
+// Provenance <-> JSON, shared by every schema-v3 document kind (the scalar
+// RunArtifact and the odtrace power-trace artifact stamp the same block so
+// one diff hint path serves both).  FromJson tolerates a null/absent block
+// (v2 compatibility): it returns a default-constructed Provenance.
+JsonValue ProvenanceToJson(const Provenance& provenance);
+Provenance ProvenanceFromJson(const JsonValue* json);
+
+// Serializes `json` to `path` via a temp file + rename, so a crashed or
+// killed writer never leaves a truncated document for a later diff or
+// replay to consume.  Pretty-printed by default; `compact` emits a single
+// line.  Returns false on I/O failure.
+bool WriteJsonFile(const std::string& path, const JsonValue& json,
+                   bool compact = false);
+
 struct RunArtifact {
   static constexpr int kSchemaVersion = 3;
   // Oldest schema FromJson still accepts; v2 documents predate provenance

@@ -99,45 +99,8 @@ class DiffBuilder {
 
 void DiffProvenance(const Provenance& a, const Provenance& b,
                     DiffBuilder& builder) {
-  if (a.git_revision != b.git_revision) {
-    builder.Hint("git_revision: " + a.git_revision + " vs " + b.git_revision);
-  }
-  if (a.trials_override != b.trials_override) {
-    builder.Hint("seed_policy.trials_override: " +
-                 std::to_string(a.trials_override) + " vs " +
-                 std::to_string(b.trials_override));
-  }
-  if (a.seed_override != b.seed_override) {
-    builder.Hint("seed_policy.seed_override: " +
-                 std::to_string(a.seed_override) + " vs " +
-                 std::to_string(b.seed_override));
-  }
-  if (a.fault_plan != b.fault_plan) {
-    auto shown = [](const std::string& plan) {
-      return plan.empty() ? std::string("(none)") : plan;
-    };
-    builder.Hint("fault_plan: " + shown(a.fault_plan) + " vs " +
-                 shown(b.fault_plan));
-  }
-  std::map<std::string, double> b_calibration(b.calibration.begin(),
-                                              b.calibration.end());
-  std::set<std::string> seen;
-  for (const auto& [key, value] : a.calibration) {
-    seen.insert(key);
-    auto it = b_calibration.find(key);
-    if (it == b_calibration.end()) {
-      builder.Hint("calibration." + key + ": only in first (" +
-                   FormatValue(value) + ")");
-    } else if (!SameValue(value, it->second)) {
-      builder.Hint("calibration." + key + ": " + FormatValue(value) + " vs " +
-                   FormatValue(it->second));
-    }
-  }
-  for (const auto& [key, value] : b_calibration) {
-    if (seen.find(key) == seen.end()) {
-      builder.Hint("calibration." + key + ": only in second (" +
-                   FormatValue(value) + ")");
-    }
+  for (std::string& hint : ProvenanceHints(a, b)) {
+    builder.Hint(std::move(hint));
   }
 }
 
@@ -168,6 +131,53 @@ void DiffSet(const std::string& path, const TrialSet& a, const TrialSet& b,
 }
 
 }  // namespace
+
+std::vector<std::string> ProvenanceHints(const Provenance& a,
+                                         const Provenance& b) {
+  std::vector<std::string> hints;
+  if (a.git_revision != b.git_revision) {
+    hints.push_back("git_revision: " + a.git_revision + " vs " +
+                    b.git_revision);
+  }
+  if (a.trials_override != b.trials_override) {
+    hints.push_back("seed_policy.trials_override: " +
+                    std::to_string(a.trials_override) + " vs " +
+                    std::to_string(b.trials_override));
+  }
+  if (a.seed_override != b.seed_override) {
+    hints.push_back("seed_policy.seed_override: " +
+                    std::to_string(a.seed_override) + " vs " +
+                    std::to_string(b.seed_override));
+  }
+  if (a.fault_plan != b.fault_plan) {
+    auto shown = [](const std::string& plan) {
+      return plan.empty() ? std::string("(none)") : plan;
+    };
+    hints.push_back("fault_plan: " + shown(a.fault_plan) + " vs " +
+                    shown(b.fault_plan));
+  }
+  std::map<std::string, double> b_calibration(b.calibration.begin(),
+                                              b.calibration.end());
+  std::set<std::string> seen;
+  for (const auto& [key, value] : a.calibration) {
+    seen.insert(key);
+    auto it = b_calibration.find(key);
+    if (it == b_calibration.end()) {
+      hints.push_back("calibration." + key + ": only in first (" +
+                      FormatValue(value) + ")");
+    } else if (!SameValue(value, it->second)) {
+      hints.push_back("calibration." + key + ": " + FormatValue(value) +
+                      " vs " + FormatValue(it->second));
+    }
+  }
+  for (const auto& [key, value] : b_calibration) {
+    if (seen.find(key) == seen.end()) {
+      hints.push_back("calibration." + key + ": only in second (" +
+                      FormatValue(value) + ")");
+    }
+  }
+  return hints;
+}
 
 bool WithinTolerance(double x, double y, const DiffOptions& options) {
   if (SameValue(x, y)) {

@@ -41,6 +41,13 @@ struct DiffOptions {
 // True when x and y are equal under the diff's tolerance rule.
 bool WithinTolerance(double x, double y, const DiffOptions& options);
 
+// Human-readable descriptions of every provenance difference between `a`
+// and `b` (empty when the blocks match).  Shared by the scalar diff and the
+// trace diff (src/trace/trace_diff.h) so both report provenance drift the
+// same way — always as information, never as a verdict.
+std::vector<std::string> ProvenanceHints(const Provenance& a,
+                                         const Provenance& b);
+
 struct ArtifactDiff {
   enum class Severity { kIdentical = 0, kDrift = 1, kRegression = 2 };
 

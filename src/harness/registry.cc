@@ -45,6 +45,17 @@ void RunContext::Note(const std::string& key, double value) {
   artifact_.AddNote(key, value);
 }
 
+void RunContext::AddAuxDocument(std::string filename, JsonValue document) {
+  OD_CHECK(!filename.empty());
+  for (auto& [name, doc] : aux_documents_) {
+    if (name == filename) {
+      doc = std::move(document);
+      return;
+    }
+  }
+  aux_documents_.emplace_back(std::move(filename), std::move(document));
+}
+
 ExperimentRegistry& ExperimentRegistry::Instance() {
   static ExperimentRegistry* registry = new ExperimentRegistry();
   return *registry;

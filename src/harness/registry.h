@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/harness/artifact.h"
@@ -44,6 +45,10 @@ struct RunOptions {
   // as rc 124 in the registry-order replay, and its jobserver tokens are
   // reclaimed.  Serial runs are not killed (there is no child to kill).
   double experiment_timeout_seconds = 0.0;
+  // Record per-component power traces for the experiment's signature
+  // scenarios (see src/trace).  Trace-aware experiments attach a
+  // "<name>.trace.json" aux document; scalar artifacts are byte-unchanged.
+  bool trace = false;
 };
 
 class RunContext {
@@ -72,11 +77,28 @@ class RunContext {
 
   RunArtifact& artifact() { return artifact_; }
 
+  // Whether the run asked for power traces (--trace).  Experiments that
+  // support tracing consult this and attach their trace document via
+  // AddAuxDocument; experiments that don't simply ignore it.
+  bool trace_enabled() const { return options_.trace; }
+
+  // Registers an auxiliary JSON document the runner writes to out_dir
+  // next to the scalar artifact (same atomic write, same --compact
+  // honoring).  `filename` is relative to out_dir; a repeated filename
+  // replaces the earlier document.  The harness stays ignorant of the
+  // document's schema — the odtrace layer builds trace documents this way
+  // without the harness depending on it.
+  void AddAuxDocument(std::string filename, JsonValue document);
+  const std::vector<std::pair<std::string, JsonValue>>& aux_documents() const {
+    return aux_documents_;
+  }
+
  private:
   std::string name_;
   RunOptions options_;
   TrialRunner runner_;
   RunArtifact artifact_;
+  std::vector<std::pair<std::string, JsonValue>> aux_documents_;
 };
 
 struct Experiment {

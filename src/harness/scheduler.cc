@@ -69,6 +69,18 @@ int RunExperiment(const Experiment& experiment, const RunOptions& options) {
       std::fprintf(stderr, "odbench: could not write %s\n", path.c_str());
       rc = std::max(rc, 74);  // EX_IOERR: a missing artifact must fail CI.
     }
+    // Auxiliary documents (power traces) land next to the scalar artifact
+    // under the same atomic-write and must-exist-for-CI rules.
+    for (const auto& [filename, document] : ctx.aux_documents()) {
+      const std::string aux_path = options.out_dir + "/" + filename;
+      if (WriteJsonFile(aux_path, document, options.compact_artifacts)) {
+        std::printf(" %s", aux_path.c_str());
+      } else {
+        std::fprintf(stderr, "odbench: could not write %s\n",
+                     aux_path.c_str());
+        rc = std::max(rc, 74);
+      }
+    }
   }
   std::printf(" ---\n\n");
   return rc;

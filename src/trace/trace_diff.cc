@@ -1,0 +1,277 @@
+#include "src/trace/trace_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace odtrace {
+
+namespace {
+
+using Severity = TraceDiff::Severity;
+
+bool SameValue(double x, double y) {
+  return x == y || (std::isnan(x) && std::isnan(y));
+}
+
+std::string FormatWatts(double watts) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", watts);
+  return buf;
+}
+
+std::string FormatSeconds(int64_t us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", static_cast<double>(us) * 1e-6);
+  return buf;
+}
+
+class TraceDiffBuilder {
+ public:
+  explicit TraceDiffBuilder(const TraceDiffOptions& options)
+      : options_(options) {}
+
+  void Structural(std::string path, std::string detail) {
+    diff_.structural.push_back(
+        TraceDiff::Structural{std::move(path), std::move(detail)});
+    Raise(Severity::kRegression);
+  }
+
+  void Tolerated() {
+    ++diff_.tolerated_intervals;
+    Raise(Severity::kDrift);
+  }
+
+  // Walks two step functions along their merged boundaries over the common
+  // window [0, end_us) (times relative to each trace's start) and records
+  // the divergence summary for this component, if any.
+  void CompareComponent(const std::string& path,
+                        const std::vector<TraceSegment>& a, int64_t a_start,
+                        const std::vector<TraceSegment>& b, int64_t b_start,
+                        int64_t end_us, int64_t report_base_us) {
+    const odharness::DiffOptions watt_band{options_.rtol, options_.atol};
+
+    TraceDiff::Divergence divergence;
+    divergence.path = path;
+    divergence.within_shift = true;
+    bool window_open = false;
+    int64_t window_begin = 0;
+    int64_t window_end = 0;
+    double window_a = 0.0, window_b = 0.0;
+
+    auto close_window = [&]() {
+      if (!window_open) {
+        return;
+      }
+      window_open = false;
+      const int64_t duration = window_end - window_begin;
+      divergence.divergent_us += duration;
+      if (duration > options_.max_shift_us) {
+        divergence.within_shift = false;
+      }
+      if (divergence.windows == 1) {
+        divergence.first_begin_us = report_base_us + window_begin;
+        divergence.first_end_us = report_base_us + window_end;
+        divergence.first_a_watts = window_a;
+        divergence.first_b_watts = window_b;
+      }
+    };
+
+    size_t ia = 0, ib = 0;  // Segment active at time t on each side.
+    int64_t t = 0;
+    while (t < end_us) {
+      const int64_t next_a =
+          ia + 1 < a.size() ? a[ia + 1].start_us - a_start : end_us;
+      const int64_t next_b =
+          ib + 1 < b.size() ? b[ib + 1].start_us - b_start : end_us;
+      const int64_t next = std::min(end_us, std::min(next_a, next_b));
+      const double wa = a[ia].watts;
+      const double wb = b[ib].watts;
+      if (!odharness::WithinTolerance(wa, wb, watt_band)) {
+        if (!window_open) {
+          window_open = true;
+          window_begin = t;
+          window_a = wa;
+          window_b = wb;
+          ++divergence.windows;
+        }
+        window_end = next;
+      } else {
+        close_window();
+        if (!SameValue(wa, wb)) {
+          Tolerated();
+        }
+      }
+      t = next;
+      if (next == next_a && ia + 1 < a.size()) {
+        ++ia;
+      }
+      if (next == next_b && ib + 1 < b.size()) {
+        ++ib;
+      }
+    }
+    close_window();
+
+    if (divergence.windows > 0) {
+      Raise(divergence.within_shift ? Severity::kDrift
+                                    : Severity::kRegression);
+      diff_.divergences.push_back(std::move(divergence));
+    }
+  }
+
+  void Hint(std::string text) {
+    diff_.provenance_hints.push_back(std::move(text));
+  }
+
+  TraceDiff Take() { return std::move(diff_); }
+
+ private:
+  void Raise(Severity severity) {
+    diff_.severity = std::max(diff_.severity, severity);
+  }
+
+  TraceDiffOptions options_;
+  TraceDiff diff_;
+};
+
+void DiffLabeledTrace(const std::string& path,
+                      const TraceArtifact::LabeledTrace& a,
+                      const TraceArtifact::LabeledTrace& b,
+                      TraceDiffBuilder& builder) {
+  if (a.seed != b.seed) {
+    builder.Structural(path + ".seed", "seed " + std::to_string(a.seed) +
+                                           " vs " + std::to_string(b.seed));
+    return;  // Different seeds trace different runs; comparing the shapes
+             // would only drown the report in noise.
+  }
+  std::string error;
+  if (!a.trace.Validate(&error)) {
+    builder.Structural(path, "first trace invalid: " + error);
+    return;
+  }
+  if (!b.trace.Validate(&error)) {
+    builder.Structural(path, "second trace invalid: " + error);
+    return;
+  }
+  if (a.trace.start_us != b.trace.start_us) {
+    builder.Structural(path + ".start_us",
+                       "measurement window opens at " +
+                           FormatSeconds(a.trace.start_us) + " vs " +
+                           FormatSeconds(b.trace.start_us));
+  }
+  const int64_t common_us =
+      std::min(a.trace.duration_us(), b.trace.duration_us());
+  if (a.trace.duration_us() != b.trace.duration_us()) {
+    // Still walk the common prefix below: the first divergence usually
+    // explains *why* one run ended early.
+    builder.Structural(
+        path + ".duration_us",
+        FormatSeconds(a.trace.duration_us()) + " vs " +
+            FormatSeconds(b.trace.duration_us()) + " (divergent tail after " +
+            FormatSeconds(a.trace.start_us + common_us) + ")");
+  }
+
+  for (const ComponentTrace& component : a.trace.components) {
+    const std::string component_path = path + "." + component.name;
+    const ComponentTrace* other = b.trace.Find(component.name);
+    if (other == nullptr) {
+      builder.Structural(component_path, "component only in first");
+      continue;
+    }
+    builder.CompareComponent(component_path, component.segments,
+                             a.trace.start_us, other->segments,
+                             b.trace.start_us, common_us, a.trace.start_us);
+  }
+  for (const ComponentTrace& component : b.trace.components) {
+    if (a.trace.Find(component.name) == nullptr) {
+      builder.Structural(path + "." + component.name,
+                         "component only in second");
+    }
+  }
+}
+
+}  // namespace
+
+TraceDiff DiffTraceArtifacts(const TraceArtifact& a, const TraceArtifact& b,
+                             const TraceDiffOptions& options) {
+  TraceDiffBuilder builder(options);
+
+  if (a.experiment != b.experiment) {
+    builder.Structural("experiment",
+                       "\"" + a.experiment + "\" vs \"" + b.experiment + "\"");
+  }
+  for (std::string& hint :
+       odharness::ProvenanceHints(a.provenance, b.provenance)) {
+    builder.Hint(std::move(hint));
+  }
+
+  // Traces match by label, not position: a reordered document is not a
+  // change.  Labels are unique within an artifact.
+  for (const TraceArtifact::LabeledTrace& labeled : a.traces) {
+    const std::string path = "traces[" + labeled.label + "]";
+    const TraceArtifact::LabeledTrace* other = b.FindTrace(labeled.label);
+    if (other == nullptr) {
+      builder.Structural(path, "trace only in first");
+    } else {
+      DiffLabeledTrace(path, labeled, *other, builder);
+    }
+  }
+  for (const TraceArtifact::LabeledTrace& labeled : b.traces) {
+    if (a.FindTrace(labeled.label) == nullptr) {
+      builder.Structural("traces[" + labeled.label + "]",
+                         "trace only in second");
+    }
+  }
+
+  return builder.Take();
+}
+
+void PrintTraceDiff(const TraceDiff& diff, std::FILE* out) {
+  size_t out_of_band = 0;
+  for (const TraceDiff::Divergence& divergence : diff.divergences) {
+    if (!divergence.within_shift) {
+      ++out_of_band;
+    }
+    // The first divergent time window, with draws, so a failing CI log
+    // says *when* the profiles first part ways — not just which cell.
+    std::fprintf(
+        out, "divergent  %s: first window [%s, %s) %s W -> %s W "
+             "(%zu window(s), %s divergent total%s)\n",
+        divergence.path.c_str(), FormatSeconds(divergence.first_begin_us).c_str(),
+        FormatSeconds(divergence.first_end_us).c_str(),
+        FormatWatts(divergence.first_a_watts).c_str(),
+        FormatWatts(divergence.first_b_watts).c_str(), divergence.windows,
+        FormatSeconds(divergence.divergent_us).c_str(),
+        divergence.within_shift ? ", within shift band"
+                                : ", OUT OF SHIFT BAND");
+  }
+  for (const TraceDiff::Structural& structural : diff.structural) {
+    std::fprintf(out, "structural %s: %s\n", structural.path.c_str(),
+                 structural.detail.c_str());
+  }
+  for (const std::string& hint : diff.provenance_hints) {
+    std::fprintf(out, "provenance %s\n", hint.c_str());
+  }
+  switch (diff.severity) {
+    case Severity::kIdentical:
+      if (!diff.provenance_hints.empty()) {
+        std::fprintf(out, "identical traces (provenance differs, see above)\n");
+      }
+      break;
+    case Severity::kDrift:
+      std::fprintf(out,
+                   "%zu component(s) diverged within the shift band, "
+                   "%zu tolerated interval(s)\n",
+                   diff.divergences.size(), diff.tolerated_intervals);
+      break;
+    case Severity::kRegression:
+      std::fprintf(out,
+                   "%zu component(s) diverged (%zu out of shift band), "
+                   "%zu structural mismatch(es)\n",
+                   diff.divergences.size(), out_of_band,
+                   diff.structural.size());
+      break;
+  }
+}
+
+}  // namespace odtrace

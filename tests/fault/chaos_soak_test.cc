@@ -11,6 +11,10 @@
 //   * no negative component power;
 //   * termination: the scenario ends (goal met or supply exhausted)
 //     before the overrun safety valve, for every plan.
+//
+// Every run also records its power trace (the --trace path), and the trace
+// must stay well-formed under chaos: monotone segment times, finite
+// non-negative draws, and an integral that reproduces the accounting total.
 
 #include <algorithm>
 #include <cmath>
@@ -20,6 +24,7 @@
 #include "src/apps/goal_scenario.h"
 #include "src/fault/chaos.h"
 #include "src/fault/fault_plan.h"
+#include "src/trace/power_trace.h"
 
 namespace {
 
@@ -44,6 +49,7 @@ TEST_P(ChaosSoakTest, InvariantsHoldUnderRandomPlan) {
   options.goal = odsim::SimDuration::Seconds(300);  // Covers the default
                                                     // 240 s chaos horizon.
   options.fault_plan = plan;
+  options.trace = true;
 
   double last_residual = options.initial_joules;
   int ticks = 0;
@@ -89,6 +95,24 @@ TEST_P(ChaosSoakTest, InvariantsHoldUnderRandomPlan) {
   EXPECT_TRUE(std::isfinite(result.estimated_residual_joules));
   EXPECT_GE(result.estimated_residual_joules, 0.0);
   EXPECT_LE(result.estimated_residual_joules, options.initial_joules);
+
+  // The recorded power trace survived the chaos intact: monotone and RLE
+  // by construction (Validate), every draw finite and non-negative, and
+  // its integral reproduces the accounting total — faults may reshape the
+  // profile but must not leak energy between the two views.
+  ASSERT_NE(result.trace, nullptr) << "plan " << plan.ToString();
+  std::string trace_error;
+  ASSERT_TRUE(result.trace->Validate(&trace_error))
+      << trace_error << " under plan " << plan.ToString();
+  for (const odtrace::ComponentTrace& component : result.trace->components) {
+    for (const odtrace::TraceSegment& segment : component.segments) {
+      ASSERT_TRUE(std::isfinite(segment.watts)) << component.name;
+      ASSERT_GE(segment.watts, 0.0)
+          << component.name << " at t=" << segment.start_us * 1e-6;
+    }
+  }
+  EXPECT_NEAR(result.trace->TotalJoules(), result.accounted_joules, 1e-9)
+      << "trace/accounting disagreement under plan " << plan.ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest, ::testing::Range(0, 50));

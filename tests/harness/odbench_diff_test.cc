@@ -22,6 +22,7 @@ namespace {
 
 const std::string kBinary = ODBENCH_BINARY;
 const std::string kGoldenDir = ODBENCH_GOLDEN_DIR;
+const std::string kTraceGoldenDir = ODBENCH_TRACE_GOLDEN_DIR;
 
 struct CommandResult {
   int exit_code;
@@ -168,6 +169,55 @@ TEST(OdbenchDiffTest, FaultPlanDifferenceIsAHintNotAVerdict) {
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_NE(result.output.find("fault_plan:"), std::string::npos);
   std::remove(replanned.c_str());
+}
+
+std::string TraceGolden(const std::string& name) {
+  return kTraceGoldenDir + "/" + name + ".trace.json";
+}
+
+TEST(OdbenchDiffTest, TraceGoldenAgainstItselfExitsZero) {
+  // Both flag spellings: the grammar binds a bare word after --traces as
+  // its value, and the CLI accepts either placement.
+  CommandResult leading = RunCommand("diff --traces " +
+                              TraceGolden("fig13_web") + " " +
+                              TraceGolden("fig13_web"));
+  EXPECT_EQ(leading.exit_code, 0) << leading.output;
+  CommandResult trailing = RunCommand("diff " + TraceGolden("fig13_web") +
+                               " " + TraceGolden("fig13_web") + " --traces");
+  EXPECT_EQ(trailing.exit_code, 0) << trailing.output;
+}
+
+TEST(OdbenchDiffTest, FreshTracedRunMatchesTraceGolden) {
+  // The CI trace-regression workflow in miniature: regenerate the cheapest
+  // traced experiment and diff its power profile against the committed
+  // golden.  Measured content must be bit-identical (exit 0); the scalar
+  // artifact from the traced run must also still match its scalar golden.
+  const std::string out_dir = testing::TempDir() + "/odbench_trace_fresh";
+  CommandResult run =
+      RunCommand("run fig13_web --trace --compact --out " + out_dir);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  CommandResult trace_diff = RunCommand(
+      "diff --traces " + TraceGolden("fig13_web") + " " + out_dir +
+      "/fig13_web.trace.json --rtol 1e-9 --max-shift 0.05");
+  EXPECT_EQ(trace_diff.exit_code, 0) << trace_diff.output;
+  CommandResult scalar_diff = RunCommand(
+      "diff " + Golden("fig13_web") + " " + out_dir + "/fig13_web.json");
+  EXPECT_EQ(scalar_diff.exit_code, 0) << scalar_diff.output;
+}
+
+TEST(OdbenchDiffTest, TraceDiffUsageAndUnreadableExits) {
+  EXPECT_EQ(RunCommand("diff --traces only_one.trace.json").exit_code, 64);
+  CommandResult missing = RunCommand("diff --traces " +
+                              TraceGolden("fig13_web") +
+                              " /nonexistent/missing.trace.json");
+  EXPECT_EQ(missing.exit_code, 66);
+  EXPECT_NE(missing.output.find("cannot read trace artifact"),
+            std::string::npos);
+  // A scalar artifact is not a power-trace document.
+  CommandResult wrong_kind = RunCommand("diff --traces " +
+                                 Golden("fig13_web") + " " +
+                                 Golden("fig13_web"));
+  EXPECT_EQ(wrong_kind.exit_code, 66) << wrong_kind.output;
 }
 
 TEST(OdbenchDiffTest, UsageErrorsExitSixtyFour) {

@@ -1,0 +1,257 @@
+#include "src/trace/trace_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/artifact.h"
+#include "src/harness/artifact_diff.h"
+#include "src/power/component.h"
+#include "src/power/machine.h"
+#include "src/powerscope/trace_recorder.h"
+#include "src/sim/simulator.h"
+
+namespace odtrace {
+namespace {
+
+using Severity = TraceDiff::Severity;
+
+PowerTrace MakeTrace(std::vector<ComponentTrace> components, int64_t start_us,
+                     int64_t end_us) {
+  PowerTrace trace;
+  trace.start_us = start_us;
+  trace.end_us = end_us;
+  trace.components = std::move(components);
+  return trace;
+}
+
+TraceArtifact MakeArtifact(PowerTrace trace, uint64_t seed = 1000) {
+  TraceArtifact artifact;
+  artifact.experiment = "unit_test";
+  artifact.Add("scenario", seed, std::move(trace));
+  return artifact;
+}
+
+TEST(TraceDiffTest, IdenticalArtifactsExitZero) {
+  TraceArtifact a = MakeArtifact(MakeTrace(
+      {{"CPU", {{0, 1.0}, {3000000, 4.0}}}}, 0, 10000000));
+  TraceDiff diff = DiffTraceArtifacts(a, a);
+  EXPECT_EQ(diff.severity, Severity::kIdentical);
+  EXPECT_EQ(diff.ExitCode(), 0);
+  EXPECT_TRUE(diff.divergences.empty());
+  EXPECT_TRUE(diff.structural.empty());
+}
+
+TEST(TraceDiffTest, InBandDrawChangeIsDriftWithoutADivergence) {
+  TraceArtifact a = MakeArtifact(MakeTrace({{"CPU", {{0, 5.0}}}}, 0, 10000000));
+  TraceArtifact b =
+      MakeArtifact(MakeTrace({{"CPU", {{0, 5.004}}}}, 0, 10000000));
+  TraceDiffOptions options;
+  options.rtol = 1e-2;
+  TraceDiff diff = DiffTraceArtifacts(a, b, options);
+  EXPECT_EQ(diff.severity, Severity::kDrift);
+  EXPECT_EQ(diff.ExitCode(), 1);
+  EXPECT_TRUE(diff.divergences.empty());
+  EXPECT_GE(diff.tolerated_intervals, 1u);
+}
+
+TEST(TraceDiffTest, BoundaryShiftWithinBandIsDrift) {
+  // The 2->4 W step lands at 3.00 s in one run and 3.02 s in the other: the
+  // profiles disagree only on [3.00, 3.02), well inside a 50 ms shift band.
+  TraceArtifact a = MakeArtifact(
+      MakeTrace({{"CPU", {{0, 2.0}, {3000000, 4.0}}}}, 0, 10000000));
+  TraceArtifact b = MakeArtifact(
+      MakeTrace({{"CPU", {{0, 2.0}, {3020000, 4.0}}}}, 0, 10000000));
+  TraceDiffOptions options;
+  options.max_shift_us = 50000;
+  TraceDiff diff = DiffTraceArtifacts(a, b, options);
+  EXPECT_EQ(diff.severity, Severity::kDrift);
+  ASSERT_EQ(diff.divergences.size(), 1u);
+  const TraceDiff::Divergence& divergence = diff.divergences[0];
+  EXPECT_TRUE(divergence.within_shift);
+  EXPECT_EQ(divergence.windows, 1u);
+  EXPECT_EQ(divergence.divergent_us, 20000);
+  EXPECT_EQ(divergence.first_begin_us, 3000000);
+  EXPECT_EQ(divergence.first_end_us, 3020000);
+  EXPECT_EQ(divergence.first_a_watts, 4.0);
+  EXPECT_EQ(divergence.first_b_watts, 2.0);
+}
+
+TEST(TraceDiffTest, ZeroShiftBandMakesAnyDivergenceARegression) {
+  TraceArtifact a = MakeArtifact(
+      MakeTrace({{"CPU", {{0, 2.0}, {3000000, 4.0}}}}, 0, 10000000));
+  TraceArtifact b = MakeArtifact(
+      MakeTrace({{"CPU", {{0, 2.0}, {3000001, 4.0}}}}, 0, 10000000));
+  TraceDiff diff = DiffTraceArtifacts(a, b);  // max_shift_us = 0.
+  EXPECT_EQ(diff.severity, Severity::kRegression);
+  EXPECT_EQ(diff.ExitCode(), 2);
+}
+
+TEST(TraceDiffTest, SustainedDivergenceIsARegressionWithFirstWindow) {
+  TraceArtifact a = MakeArtifact(MakeTrace({{"CPU", {{0, 6.0}}}}, 0, 10000000));
+  TraceArtifact b = MakeArtifact(MakeTrace(
+      {{"CPU", {{0, 6.0}, {5000000, 20.0}, {5200000, 6.0}}}}, 0, 10000000));
+  TraceDiffOptions options;
+  options.max_shift_us = 50000;
+  TraceDiff diff = DiffTraceArtifacts(a, b, options);
+  EXPECT_EQ(diff.severity, Severity::kRegression);
+  ASSERT_EQ(diff.divergences.size(), 1u);
+  const TraceDiff::Divergence& divergence = diff.divergences[0];
+  EXPECT_FALSE(divergence.within_shift);
+  EXPECT_EQ(divergence.path, "traces[scenario].CPU");
+  EXPECT_EQ(divergence.first_begin_us, 5000000);
+  EXPECT_EQ(divergence.first_end_us, 5200000);
+  EXPECT_EQ(divergence.first_a_watts, 6.0);
+  EXPECT_EQ(divergence.first_b_watts, 20.0);
+}
+
+TEST(TraceDiffTest, MissingLabelAndComponentAreStructural) {
+  TraceArtifact a = MakeArtifact(MakeTrace(
+      {{"CPU", {{0, 1.0}}}, {"Disk", {{0, 0.0}}}}, 0, 10000000));
+  TraceArtifact b = MakeArtifact(MakeTrace({{"CPU", {{0, 1.0}}}}, 0, 10000000));
+  b.Add("extra", 1000, MakeTrace({{"CPU", {{0, 1.0}}}}, 0, 10000000));
+  TraceDiff diff = DiffTraceArtifacts(a, b);
+  EXPECT_EQ(diff.severity, Severity::kRegression);
+  ASSERT_EQ(diff.structural.size(), 2u);
+  EXPECT_EQ(diff.structural[0].path, "traces[scenario].Disk");
+  EXPECT_EQ(diff.structural[0].detail, "component only in first");
+  EXPECT_EQ(diff.structural[1].path, "traces[extra]");
+  EXPECT_EQ(diff.structural[1].detail, "trace only in second");
+}
+
+TEST(TraceDiffTest, SeedMismatchIsStructuralAndSkipsShapeNoise) {
+  TraceArtifact a =
+      MakeArtifact(MakeTrace({{"CPU", {{0, 1.0}}}}, 0, 10000000), 1000);
+  TraceArtifact b =
+      MakeArtifact(MakeTrace({{"CPU", {{0, 9.0}}}}, 0, 10000000), 2000);
+  TraceDiff diff = DiffTraceArtifacts(a, b);
+  EXPECT_EQ(diff.severity, Severity::kRegression);
+  ASSERT_EQ(diff.structural.size(), 1u);
+  EXPECT_EQ(diff.structural[0].path, "traces[scenario].seed");
+  // Different seeds trace different runs; shape comparison would be noise.
+  EXPECT_TRUE(diff.divergences.empty());
+}
+
+TEST(TraceDiffTest, DurationMismatchIsStructuralButCommonPrefixStillWalked) {
+  TraceArtifact a = MakeArtifact(MakeTrace(
+      {{"CPU", {{0, 1.0}, {2000000, 8.0}}}}, 0, 10000000));
+  TraceArtifact b = MakeArtifact(MakeTrace({{"CPU", {{0, 1.0}}}}, 0, 8000000));
+  TraceDiff diff = DiffTraceArtifacts(a, b);
+  EXPECT_EQ(diff.severity, Severity::kRegression);
+  ASSERT_EQ(diff.structural.size(), 1u);
+  EXPECT_EQ(diff.structural[0].path, "traces[scenario].duration_us");
+  // The divergence at 2 s inside the common prefix is still pinpointed —
+  // usually it explains why one run ended early.
+  ASSERT_EQ(diff.divergences.size(), 1u);
+  EXPECT_EQ(diff.divergences[0].first_begin_us, 2000000);
+}
+
+TEST(TraceDiffTest, InvalidTraceIsStructural) {
+  PowerTrace broken = MakeTrace({{"CPU", {{0, 1.0}, {0, 2.0}}}}, 0, 10000000);
+  TraceDiff diff =
+      DiffTraceArtifacts(MakeArtifact(broken), MakeArtifact(broken));
+  EXPECT_EQ(diff.severity, Severity::kRegression);
+  ASSERT_GE(diff.structural.size(), 1u);
+  EXPECT_NE(diff.structural[0].detail.find("invalid"), std::string::npos);
+}
+
+TEST(TraceDiffTest, ProvenanceDifferencesAreHintsNotVerdicts) {
+  TraceArtifact a = MakeArtifact(MakeTrace({{"CPU", {{0, 1.0}}}}, 0, 10000000));
+  TraceArtifact b = a;
+  a.provenance.git_revision = "aaaa";
+  b.provenance.git_revision = "bbbb";
+  TraceDiff diff = DiffTraceArtifacts(a, b);
+  EXPECT_EQ(diff.severity, Severity::kIdentical);
+  EXPECT_EQ(diff.ExitCode(), 0);
+  EXPECT_FALSE(diff.provenance_hints.empty());
+}
+
+std::string Printed(const TraceDiff& diff) {
+  std::FILE* out = std::tmpfile();
+  PrintTraceDiff(diff, out);
+  std::string text(static_cast<size_t>(std::ftell(out)), '\0');
+  std::rewind(out);
+  text.resize(std::fread(text.data(), 1, text.size(), out));
+  std::fclose(out);
+  return text;
+}
+
+TEST(TraceDiffTest, ReportPinpointsTheFirstDivergentWindow) {
+  TraceArtifact a = MakeArtifact(MakeTrace({{"CPU", {{0, 6.0}}}}, 0, 10000000));
+  TraceArtifact b = MakeArtifact(MakeTrace(
+      {{"CPU", {{0, 6.0}, {5000000, 20.0}, {5200000, 6.0}}}}, 0, 10000000));
+  const std::string text = Printed(DiffTraceArtifacts(a, b));
+  // A failing CI log must say *when* the profiles first part ways, with the
+  // draws on both sides — not just which component moved.
+  EXPECT_NE(text.find("first window [5.000000s, 5.200000s) 6 W -> 20 W"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("OUT OF SHIFT BAND"), std::string::npos) << text;
+}
+
+// The acceptance gate for the whole layer: a short high-power stall that a
+// scalar energy diff waves through must trip the trace diff.  Two recorder
+// rigs run the same 500 s scenario; the second wedges the CPU at 20 W for
+// 200 ms.  That moves the total by ~2.8 J in ~4500 J — inside a 1e-3 scalar
+// rtol — but is a sustained divergent window far beyond a 50 ms shift band.
+TEST(TraceDiffTest, TraceGateCatchesAStallTheScalarDiffTolerates) {
+  struct Rig {
+    odsim::Simulator sim;
+    odpower::Machine machine{&sim, 0.07};
+    odpower::Component* cpu =
+        machine.AddComponent(std::make_unique<odpower::Component>(
+            "CPU", std::vector<double>{6.0, 20.0}, 0));
+    odpower::Component* display =
+        machine.AddComponent(std::make_unique<odpower::Component>(
+            "Display", std::vector<double>{3.0}, 0));
+    odscope::TraceRecorder recorder{&machine, sim.Now()};
+  };
+
+  Rig clean;
+  clean.sim.RunUntil(odsim::SimTime::Seconds(500));
+  PowerTrace clean_trace = clean.recorder.Snapshot(clean.sim.Now());
+
+  Rig stalled;
+  stalled.sim.Schedule(odsim::SimDuration::Seconds(5),
+                       [&] { stalled.cpu->SetState(1); });
+  stalled.sim.Schedule(odsim::SimDuration::Millis(5200),
+                       [&] { stalled.cpu->SetState(0); });
+  stalled.sim.RunUntil(odsim::SimTime::Seconds(500));
+  PowerTrace stalled_trace = stalled.recorder.Snapshot(stalled.sim.Now());
+
+  // Scalar view: one trial whose value is the run's total energy.  The
+  // stall moves it by ~6e-4 relative — drift at rtol 1e-3, not a failure.
+  auto scalar = [](const PowerTrace& trace) {
+    odharness::RunArtifact artifact;
+    artifact.experiment = "stall_gate";
+    odharness::TrialSet set;
+    set.base_seed = 42;
+    set.trials.push_back(odharness::TrialSample(trace.TotalJoules()));
+    set.Summarize();
+    artifact.AddSet("scenario", std::move(set));
+    return artifact;
+  };
+  odharness::DiffOptions scalar_band;
+  scalar_band.rtol = 1e-3;
+  odharness::ArtifactDiff scalar_diff = odharness::DiffArtifacts(
+      scalar(clean_trace), scalar(stalled_trace), scalar_band);
+  EXPECT_LE(scalar_diff.ExitCode(), 1) << "stall must pass the scalar gate";
+
+  TraceDiffOptions trace_band;
+  trace_band.rtol = 1e-3;
+  trace_band.max_shift_us = 50000;
+  TraceDiff trace_diff = DiffTraceArtifacts(
+      MakeArtifact(std::move(clean_trace)),
+      MakeArtifact(std::move(stalled_trace)), trace_band);
+  EXPECT_EQ(trace_diff.ExitCode(), 2) << "stall must trip the trace gate";
+  ASSERT_EQ(trace_diff.divergences.size(), 1u);
+  EXPECT_EQ(trace_diff.divergences[0].path, "traces[scenario].CPU");
+  EXPECT_EQ(trace_diff.divergences[0].first_begin_us, 5000000);
+  EXPECT_EQ(trace_diff.divergences[0].first_end_us, 5200000);
+}
+
+}  // namespace
+}  // namespace odtrace

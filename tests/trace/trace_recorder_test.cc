@@ -1,0 +1,143 @@
+#include "src/powerscope/trace_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/power/component.h"
+#include "src/power/machine.h"
+#include "src/sim/simulator.h"
+
+namespace odscope {
+namespace {
+
+using odtrace::ComponentTrace;
+using odtrace::PowerTrace;
+using odtrace::TraceSegment;
+
+struct Rig {
+  odsim::Simulator sim;
+  odpower::Machine machine{&sim, 0.07};
+  odpower::Component* a = machine.AddComponent(std::make_unique<odpower::Component>(
+      "A", std::vector<double>{0.0, 2.0, 4.0}, 0));
+  odpower::Component* b = machine.AddComponent(std::make_unique<odpower::Component>(
+      "B", std::vector<double>{1.0, 3.0}, 0));
+  TraceRecorder recorder{&machine, sim.Now()};
+};
+
+TEST(TraceRecorderTest, OpensEveryStreamAtStart) {
+  Rig rig;
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  ASSERT_EQ(trace.components.size(), 3u);  // A, B, Synergy.
+  EXPECT_EQ(trace.components[0].name, "A");
+  EXPECT_EQ(trace.components[1].name, "B");
+  EXPECT_EQ(trace.components[2].name, "Synergy");
+  for (const ComponentTrace& component : trace.components) {
+    ASSERT_EQ(component.segments.size(), 1u);
+    EXPECT_EQ(component.segments[0].start_us, 0);
+  }
+  EXPECT_EQ(trace.components[0].segments[0].watts, 0.0);
+  EXPECT_EQ(trace.components[1].segments[0].watts, 1.0);
+  EXPECT_TRUE(trace.Validate());
+}
+
+TEST(TraceRecorderTest, RunLengthEncodesUnrelatedChanges) {
+  Rig rig;
+  rig.sim.Schedule(odsim::SimDuration::Seconds(1), [&] { rig.a->SetState(1); });
+  rig.sim.Schedule(odsim::SimDuration::Seconds(2), [&] { rig.a->SetState(2); });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(3));
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  // A stepped twice; B never moved, so its stream stays one segment even
+  // though the machine notified on every change.
+  EXPECT_EQ(trace.Find("A")->segments.size(), 3u);
+  EXPECT_EQ(trace.Find("B")->segments.size(), 1u);
+  std::string error;
+  EXPECT_TRUE(trace.Validate(&error)) << error;
+}
+
+TEST(TraceRecorderTest, EqualTimestampChangesCoalesceToOneSegment) {
+  Rig rig;
+  rig.sim.Schedule(odsim::SimDuration::Seconds(1), [&] {
+    // Two draw changes at the same microsecond: the signature must hold
+    // one segment with the final draw, not a zero-length intermediate.
+    rig.a->SetState(1);
+    rig.a->SetState(2);
+  });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(2));
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  const ComponentTrace* a = trace.Find("A");
+  ASSERT_EQ(a->segments.size(), 2u);
+  EXPECT_EQ(a->segments[1].start_us, 1000000);
+  EXPECT_EQ(a->segments[1].watts, 4.0);
+  std::string error;
+  EXPECT_TRUE(trace.Validate(&error)) << error;
+}
+
+TEST(TraceRecorderTest, SameMicrosecondRevertDropsTheBoundary) {
+  Rig rig;
+  rig.sim.Schedule(odsim::SimDuration::Seconds(1), [&] {
+    rig.a->SetState(2);
+    rig.a->SetState(0);  // Back where it was, within the same microsecond.
+  });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(2));
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  // The net draw never changed over any observable interval.
+  EXPECT_EQ(trace.Find("A")->segments.size(), 1u);
+  EXPECT_TRUE(trace.Validate());
+}
+
+TEST(TraceRecorderTest, TrailingZeroLengthSegmentIsDropped) {
+  Rig rig;
+  rig.sim.RunUntil(odsim::SimTime::Seconds(1));
+  rig.a->SetState(1);  // Draw change at the snapshot instant.
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  // The change covers zero time before the window closes; the signature of
+  // this run must match one that stopped an event earlier.
+  EXPECT_EQ(trace.Find("A")->segments.size(), 1u);
+  EXPECT_EQ(trace.Find("A")->segments[0].watts, 0.0);
+  std::string error;
+  EXPECT_TRUE(trace.Validate(&error)) << error;
+}
+
+TEST(TraceRecorderTest, ZeroDurationSnapshotValidates) {
+  Rig rig;
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  EXPECT_EQ(trace.duration_us(), 0);
+  std::string error;
+  EXPECT_TRUE(trace.Validate(&error)) << error;
+  EXPECT_EQ(trace.TotalJoules(), 0.0);
+}
+
+TEST(TraceRecorderTest, RestartDropsHistoryAndReopensAtNow) {
+  Rig rig;
+  rig.sim.Schedule(odsim::SimDuration::Seconds(1), [&] { rig.a->SetState(2); });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(5));
+  rig.recorder.Restart(rig.sim.Now());
+  rig.sim.RunUntil(odsim::SimTime::Seconds(8));
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  EXPECT_EQ(trace.start_us, 5000000);
+  EXPECT_EQ(trace.end_us, 8000000);
+  const ComponentTrace* a = trace.Find("A");
+  ASSERT_EQ(a->segments.size(), 1u);
+  EXPECT_EQ(a->segments[0].start_us, 5000000);
+  EXPECT_EQ(a->segments[0].watts, 4.0);  // Draw at restart, not at origin.
+  EXPECT_TRUE(trace.Validate());
+}
+
+TEST(TraceRecorderTest, SynergyStreamFollowsActiveCount) {
+  Rig rig;
+  rig.sim.Schedule(odsim::SimDuration::Seconds(1), [&] { rig.a->SetState(1); });
+  rig.sim.RunUntil(odsim::SimTime::Seconds(2));
+  PowerTrace trace = rig.recorder.Snapshot(rig.sim.Now());
+  const ComponentTrace* synergy = trace.Find("Synergy");
+  // One active component (B at 1.0 W) -> no synergy; A joining at t=1 s
+  // makes two actives -> 0.07 W excess.
+  ASSERT_EQ(synergy->segments.size(), 2u);
+  EXPECT_EQ(synergy->segments[0].watts, 0.0);
+  EXPECT_EQ(synergy->segments[1].start_us, 1000000);
+  EXPECT_NEAR(synergy->segments[1].watts, 0.07, 1e-15);
+}
+
+}  // namespace
+}  // namespace odscope
