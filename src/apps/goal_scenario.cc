@@ -81,6 +81,16 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
   odenergy::GoalDirector director(&bed.viceroy(), &supply, monitor.get(),
                                   start + options.goal, director_config);
 
+  // Self-constructive power model: probe baselines are the settled states
+  // (the probe is constructed after Settle()), and the estimator sees only
+  // the delivered gauge stream via the director.
+  std::unique_ptr<odenergy::LearnedEstimator> learned;
+  if (options.learned_model) {
+    learned = std::make_unique<odenergy::LearnedEstimator>(
+        &bed.laptop().machine(), start, options.learned_config);
+    director.AttachLearnedEstimator(learned.get());
+  }
+
   std::unique_ptr<odfault::FaultInjector> injector;
   if (disturbed) {
     odfault::FaultTargets targets;
@@ -173,6 +183,23 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
   result.telemetry_gaps = director.telemetry_gaps();
   result.outage_clamps = bed.viceroy().outage_clamps();
   result.accounted_joules = bed.laptop().accounting().TotalJoules(end);
+  if (learned != nullptr) {
+    result.learned_joules = learned->learned_joules();
+    result.learned_converged = learned->converged_once();
+    result.learned_confidence = learned->model().confidence();
+    result.learned_primary_active = director.learned_primary_active();
+    result.coefficient_recovery_error =
+        learned->CoefficientRecoveryError(/*min_excitation_seconds=*/30.0,
+                                          /*min_true_watts=*/0.05);
+    result.coefficient_report = learned->Report();
+    result.drift_entries = director.drift_entries();
+    result.drift_seconds = director.DriftSeconds(end);
+    result.drift_correction_joules = director.drift_correction_joules();
+    if (director.first_drift_detected().has_value()) {
+      result.first_drift_detected_seconds =
+          (*director.first_drift_detected() - start).seconds();
+    }
+  }
   if (bed.tracer() != nullptr) {
     result.trace = std::make_shared<const odtrace::PowerTrace>(
         bed.tracer()->Snapshot(end));

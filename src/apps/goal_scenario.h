@@ -53,6 +53,14 @@ struct GoalScenarioOptions {
   // the deployment path of Section 5.1.1.
   bool use_smart_battery = false;
 
+  // Attach the self-constructive power model (LearnedEstimator) to the
+  // director.  On its own this only observes; enabling
+  // `director.drift_sentinel` arms the gauge cross-check, and
+  // `director.learned_primary_when_converged` hands the residual estimate
+  // over once the fit converges (the calibration-withheld deployment).
+  bool learned_model = false;
+  odpower::LearnedModelConfig learned_config;
+
   // Per-message loss probability on the wireless channel (failure
   // injection); retransmissions cost energy the director must absorb.
   double rpc_loss_probability = 0.0;
@@ -115,6 +123,22 @@ struct GoalScenarioResult {
   int invalid_samples = 0;
   int telemetry_gaps = 0;
   int outage_clamps = 0;
+
+  // -- Learned-model / drift-sentinel record (set when learned_model) -------
+
+  double learned_joules = 0.0;
+  bool learned_converged = false;
+  double learned_confidence = 0.0;
+  // The calibration-withheld handoff fired: the learned model is the
+  // primary residual estimator from that point on.
+  bool learned_primary_active = false;
+  // Excitation-weighted coefficient error vs. the calibration table.
+  double coefficient_recovery_error = 1.0;
+  std::vector<odenergy::LearnedEstimator::CoefficientReport> coefficient_report;
+  int drift_entries = 0;
+  double drift_seconds = 0.0;
+  double drift_correction_joules = 0.0;
+  std::optional<double> first_drift_detected_seconds;
 
   // Per-component power timeline over [scenario start, end]; set only when
   // GoalScenarioOptions::trace was enabled.

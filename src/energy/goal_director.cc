@@ -56,9 +56,38 @@ void GoalDirector::ExtendGoal(odsim::SimTime new_goal) {
   infeasibility_detected_.reset();
 }
 
+void GoalDirector::AttachLearnedEstimator(LearnedEstimator* learned) {
+  OD_CHECK(!running_);
+  OD_CHECK(learned != nullptr);
+  learned_ = learned;
+  if (config_.drift_sentinel.enabled) {
+    sentinel_.emplace(config_.drift_sentinel);
+  }
+}
+
 double GoalDirector::EstimatedResidualJoules() const {
+  // Calibration-withheld mode: past the handoff the learned integral is the
+  // consumption estimate — the gauge was only trusted long enough to
+  // bootstrap the fit.
+  if (learned_handoff_done_) {
+    double consumed = handoff_measured_joules_ +
+                      (learned_->learned_joules() - handoff_learned_joules_);
+    return std::max(0.0, supply_->initial_joules() - consumed -
+                             telemetry_debit_joules_);
+  }
+  // The drift correction backs out the energy the sentinel attributed to
+  // gauge scale error: positive when the gauge over-read, so it is *added*
+  // back to the residual.
   return std::max(0.0, supply_->initial_joules() - monitor_->measured_joules() -
-                           telemetry_debit_joules_);
+                           telemetry_debit_joules_ + drift_correction_joules_);
+}
+
+double GoalDirector::DriftSeconds(odsim::SimTime now) const {
+  double total = drift_seconds_;
+  if (drifting_) {
+    total += (now - drift_entered_).seconds();
+  }
+  return total;
 }
 
 double GoalDirector::SafeModeSeconds(odsim::SimTime now) const {
@@ -81,7 +110,51 @@ void GoalDirector::LogFidelityChange(odyssey::AdaptiveApplication* app,
   fidelity_log_[app].push_back(FidelityChange{now, level});
 }
 
+void GoalDirector::EnterDrift(odsim::SimTime now) {
+  drifting_ = true;
+  ++drift_entries_;
+  drift_entered_ = now;
+  drift_recovery_streak_ = 0;
+  if (!first_drift_detected_.has_value()) {
+    first_drift_detected_ = now;
+  }
+  if (health_ != ControllerHealth::kSafeMode) {
+    health_ = ControllerHealth::kGaugeDrift;
+  }
+  // Retroactive correction: the divergence accumulated inside the sentinel
+  // window predates the verdict; charge it back now, then drop the window
+  // so it cannot be charged twice.
+  double excess = sentinel_->WindowExcessJoules();
+  drift_correction_joules_ += config_.drift_sentinel.reweight * excess;
+  OD_LOG_WARN(
+      "goal director: gauge drift at t=%.1fs — window gauge %.1f J vs "
+      "learned %.1f J (%.0f%% divergence); discounting gauge",
+      now.seconds(), sentinel_->WindowGaugeJoules(),
+      sentinel_->WindowLearnedJoules(), 100.0 * sentinel_->WindowDivergence());
+  sentinel_->ResetWindow();
+}
+
+void GoalDirector::ExitDrift(odsim::SimTime now, const char* reason) {
+  if (!drifting_) {
+    return;
+  }
+  drifting_ = false;
+  drift_seconds_ += (now - drift_entered_).seconds();
+  drift_recovery_streak_ = 0;
+  if (health_ == ControllerHealth::kGaugeDrift) {
+    health_ = ControllerHealth::kHealthy;
+  }
+  if (sentinel_.has_value()) {
+    sentinel_->ResetWindow();
+  }
+  OD_LOG_INFO("goal director: gauge drift lifted at t=%.1fs (%s)",
+              now.seconds(), reason);
+}
+
 void GoalDirector::EnterSafeMode(odsim::SimTime now, const char* reason) {
+  // A drift verdict is subsumed: safe mode distrusts the whole feed, not
+  // just its scale.
+  ExitDrift(now, "superseded by safe mode");
   health_ = ControllerHealth::kSafeMode;
   ++safe_mode_entries_;
   safe_mode_entered_ = now;
@@ -144,7 +217,9 @@ void GoalDirector::OnPowerSample(odsim::SimTime now, double watts) {
       last_integrated_time_ = now;
     }
     if (health_ != ControllerHealth::kSafeMode) {
-      health_ = ControllerHealth::kSuspect;
+      if (!drifting_) {
+        health_ = ControllerHealth::kSuspect;
+      }
       if (consecutive_invalid_ >= config_.invalid_sample_limit) {
         EnterSafeMode(now, "invalid readings");
       }
@@ -174,14 +249,76 @@ void GoalDirector::OnPowerSample(odsim::SimTime now, double watts) {
   last_valid_watts_ = watts;
   consecutive_invalid_ = 0;
 
+  // Learned-model cross-check.  The second estimator sees exactly the
+  // reading the director sees — the delivered (possibly corrupted) gauge
+  // value, never the analytic accounting.
+  double demand_watts = watts;
+  if (learned_ != nullptr) {
+    // Training freezes while the gauge is under a drift verdict or the
+    // controller is in safe mode: a model that chases a bad gauge would
+    // erase the divergence that exposes it.  It also pauses as soon as the
+    // comparison window turns merely *suspicious* (half the band) — the
+    // verdict needs a window's worth of evidence, and a model that kept
+    // absorbing readings during that interval would have chased part of
+    // the drift before the freeze landed.
+    bool confident = learned_->converged_once();
+    bool train = !drifting_ && health_ != ControllerHealth::kSafeMode;
+    if (train && confident && sentinel_.has_value() &&
+        sentinel_->WindowDivergence() >
+            0.5 * config_.drift_sentinel.divergence_band) {
+      train = false;
+    }
+    double predicted = learned_->OnSample(now, watts, train);
+
+    if (config_.learned_primary_when_converged && !learned_handoff_done_ &&
+        learned_->converged_once()) {
+      learned_handoff_done_ = true;
+      handoff_measured_joules_ = monitor_->measured_joules();
+      handoff_learned_joules_ = learned_->learned_joules();
+      OD_LOG_INFO(
+          "goal director: learned model converged at t=%.1fs — residual "
+          "estimate handed over (gauge integral %.1f J at handoff)",
+          now.seconds(), handoff_measured_joules_);
+    }
+
+    if (sentinel_.has_value() && !learned_handoff_done_ &&
+        health_ != ControllerHealth::kSafeMode) {
+      if (drifting_) {
+        // Per-sample discount: the learned model is the believed rate; the
+        // gauge's excess is charged back to the residual as it accrues.
+        drift_correction_joules_ +=
+            config_.drift_sentinel.reweight * (watts - predicted) * period;
+        demand_watts = predicted;
+        // Recovery hysteresis: a streak of in-band samples (gauge agreeing
+        // with the model again) lifts the verdict.
+        double rel = std::abs(watts - predicted) / std::max(predicted, 1e-6);
+        if (rel <= config_.drift_sentinel.divergence_band) {
+          if (++drift_recovery_streak_ >=
+              config_.drift_sentinel.recovery_samples) {
+            ExitDrift(now, "gauge back in band");
+          }
+        } else {
+          drift_recovery_streak_ = 0;
+        }
+      } else {
+        sentinel_->AddInterval(now, period, watts * period, predicted * period,
+                               confident);
+        if (sentinel_->Diverged()) {
+          EnterDrift(now);
+          demand_watts = predicted;
+        }
+      }
+    }
+  }
+
   double remaining = (goal_ - now).seconds();
-  predictor_.AddSample(watts, period, std::max(0.0, remaining));
+  predictor_.AddSample(demand_watts, period, std::max(0.0, remaining));
 
   if (health_ == ControllerHealth::kSafeMode) {
     if (++recovery_streak_ >= config_.health_recovery_samples) {
       ExitSafeMode(now);
     }
-  } else {
+  } else if (!drifting_) {
     health_ = identical_streak_ > 0 ? ControllerHealth::kSuspect
                                     : ControllerHealth::kHealthy;
   }

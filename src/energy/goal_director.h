@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/energy/hysteresis.h"
+#include "src/energy/learned_estimator.h"
 #include "src/energy/predictor.h"
 #include "src/odyssey/viceroy.h"
 #include "src/power/supply.h"
@@ -87,15 +88,33 @@ struct GoalDirectorConfig {
   // Consecutive valid readings before safe mode lifts (recovery
   // hysteresis, mirroring the viceroy's link-outage clamp).
   int health_recovery_samples = 8;
+
+  // -- Learned-model cross-check (drift sentinel) -----------------------------
+
+  // Configuration for the gauge-drift sentinel.  Only consulted when a
+  // LearnedEstimator is attached and `drift_sentinel.enabled`; the default
+  // (disabled) leaves every existing behavior — and every golden —
+  // untouched.
+  DriftSentinelConfig drift_sentinel;
+  // Calibration-withheld operation: once the learned model converges, hand
+  // the residual estimate over to it (consumed energy past the handoff is
+  // the learned integral, not the gauge integral).  For hardware whose
+  // gauge is too coarse to integrate well — or whose calibration table was
+  // never measured.
+  bool learned_primary_when_converged = false;
 };
 
 // Health of the telemetry feed as judged by the director: kSuspect while a
 // below-threshold streak of invalid/frozen readings is in progress,
-// kSafeMode once corruption tripped the fallback policy.
+// kSafeMode once corruption tripped the fallback policy, kGaugeDrift while
+// the learned-model sentinel holds a drift verdict against the gauge (the
+// readings are individually plausible — the *scale* is wrong — so the
+// controller keeps adapting, on the discounted residual).
 enum class ControllerHealth {
   kHealthy,
   kSuspect,
   kSafeMode,
+  kGaugeDrift,
 };
 
 struct TimelinePoint {
@@ -171,6 +190,30 @@ class GoalDirector {
   // either sign).
   double telemetry_debit_joules() const { return telemetry_debit_joules_; }
 
+  // -- Learned-model cross-check --------------------------------------------
+
+  // Attaches the second estimator (and, when config.drift_sentinel.enabled,
+  // arms the sentinel).  Must be called before Start(); the estimator must
+  // outlive the director.
+  void AttachLearnedEstimator(LearnedEstimator* learned);
+  const LearnedEstimator* learned_estimator() const { return learned_; }
+
+  // Distinct drift episodes declared by the sentinel.
+  int drift_entries() const { return drift_entries_; }
+  // Cumulative time under a drift verdict up to `now` (open episode
+  // included).
+  double DriftSeconds(odsim::SimTime now) const;
+  // Energy charged back to the residual estimate for gauge/learned
+  // disagreement while drifting (positive when the gauge over-reads).
+  double drift_correction_joules() const { return drift_correction_joules_; }
+  // Time the sentinel first declared drift, if it ever did.
+  std::optional<odsim::SimTime> first_drift_detected() const {
+    return first_drift_detected_;
+  }
+  // Whether the calibration-withheld handoff happened: the learned model is
+  // now the primary residual estimator (learned_primary_when_converged).
+  bool learned_primary_active() const { return learned_handoff_done_; }
+
   // Residual energy as the director believes it: initial minus measured,
   // corrected by the telemetry debit.
   double EstimatedResidualJoules() const;
@@ -190,6 +233,8 @@ class GoalDirector {
   void Complete(GoalOutcome outcome);
   void EnterSafeMode(odsim::SimTime now, const char* reason);
   void ExitSafeMode(odsim::SimTime now);
+  void EnterDrift(odsim::SimTime now);
+  void ExitDrift(odsim::SimTime now, const char* reason);
   void LogFidelityChange(odyssey::AdaptiveApplication* app, int level,
                          odsim::SimTime now);
 
@@ -232,6 +277,22 @@ class GoalDirector {
   double safe_mode_seconds_ = 0.0;
   odsim::SimTime safe_mode_entered_ = odsim::SimTime::Zero();
   double telemetry_debit_joules_ = 0.0;
+
+  // Learned-model cross-check state.
+  LearnedEstimator* learned_ = nullptr;
+  std::optional<DriftSentinel> sentinel_;
+  bool drifting_ = false;
+  int drift_entries_ = 0;
+  int drift_recovery_streak_ = 0;
+  double drift_seconds_ = 0.0;
+  odsim::SimTime drift_entered_ = odsim::SimTime::Zero();
+  double drift_correction_joules_ = 0.0;
+  std::optional<odsim::SimTime> first_drift_detected_;
+  // Calibration-withheld handoff: gauge-integrated consumption at the
+  // moment the learned model became primary, and the learned integral then.
+  bool learned_handoff_done_ = false;
+  double handoff_measured_joules_ = 0.0;
+  double handoff_learned_joules_ = 0.0;
 
   std::vector<TimelinePoint> timeline_;
   std::unordered_map<const odyssey::AdaptiveApplication*, std::vector<FidelityChange>>

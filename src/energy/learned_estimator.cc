@@ -1,0 +1,139 @@
+#include "src/energy/learned_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace odenergy {
+
+LearnedEstimator::LearnedEstimator(odpower::Machine* machine,
+                                   odsim::SimTime now,
+                                   const odpower::LearnedModelConfig& config)
+    : probe_(machine, now), model_(probe_.dim(), config) {}
+
+double LearnedEstimator::OnSample(odsim::SimTime now, double gauge_watts,
+                                  bool train) {
+  // Energy prediction uses the window's occupancy fractions: the model is
+  // linear, so coefficients apply to time-averages of the state
+  // indicators just as they do to the indicators themselves.
+  double window_seconds = 0.0;
+  std::vector<double> phi = probe_.DrainWindow(now, &window_seconds);
+  double predicted = model_.PredictWatts(phi);
+  last_predicted_watts_ = predicted;
+  if (window_seconds > 0.0) {
+    learned_joules_ += predicted * window_seconds;
+  }
+  if (train && std::isfinite(gauge_watts)) {
+    // The gauge reading is a snapshot of machine power at the sampling
+    // instant, so training pairs it with the snapshot state indicators —
+    // regressing an instantaneous target on window averages attenuates
+    // every coefficient for a component that switches within the window.
+    model_.Observe(probe_.SnapshotFeatures(), gauge_watts);
+  }
+  if (!convergence_marked_ && model_.converged()) {
+    convergence_marked_ = true;
+    joules_at_convergence_ = learned_joules_;
+  }
+  return predicted;
+}
+
+std::vector<LearnedEstimator::CoefficientReport> LearnedEstimator::Report()
+    const {
+  std::vector<CoefficientReport> rows;
+  rows.reserve(static_cast<size_t>(probe_.dim()));
+  for (int i = 0; i < probe_.dim(); ++i) {
+    CoefficientReport row;
+    row.feature = probe_.FeatureName(i);
+    row.fitted_watts = model_.coefficient(i);
+    row.true_watts = probe_.TrueIncrementWatts(i);
+    row.excitation_seconds = probe_.FeatureSeconds(i);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double LearnedEstimator::CoefficientRecoveryError(
+    double min_excitation_seconds, double min_true_watts) const {
+  double weighted_error = 0.0;
+  double weight = 0.0;
+  for (const CoefficientReport& row : Report()) {
+    double magnitude = std::abs(row.true_watts);
+    if (row.excitation_seconds < min_excitation_seconds ||
+        magnitude < min_true_watts) {
+      continue;
+    }
+    double w = row.excitation_seconds * magnitude;
+    weighted_error +=
+        w * std::abs(row.fitted_watts - row.true_watts) / magnitude;
+    weight += w;
+  }
+  return weight > 0.0 ? weighted_error / weight : 1.0;
+}
+
+DriftSentinel::DriftSentinel(const DriftSentinelConfig& config)
+    : config_(config) {
+  OD_CHECK(config.window_seconds > 0.0);
+  OD_CHECK(config.divergence_band > 0.0);
+  OD_CHECK(config.reweight >= 0.0 && config.reweight <= 1.0);
+}
+
+void DriftSentinel::AddInterval(odsim::SimTime now, double dt_seconds,
+                                double gauge_joules, double learned_joules,
+                                bool model_confident) {
+  if (dt_seconds <= 0.0) {
+    return;
+  }
+  window_.push_back(Interval{now, dt_seconds, gauge_joules, learned_joules,
+                             model_confident});
+  window_seconds_ += dt_seconds;
+  window_gauge_joules_ += gauge_joules;
+  window_learned_joules_ += learned_joules;
+  if (model_confident) {
+    ++confident_intervals_;
+  }
+  while (!window_.empty() &&
+         window_seconds_ - window_.front().seconds >= config_.window_seconds) {
+    const Interval& old = window_.front();
+    window_seconds_ -= old.seconds;
+    window_gauge_joules_ -= old.gauge_joules;
+    window_learned_joules_ -= old.learned_joules;
+    if (old.confident) {
+      --confident_intervals_;
+    }
+    window_.pop_front();
+  }
+}
+
+double DriftSentinel::WindowExcessJoules() const {
+  return window_gauge_joules_ - window_learned_joules_;
+}
+
+double DriftSentinel::WindowDivergence() const {
+  double reference = std::max(window_learned_joules_, 1e-9);
+  return std::abs(window_gauge_joules_ - window_learned_joules_) / reference;
+}
+
+bool DriftSentinel::Diverged() const {
+  // Judgeable: the window spans its configured length, integrates enough
+  // energy to compare, and the model was confident throughout (one
+  // unconverged interval in the window voids the comparison — the learned
+  // side of it is garbage).
+  if (window_seconds_ < config_.window_seconds ||
+      window_learned_joules_ < config_.min_window_joules ||
+      confident_intervals_ != static_cast<int>(window_.size()) ||
+      window_.empty()) {
+    return false;
+  }
+  return WindowDivergence() > config_.divergence_band;
+}
+
+void DriftSentinel::ResetWindow() {
+  window_.clear();
+  window_seconds_ = 0.0;
+  window_gauge_joules_ = 0.0;
+  window_learned_joules_ = 0.0;
+  confident_intervals_ = 0;
+}
+
+}  // namespace odenergy

@@ -1,0 +1,165 @@
+// Learned-model energy estimation and the gauge-drift sentinel.
+//
+// LearnedEstimator glues the Sesame-style pieces together for the goal
+// director: a UtilizationProbe supplies per-component activity features, an
+// odpower::LearnedModel fits them against the *delivered* gauge stream
+// (after TelemetryFaults corruption — the estimator must mirror what the
+// controller can actually observe, never the analytic accounting), and the
+// predicted power is integrated into an independent energy estimate.
+//
+// DriftSentinel is the cross-check.  PR 5's health validation rejects
+// readings that are non-finite, negative, or implausibly large; a gauge
+// whose scale drifts by 1.2x stays under every one of those bars and
+// silently biases the residual estimate.  The sentinel compares the energy
+// the gauge integrated over a sliding window against the energy the learned
+// model predicts for the same window; sustained relative divergence beyond
+// a configurable band — while the model is confident — is a drift verdict.
+// Recovery is hysteretic: a streak of consecutive in-band samples must
+// accumulate before the verdict lifts, mirroring the safe-mode recovery
+// streak.
+
+#ifndef SRC_ENERGY_LEARNED_ESTIMATOR_H_
+#define SRC_ENERGY_LEARNED_ESTIMATOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/power/learned_model.h"
+#include "src/power/utilization.h"
+#include "src/sim/time.h"
+
+namespace odenergy {
+
+class LearnedEstimator {
+ public:
+  // Attaches a UtilizationProbe to `machine` at `now` (construct once the
+  // hardware has settled; the probe's baselines are the resting states).
+  LearnedEstimator(odpower::Machine* machine, odsim::SimTime now,
+                   const odpower::LearnedModelConfig& config =
+                       odpower::LearnedModelConfig{});
+
+  LearnedEstimator(const LearnedEstimator&) = delete;
+  LearnedEstimator& operator=(const LearnedEstimator&) = delete;
+
+  // Consumes one delivered gauge sample.  Drains the utilization window
+  // ending at `now`, predicts its power from the current fit (before
+  // training — the prequential order the drift comparison needs),
+  // integrates the prediction into learned_joules(), and, when `train`,
+  // folds the observation into the model.  Returns the predicted watts for
+  // the drained window.  The caller passes train=false while the gauge is
+  // under a drift verdict or the controller is in safe mode: a model that
+  // chases a drifting gauge would erase the very divergence that exposes
+  // it.
+  double OnSample(odsim::SimTime now, double gauge_watts, bool train);
+
+  // Energy integrated from model predictions since construction.  Early
+  // windows (before the fit converges) are integrated too; consumers that
+  // need a trustworthy span difference against JoulesAtConvergence().
+  double learned_joules() const { return learned_joules_; }
+  // learned_joules() captured the first time the model reported
+  // convergence; 0 until then.
+  double joules_at_convergence() const { return joules_at_convergence_; }
+  // Latched: the model converged at some point.  This — not the live
+  // converged() bit — is what drift detection gates on: a drifting gauge
+  // inflates the model's prediction error and revokes live convergence,
+  // which is the symptom, not a reason to stand down.
+  bool converged_once() const { return convergence_marked_; }
+  double last_predicted_watts() const { return last_predicted_watts_; }
+
+  const odpower::LearnedModel& model() const { return model_; }
+  odpower::UtilizationProbe& probe() { return probe_; }
+
+  // -- Evaluation report ------------------------------------------------------
+
+  // Fitted coefficient vs. calibration-table truth, per feature.  Truth
+  // comes from UtilizationProbe's evaluation-only table access; the
+  // estimation path never reads it.
+  struct CoefficientReport {
+    std::string feature;
+    double fitted_watts = 0.0;
+    double true_watts = 0.0;
+    double excitation_seconds = 0.0;
+  };
+  std::vector<CoefficientReport> Report() const;
+
+  // Excitation-weighted mean relative coefficient error against the table,
+  // over features excited at least `min_excitation_seconds` and whose true
+  // magnitude is at least `min_true_watts` (weakly excited or near-zero
+  // coefficients are not meaningfully recoverable).  Returns 1.0 when no
+  // feature qualifies.
+  double CoefficientRecoveryError(double min_excitation_seconds,
+                                  double min_true_watts) const;
+
+ private:
+  odpower::UtilizationProbe probe_;
+  odpower::LearnedModel model_;
+  double learned_joules_ = 0.0;
+  double joules_at_convergence_ = 0.0;
+  bool convergence_marked_ = false;
+  double last_predicted_watts_ = 0.0;
+};
+
+struct DriftSentinelConfig {
+  bool enabled = false;
+  // Sliding comparison window.  Long enough to average over workload
+  // transitions, short enough that detection latency stays useful.
+  double window_seconds = 20.0;
+  // Relative divergence |gauge - learned| / learned tolerated before a
+  // drift verdict.  The converged model tracks a healthy gauge to a few
+  // percent; a 1.2x scale error diverges by ~20%.
+  double divergence_band = 0.10;
+  // Windows integrating less than this are too small to judge.
+  double min_window_joules = 5.0;
+  // Consecutive in-band samples before a drift verdict lifts.
+  int recovery_samples = 50;
+  // Fraction of the gauge/learned disagreement charged back to the
+  // residual estimate while drifting: 1.0 trusts the learned estimate
+  // fully for the divergent energy.
+  double reweight = 1.0;
+};
+
+class DriftSentinel {
+ public:
+  explicit DriftSentinel(const DriftSentinelConfig& config);
+
+  // Feeds one sample interval: `gauge_joules` as integrated from the
+  // delivered reading, `learned_joules` as predicted by the model, over
+  // `dt_seconds` ending at `now`.  `model_confident` gates verdicts — an
+  // unconverged model diverges from everything.
+  void AddInterval(odsim::SimTime now, double dt_seconds, double gauge_joules,
+                   double learned_joules, bool model_confident);
+
+  // Current window divergence verdict: true when the window is judgeable
+  // and out of band.
+  bool Diverged() const;
+  // Signed gauge-minus-learned energy over the current window.
+  double WindowExcessJoules() const;
+  double WindowGaugeJoules() const { return window_gauge_joules_; }
+  double WindowLearnedJoules() const { return window_learned_joules_; }
+  double WindowDivergence() const;
+
+  // Drops the window (on drift entry/exit and safe-mode entry, so a stale
+  // window cannot double-charge a correction or re-trigger instantly).
+  void ResetWindow();
+
+ private:
+  struct Interval {
+    odsim::SimTime end;
+    double seconds = 0.0;
+    double gauge_joules = 0.0;
+    double learned_joules = 0.0;
+    bool confident = false;
+  };
+
+  const DriftSentinelConfig config_;
+  std::deque<Interval> window_;
+  double window_seconds_ = 0.0;
+  double window_gauge_joules_ = 0.0;
+  double window_learned_joules_ = 0.0;
+  int confident_intervals_ = 0;
+};
+
+}  // namespace odenergy
+
+#endif  // SRC_ENERGY_LEARNED_ESTIMATOR_H_

@@ -15,7 +15,7 @@ constexpr FaultKind kAllKinds[] = {
     FaultKind::kLossBurst,    FaultKind::kServerStall,
     FaultKind::kDiskLatency,  FaultKind::kSampleDropout,
     FaultKind::kStaleTelemetry, FaultKind::kNanTelemetry,
-    FaultKind::kGaugeDrift,
+    FaultKind::kGaugeDrift,   FaultKind::kGaugeRamp,
 };
 
 // Round to ~3 decimals so the generated plan survives the canonical %g
@@ -33,6 +33,12 @@ double DrawMagnitude(FaultKind kind, odutil::Rng& rng) {
     case FaultKind::kGaugeDrift:
       // Both under- and over-reading gauges, up to 4x off.
       return Round3(rng.Uniform(0.25, 4.0));
+    case FaultKind::kGaugeRamp:
+      // Creeping miscalibration: the scale drifts linearly toward this
+      // endpoint over the window.  Kept sub-plausible on the high side —
+      // the whole point of the ramp is that no single reading trips the
+      // validator.
+      return Round3(rng.Uniform(0.5, 2.0));
     default:
       return 0.0;
   }

@@ -1,5 +1,6 @@
 #include "src/fault/fault_injector.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/check.h"
@@ -36,6 +37,7 @@ void FaultInjector::Arm(const FaultPlan& plan) {
       case FaultKind::kStaleTelemetry:
       case FaultKind::kNanTelemetry:
       case FaultKind::kGaugeDrift:
+      case FaultKind::kGaugeRamp:
         OD_CHECK_MSG(targets_.monitor != nullptr &&
                          targets_.monitor->telemetry_faults() != nullptr,
                      "fault plan needs a power-monitor target with "
@@ -102,11 +104,44 @@ void FaultInjector::Begin(const FaultEvent& event) {
       targets_.monitor->telemetry_faults()->set_nan(true);
       break;
     case FaultKind::kGaugeDrift:
-      if (first) {
+      if (GaugeWindowsActive() == 1) {
         nominal_gauge_scale_ = targets_.monitor->telemetry_faults()->gauge_scale();
       }
       targets_.monitor->telemetry_faults()->set_gauge_scale(event.magnitude);
       break;
+    case FaultKind::kGaugeRamp: {
+      if (GaugeWindowsActive() == 1) {
+        nominal_gauge_scale_ = targets_.monitor->telemetry_faults()->gauge_scale();
+      }
+      // The scale starts at nominal and creeps toward the magnitude; the
+      // first tick runs immediately (zero offset from nominal).
+      RampTick(event, sim_->Now());
+      break;
+    }
+  }
+}
+
+int FaultInjector::GaugeWindowsActive() const {
+  // Step drift and ramp drift share the gauge-scale knob; the nominal is
+  // captured when the first window of either kind opens and restored when
+  // the last closes.
+  return active_[Index(FaultKind::kGaugeDrift)] +
+         active_[Index(FaultKind::kGaugeRamp)];
+}
+
+void FaultInjector::RampTick(const FaultEvent& event, odsim::SimTime begin) {
+  if (active_[Index(FaultKind::kGaugeRamp)] == 0) {
+    return;  // The window closed; End() already restored the nominal.
+  }
+  double elapsed = (sim_->Now() - begin).seconds();
+  double fraction =
+      std::min(1.0, elapsed / std::max(1e-9, event.duration.seconds()));
+  double scale =
+      nominal_gauge_scale_ + (event.magnitude - nominal_gauge_scale_) * fraction;
+  targets_.monitor->telemetry_faults()->set_gauge_scale(scale);
+  if (fraction < 1.0) {
+    sim_->Schedule(odsim::SimDuration::Seconds(1),
+                   [this, event, begin] { RampTick(event, begin); });
   }
 }
 
@@ -163,7 +198,8 @@ void FaultInjector::End(const FaultEvent& event) {
       }
       break;
     case FaultKind::kGaugeDrift:
-      if (last) {
+    case FaultKind::kGaugeRamp:
+      if (GaugeWindowsActive() == 0) {
         targets_.monitor->telemetry_faults()->set_gauge_scale(nominal_gauge_scale_);
       }
       break;

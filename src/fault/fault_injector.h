@@ -33,7 +33,8 @@ struct FaultTargets {
   odnet::RpcClient* rpc = nullptr;        // loss
   odpower::PowerManager* pm = nullptr;    // disk
   std::vector<odyssey::RemoteServer*> servers;  // stall
-  // dropout, stale, nan, gauge — must expose a TelemetryFaults switchboard.
+  // dropout, stale, nan, gauge, ramp — must expose a TelemetryFaults
+  // switchboard.
   odscope::PowerMonitor* monitor = nullptr;
 };
 
@@ -54,11 +55,16 @@ class FaultInjector {
   bool any_active() const { return active_windows() > 0; }
 
  private:
-  static constexpr int kKindCount = 9;
+  static constexpr int kKindCount = 10;
   static int Index(FaultKind kind) { return static_cast<int>(kind); }
 
   void Begin(const FaultEvent& event);
   void End(const FaultEvent& event);
+  // Advances an active ramp window: interpolates the gauge scale between
+  // nominal and the event magnitude at 1 s granularity.
+  void RampTick(const FaultEvent& event, odsim::SimTime begin);
+  // Open windows that own the gauge-scale knob (step drift + ramp drift).
+  int GaugeWindowsActive() const;
 
   odsim::Simulator* sim_;
   FaultTargets targets_;

@@ -23,6 +23,7 @@ constexpr KindInfo kKinds[] = {
     {FaultKind::kStaleTelemetry, "stale", false, 0.0},
     {FaultKind::kNanTelemetry, "nan", false, 0.0},
     {FaultKind::kGaugeDrift, "gauge", true, 3.0},
+    {FaultKind::kGaugeRamp, "ramp", true, 2.0},
 };
 
 const KindInfo* FindKind(const std::string& name) {
@@ -60,6 +61,7 @@ bool MagnitudeValid(FaultKind kind, double magnitude) {
       return magnitude >= 0.0 && magnitude < 1.0;
     case FaultKind::kDiskLatency:
     case FaultKind::kGaugeDrift:
+    case FaultKind::kGaugeRamp:
       return magnitude > 0.0;
     case FaultKind::kOutage:
     case FaultKind::kServerStall:
@@ -94,7 +96,7 @@ bool ParseEvent(const std::string& text, FaultEvent* event, std::string* error) 
   if (info == nullptr) {
     return fail(
         "unknown kind "
-        "(bandwidth|outage|loss|stall|disk|dropout|stale|nan|gauge)");
+        "(bandwidth|outage|loss|stall|disk|dropout|stale|nan|gauge|ramp)");
   }
   size_t plus_pos = text.find('+', at_pos + 1);
   if (plus_pos == std::string::npos) {
@@ -143,6 +145,7 @@ bool IsTelemetryFault(FaultKind kind) {
     case FaultKind::kStaleTelemetry:
     case FaultKind::kNanTelemetry:
     case FaultKind::kGaugeDrift:
+    case FaultKind::kGaugeRamp:
       return true;
     default:
       return false;

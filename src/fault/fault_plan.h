@@ -30,6 +30,10 @@
 //   gauge      power-reading scale factor > 0; default 3 (gas-gauge
 //              miscalibration: readings are scaled, so the integrated
 //              energy estimate develops a discontinuity)
+//   ramp       power-reading scale drifts linearly from nominal to the
+//              magnitude over the window (> 0; default 2) — creeping
+//              miscalibration with no step edge for a validator to catch;
+//              the scale snaps back to nominal when the window ends
 //
 // The last four corrupt *telemetry* only: the machine's true draw and the
 // analytic accounting are untouched, which is exactly what makes them a
@@ -59,10 +63,11 @@ enum class FaultKind {
   kStaleTelemetry,
   kNanTelemetry,
   kGaugeDrift,
+  kGaugeRamp,
 };
 
 // Spec-grammar keyword ("bandwidth", "outage", "loss", "stall", "disk",
-// "dropout", "stale", "nan", "gauge").
+// "dropout", "stale", "nan", "gauge", "ramp").
 const char* FaultKindName(FaultKind kind);
 
 // True for the kinds that disturb power telemetry (and therefore need a

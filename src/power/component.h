@@ -38,6 +38,13 @@ class Component {
 
   bool active() const { return power() > kActiveThresholdWatts; }
 
+  // Table draw of `state`, whether or not it is current.  Subclasses with
+  // continuously variable draw (zoned display, scaled CPU) may deviate from
+  // the table at runtime; this is the calibration value.
+  double state_power(int state) const {
+    return state_powers_[static_cast<size_t>(state)];
+  }
+
   // Moves to the given state and notifies the machine if the draw changed.
   void SetState(int new_state);
 

@@ -1,0 +1,71 @@
+// Calibration-withheld deployment: the learned model bootstraps from the
+// probe phase and takes over the residual estimate.
+//
+// The analytic accounting needs the per-state calibration table; a device
+// we never profiled has none.  In that deployment the director runs on the
+// gas gauge alone, trains the self-constructive model against it, and —
+// with learned_primary_when_converged — hands the residual estimate over
+// once the fit converges.  These tests pin the handoff semantics and the
+// acceptance bound: withheld attainment within 15% of the calibrated
+// baseline.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/goal_scenario.h"
+
+namespace odenergy {
+namespace {
+
+odapps::GoalScenarioOptions BaseOptions() {
+  odapps::GoalScenarioOptions options;
+  options.seed = 7;
+  options.initial_joules = 13500.0;
+  options.goal = odsim::SimDuration::Seconds(1320);
+  options.learned_model = true;
+  // The 1 Hz quantized SmartBattery gauge carries ~15% irreducible window
+  // mismatch against occupancy features; 20% is the handoff bar for the
+  // withheld deployment (the multimeter default of 8% is never reached).
+  options.learned_config.converged_error_fraction = 0.20;
+  return options;
+}
+
+TEST(CalibrationWithheldTest, HandoffHappensAfterConvergence) {
+  odapps::GoalScenarioOptions options = BaseOptions();
+  options.use_smart_battery = true;
+  options.director.learned_primary_when_converged = true;
+  odapps::GoalScenarioResult result = odapps::RunGoalScenario(options);
+
+  EXPECT_TRUE(result.learned_converged);
+  EXPECT_TRUE(result.learned_primary_active);
+  // The learned estimate, not the gauge integral, now closes the books;
+  // it must still track ground truth within the acceptance band.
+  EXPECT_LE(std::abs(result.estimated_residual_joules - result.residual_joules),
+            0.15 * options.initial_joules);
+}
+
+TEST(CalibrationWithheldTest, AttainmentWithinBandOfCalibratedBaseline) {
+  odapps::GoalScenarioResult calibrated = odapps::RunGoalScenario(BaseOptions());
+
+  odapps::GoalScenarioOptions withheld_options = BaseOptions();
+  withheld_options.use_smart_battery = true;
+  withheld_options.director.learned_primary_when_converged = true;
+  odapps::GoalScenarioResult withheld =
+      odapps::RunGoalScenario(withheld_options);
+
+  EXPECT_EQ(withheld.goal_met, calibrated.goal_met);
+  EXPECT_LE(std::abs(withheld.residual_joules - calibrated.residual_joules),
+            0.15 * 13500.0);
+}
+
+TEST(CalibrationWithheldTest, NoHandoffWithoutOptIn) {
+  odapps::GoalScenarioOptions options = BaseOptions();
+  options.use_smart_battery = true;
+  odapps::GoalScenarioResult result = odapps::RunGoalScenario(options);
+  EXPECT_TRUE(result.learned_converged);
+  EXPECT_FALSE(result.learned_primary_active);
+}
+
+}  // namespace
+}  // namespace odenergy

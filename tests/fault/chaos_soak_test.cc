@@ -50,6 +50,12 @@ TEST_P(ChaosSoakTest, InvariantsHoldUnderRandomPlan) {
                                                     // 240 s chaos horizon.
   options.fault_plan = plan;
   options.trace = true;
+  // The soak runs the full robustness stack: the learned second estimator
+  // and the drift sentinel are armed, so random gauge faults — step and
+  // slow ramp alike — exercise the cross-check, and its residual
+  // corrections must preserve every invariant below.
+  options.learned_model = true;
+  options.director.drift_sentinel.enabled = true;
 
   double last_residual = options.initial_joules;
   int ticks = 0;
@@ -95,6 +101,21 @@ TEST_P(ChaosSoakTest, InvariantsHoldUnderRandomPlan) {
   EXPECT_TRUE(std::isfinite(result.estimated_residual_joules));
   EXPECT_GE(result.estimated_residual_joules, 0.0);
   EXPECT_LE(result.estimated_residual_joules, options.initial_joules);
+
+  // Drift-sentinel bookkeeping stayed coherent no matter what the plan
+  // threw at the gauge: episodes imply a detection time, time under
+  // verdict is bounded by the run, and the correction never went
+  // non-finite.
+  EXPECT_TRUE(std::isfinite(result.drift_correction_joules));
+  EXPECT_GE(result.drift_seconds, 0.0);
+  EXPECT_LE(result.drift_seconds, result.elapsed_seconds + 1e-9);
+  if (result.drift_entries > 0) {
+    ASSERT_TRUE(result.first_drift_detected_seconds.has_value());
+    EXPECT_GE(*result.first_drift_detected_seconds, 0.0);
+    EXPECT_LE(*result.first_drift_detected_seconds, result.elapsed_seconds);
+  } else {
+    EXPECT_FALSE(result.first_drift_detected_seconds.has_value());
+  }
 
   // The recorded power trace survived the chaos intact: monotone and RLE
   // by construction (Validate), every draw finite and non-negative, and

@@ -66,7 +66,7 @@ TEST(ChaosPlanTest, EventuallyCoversEveryKind) {
       seen.insert(event.kind);
     }
   }
-  EXPECT_EQ(seen.size(), 9u);  // All kinds reachable, telemetry included.
+  EXPECT_EQ(seen.size(), 10u);  // All kinds reachable, telemetry included.
 }
 
 }  // namespace

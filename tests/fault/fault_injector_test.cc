@@ -140,6 +140,26 @@ TEST(FaultInjectorTest, TelemetryWindowsToggleTheSwitchboard) {
   EXPECT_EQ(injector.windows_begun(), 4);
 }
 
+TEST(FaultInjectorTest, RampInterpolatesGaugeScaleAndRestores) {
+  Rig rig;
+  FaultInjector injector = rig.MakeInjector();
+  injector.Arm(Plan("ramp@10+20=2"));
+  odscope::TelemetryFaults* faults = rig.monitor.telemetry_faults();
+
+  rig.RunUntil(9.0);
+  EXPECT_DOUBLE_EQ(faults->gauge_scale(), 1.0);
+  // The ramp starts at nominal and interpolates linearly at 1 s ticks:
+  // halfway through the window the scale is halfway to the endpoint.
+  rig.RunUntil(20.5);
+  EXPECT_NEAR(faults->gauge_scale(), 1.5, 1e-12);
+  rig.RunUntil(29.5);
+  EXPECT_NEAR(faults->gauge_scale(), 1.95, 1e-12);
+  // Window end: the scale snaps back to nominal, whatever the tick order.
+  rig.RunUntil(31.0);
+  EXPECT_DOUBLE_EQ(faults->gauge_scale(), 1.0);
+  EXPECT_FALSE(injector.any_active());
+}
+
 TEST(FaultInjectorTest, EmptyPlanIsANoop) {
   Rig rig;
   FaultInjector injector = rig.MakeInjector();

@@ -39,9 +39,10 @@ TEST(FaultPlanTest, ParsesSingleEvent) {
 TEST(FaultPlanTest, ParsesAllKindsAndRoundTrips) {
   const std::string spec =
       "bandwidth@20+30=0.1;outage@60+10;loss@90+15=0.3;stall@100+5;"
-      "disk@110+20=8;dropout@130+10;stale@150+10;nan@170+5;gauge@180+10=3";
+      "disk@110+20=8;dropout@130+10;stale@150+10;nan@170+5;gauge@180+10=3;"
+      "ramp@200+60=1.5";
   FaultPlan plan = MustParse(spec);
-  ASSERT_EQ(plan.events.size(), 9u);
+  ASSERT_EQ(plan.events.size(), 10u);
   EXPECT_EQ(plan.events[1].kind, FaultKind::kOutage);
   EXPECT_EQ(plan.events[2].kind, FaultKind::kLossBurst);
   EXPECT_EQ(plan.events[3].kind, FaultKind::kServerStall);
@@ -50,6 +51,7 @@ TEST(FaultPlanTest, ParsesAllKindsAndRoundTrips) {
   EXPECT_EQ(plan.events[6].kind, FaultKind::kStaleTelemetry);
   EXPECT_EQ(plan.events[7].kind, FaultKind::kNanTelemetry);
   EXPECT_EQ(plan.events[8].kind, FaultKind::kGaugeDrift);
+  EXPECT_EQ(plan.events[9].kind, FaultKind::kGaugeRamp);
   // ToString is canonical: parsing its own output must reproduce it.
   EXPECT_EQ(plan.ToString(), spec);
   EXPECT_EQ(MustParse(plan.ToString()).ToString(), plan.ToString());
@@ -59,7 +61,7 @@ TEST(FaultPlanTest, EveryKindRoundTripsIndividually) {
   for (const char* spec :
        {"bandwidth@1.5+2.25=0.125", "outage@0+1", "loss@3+4=0.45",
         "stall@5+6", "disk@7+8=2.5", "dropout@9+10", "stale@11+12",
-        "nan@13+14", "gauge@15+16=0.5"}) {
+        "nan@13+14", "gauge@15+16=0.5", "ramp@17+18=1.3"}) {
     FaultPlan plan = MustParse(spec);
     EXPECT_EQ(plan.ToString(), spec);
     EXPECT_EQ(MustParse(plan.ToString()).ToString(), spec);
@@ -78,6 +80,7 @@ TEST(FaultPlanTest, MagnitudeDefaultsPerKind) {
   EXPECT_DOUBLE_EQ(MustParse("loss@0+1").events[0].magnitude, 0.3);
   EXPECT_DOUBLE_EQ(MustParse("disk@0+1").events[0].magnitude, 8.0);
   EXPECT_DOUBLE_EQ(MustParse("gauge@0+1").events[0].magnitude, 3.0);
+  EXPECT_DOUBLE_EQ(MustParse("ramp@0+1").events[0].magnitude, 2.0);
 }
 
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
@@ -98,6 +101,8 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   ParseError("nan@0+1=0.5");         // NaN takes no magnitude.
   ParseError("gauge@0+1=0");         // Gauge scale must be > 0.
   ParseError("gauge@0+1=-3");        // Gauge scale must be > 0.
+  ParseError("ramp@0+1=0");          // Ramp endpoint must be > 0.
+  ParseError("ramp@0+1=-1.5");       // Ramp endpoint must be > 0.
 }
 
 TEST(FaultPlanTest, EmptyPiecesBetweenSeparatorsAreSkipped) {
@@ -121,6 +126,7 @@ TEST(FaultPlanTest, KindNamesMatchTheGrammar) {
   EXPECT_STREQ(FaultKindName(FaultKind::kStaleTelemetry), "stale");
   EXPECT_STREQ(FaultKindName(FaultKind::kNanTelemetry), "nan");
   EXPECT_STREQ(FaultKindName(FaultKind::kGaugeDrift), "gauge");
+  EXPECT_STREQ(FaultKindName(FaultKind::kGaugeRamp), "ramp");
 }
 
 TEST(FaultPlanTest, TelemetryKindPredicate) {
@@ -128,6 +134,7 @@ TEST(FaultPlanTest, TelemetryKindPredicate) {
   EXPECT_TRUE(IsTelemetryFault(FaultKind::kStaleTelemetry));
   EXPECT_TRUE(IsTelemetryFault(FaultKind::kNanTelemetry));
   EXPECT_TRUE(IsTelemetryFault(FaultKind::kGaugeDrift));
+  EXPECT_TRUE(IsTelemetryFault(FaultKind::kGaugeRamp));
   EXPECT_FALSE(IsTelemetryFault(FaultKind::kBandwidth));
   EXPECT_FALSE(IsTelemetryFault(FaultKind::kOutage));
   EXPECT_FALSE(IsTelemetryFault(FaultKind::kLossBurst));

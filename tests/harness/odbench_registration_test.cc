@@ -1,5 +1,5 @@
 // Links the odbench_experiments object library, so the registry here holds
-// exactly the experiments the odbench binary ships: all 28 of them.
+// exactly the experiments the odbench binary ships: all 30 of them.
 
 #include <string>
 #include <vector>
@@ -19,14 +19,14 @@ const char* const kExpected[] = {
     "fig13_web",          "fig14_web_think",   "fig15_concurrency",
     "fig16_summary",      "fig18_zoned",       "fig19_goal_timeline",
     "fig20_goal_summary", "fig21_halflife",    "fig22_longrun",
-    "fleet_small",        "fleet_sweep",       "goal_fault_sweep",
-    "goalprobe",          "lifetime",          "micro_overhead",
-    "simspeed",
+    "fleet_small",        "fleet_sweep",       "gauge_drift_sweep",
+    "goal_fault_sweep",   "goalprobe",         "learned_model_sweep",
+    "lifetime",           "micro_overhead",    "simspeed",
 };
 
-TEST(OdbenchRegistrationTest, AllTwentyEightExperimentsRegistered) {
+TEST(OdbenchRegistrationTest, AllThirtyExperimentsRegistered) {
   auto& registry = ExperimentRegistry::Instance();
-  EXPECT_EQ(registry.size(), 28u);
+  EXPECT_EQ(registry.size(), 30u);
   for (const char* name : kExpected) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
