@@ -1,6 +1,9 @@
 // Regenerates Figure 19: supply and estimated demand over time, plus the
 // fidelity trace of each application, for 20- and 26-minute battery
-// duration goals (composite workload every 25 s + background video).
+// duration goals (composite workload every 25 s + background video).  A
+// third rung replays the background_sync scenario on a generous budget;
+// being adaptation-free, its power profile is the one fig19 trace pinned
+// as a hard golden.
 //
 // When odbench runs with an --out directory, each run's supply/demand
 // series is also dumped as CSV (fig19_goal_<seconds>.csv) for external
@@ -11,7 +14,10 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/goal_scenario.h"
+#include "src/scenario/driver.h"
+#include "src/scenario/library.h"
 #include "src/trace/trace_artifact.h"
+#include "src/util/check.h"
 #include "src/util/csv.h"
 #include "src/util/table.h"
 
@@ -20,15 +26,11 @@ using namespace odapps;
 namespace {
 
 void PrintRun(odharness::RunContext& ctx, double goal_seconds,
-              const odfault::FaultPlan& plan,
-              odtrace::TraceArtifact* traces) {
+              const odfault::FaultPlan& plan) {
   GoalScenarioOptions options;
   options.goal = odsim::SimDuration::Seconds(goal_seconds);
   options.seed = 19;
   options.fault_plan = plan;
-  // The recorder observes draws passively, so the traced run is
-  // bit-identical to the untraced one — same artifact either way.
-  options.trace = traces != nullptr;
   GoalScenarioResult result = RunGoalScenario(options);
 
   const std::string goal_label =
@@ -66,9 +68,6 @@ void PrintRun(odharness::RunContext& ctx, double goal_seconds,
         result.estimated_residual_joules;
   }
   ctx.Record(goal_label, options.seed, std::move(sample));
-  if (traces != nullptr) {
-    traces->Add(goal_label, options.seed, *result.trace);
-  }
 
   std::printf("--- Goal: %.0f minutes (initial supply %.0f J) ---\n",
               goal_seconds / 60.0, options.initial_joules);
@@ -112,6 +111,50 @@ void PrintRun(odharness::RunContext& ctx, double goal_seconds,
   std::printf("\n");
 }
 
+// The third rung: the background_sync scenario on a budget so generous the
+// director never schedules an adaptation.  With the adaptation schedule out
+// of the picture, the power timeline is a pure function of the scenario's
+// deterministic behavior trace — the one fig19 profile stable enough to pin
+// as a hard trace golden (ROADMAP section 10).  The 20/26-minute rungs
+// above stay schedule-sensitive, so only this rung's trace is attached.
+void PrintSyncRun(odharness::RunContext& ctx, const odfault::FaultPlan& plan,
+                  odtrace::TraceArtifact* traces) {
+  const odscenario::Scenario* scenario =
+      odscenario::FindScenario("background_sync");
+  OD_CHECK_MSG(scenario != nullptr, "scenario library lost background_sync");
+
+  GoalScenarioOptions options;
+  options.seed = 19;
+  options.goal = scenario->Duration();
+  // 12 W x duration: well above the idle-dominated draw, so the goal is
+  // met at full fidelity with zero adaptations.
+  options.initial_joules = 12.0 * scenario->Duration().seconds();
+  options.fault_plan = plan;
+  odscenario::ApplyScenarioWorkload(*scenario, &options);
+  // The recorder observes draws passively, so the traced run is
+  // bit-identical to the untraced one — same artifact either way.
+  options.trace = traces != nullptr;
+  GoalScenarioResult result = RunGoalScenario(options);
+
+  odharness::TrialSample sample;
+  sample.value = result.residual_joules;
+  sample.breakdown["goal_met"] = result.goal_met ? 1.0 : 0.0;
+  sample.breakdown["elapsed_seconds"] = result.elapsed_seconds;
+  sample.breakdown["adaptations"] = result.total_adaptations;
+  ctx.Record("goal_sync", options.seed, std::move(sample));
+  if (traces != nullptr && result.trace != nullptr) {
+    traces->Add("goal_sync", options.seed, *result.trace);
+  }
+
+  std::printf(
+      "--- Scenario: %s (initial supply %.0f J) ---\n"
+      "outcome: %s at t=%.0f s, residual %.0f J, %d adaptation(s)\n\n",
+      scenario->name.c_str(), options.initial_joules,
+      result.goal_met ? "goal met" : "supply exhausted",
+      result.elapsed_seconds, result.residual_joules,
+      result.total_adaptations);
+}
+
 }  // namespace
 
 ODBENCH_EXPERIMENT(fig19_goal_timeline,
@@ -129,8 +172,9 @@ ODBENCH_EXPERIMENT(fig19_goal_timeline,
   std::printf("\n");
   odtrace::TraceArtifact traces;
   odtrace::TraceArtifact* traces_ptr = ctx.trace_enabled() ? &traces : nullptr;
-  PrintRun(ctx, 1200.0, plan, traces_ptr);
-  PrintRun(ctx, 1560.0, plan, traces_ptr);
+  PrintRun(ctx, 1200.0, plan);
+  PrintRun(ctx, 1560.0, plan);
+  PrintSyncRun(ctx, plan, traces_ptr);
   if (traces_ptr != nullptr) {
     odtrace::AttachTraceArtifact(ctx, std::move(traces));
   }

@@ -31,13 +31,14 @@ namespace {
 // Shared by fleet_sweep and the compact fleet_small golden so the CI cell
 // measures exactly what the sweep measures.
 odharness::TrialSample FleetCell(int clients, bool cache_on,
-                                 const odfault::FaultPlan& plan,
-                                 uint64_t seed) {
+                                 const odfault::FaultPlan& plan, uint64_t seed,
+                                 bool scenario_diversity = false) {
   odapps::FleetOptions options;
   options.clients = clients;
   options.seed = seed;
   options.service.cache_capacity = cache_on ? 512 : 0;
   options.fault_plan = plan;
+  options.scenario_diversity = scenario_diversity;
   odapps::FleetResult r = odapps::RunFleetScenario(options);
 
   odharness::TrialSample sample;
@@ -50,6 +51,9 @@ odharness::TrialSample FleetCell(int clients, bool cache_on,
   sample.breakdown["rejected_fetches"] = r.total_rejected_fetches;
   sample.breakdown["device_cache_hits"] = r.total_device_cache_hits;
   sample.breakdown["devices_overload_clamped"] = r.devices_overload_clamped;
+  if (scenario_diversity) {
+    sample.breakdown["scenario_skipped_ticks"] = r.total_scenario_skipped_ticks;
+  }
   sample.breakdown["server_completed"] = r.server_completed;
   sample.breakdown["server_rejected"] = r.server_rejected;
   sample.breakdown["server_cache_hits"] = r.server_cache_hits;
@@ -175,5 +179,20 @@ ODBENCH_EXPERIMENT(fleet_small,
                   odutil::Table::Num(set.Mean("cache_hit_rate"), 3)});
   }
   table.Print();
+
+  // Third arm: the same fleet with per-device behavior diversity — every
+  // device gated by its seed-assigned library scenario.  Pins the gating
+  // in the compact golden: fewer fetches than the always-on arms and a
+  // nonzero skipped-tick count.
+  odharness::TrialSet diverse = ctx.RunTrials(
+      "n=32 cache=on scenarios", 1, 91012, [&](uint64_t seed) {
+        return FleetCell(32, /*cache_on=*/true, plan, seed,
+                         /*scenario_diversity=*/true);
+      });
+  std::printf(
+      "scenario-diverse arm: attainment %.3f, %d fetches, %d fetch "
+      "tick(s) suppressed by behavior timelines\n",
+      diverse.summary.mean, static_cast<int>(diverse.Mean("fetches")),
+      static_cast<int>(diverse.Mean("scenario_skipped_ticks")));
   return 0;
 }

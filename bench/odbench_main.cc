@@ -17,7 +17,9 @@
 //       --experiment-timeout SIGKILLs any forked run-all child that
 //       exceeds the per-experiment wall-clock budget (reported as rc 124);
 //       --fault-plan offers an odfault disturbance spec (see
-//       src/fault/fault_plan.h) to fault-aware experiments.  Flags and
+//       src/fault/fault_plan.h) to fault-aware experiments; --scenario
+//       restricts scenario-aware experiments (scenario_sweep) to one named
+//       user-behavior scenario (see src/scenario/library.h).  Flags and
 //       positionals may be interleaved: `odbench run --jobs 4 all` works.
 //   odbench diff <a.json> <b.json> [--rtol R] [--atol A]
 //       Structurally compare two run artifacts (sets by label, notes by
@@ -44,6 +46,7 @@
 #include "src/harness/flags.h"
 #include "src/harness/registry.h"
 #include "src/harness/scheduler.h"
+#include "src/scenario/library.h"
 #include "src/trace/trace_diff.h"
 
 namespace {
@@ -55,6 +58,7 @@ int Usage(const char* prog) {
                " [--out DIR]\n"
                "           [--compact] [--experiment-timeout SECONDS]"
                " [--fault-plan SPEC] [--trace]\n"
+               "           [--scenario NAME]\n"
                "       %s diff <a.json> <b.json> [--rtol R] [--atol A]\n"
                "       %s diff --traces <a.trace.json> <b.trace.json>"
                " [--rtol R] [--atol A]\n"
@@ -195,7 +199,7 @@ int Main(int argc, char** argv) {
   }
   if (!flags.Validate(
           {"trials", "seed", "jobs", "out", "experiment-timeout",
-           "fault-plan"},
+           "fault-plan", "scenario"},
           {"compact", "trace"}, &error)) {
     std::fprintf(stderr, "odbench: %s\n", error.c_str());
     return Usage(argv[0]);
@@ -222,6 +226,16 @@ int Main(int argc, char** argv) {
       return Usage(argv[0]);
     }
     options.fault_plan = plan.ToString();  // Canonical spelling everywhere.
+  }
+  options.scenario = flags.GetString("scenario", "");
+  if (!options.scenario.empty() &&
+      odscenario::FindScenario(options.scenario) == nullptr) {
+    std::fprintf(stderr, "odbench: unknown scenario '%s'; known scenarios:\n",
+                 options.scenario.c_str());
+    for (const std::string& name : odscenario::ScenarioNames()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return Usage(argv[0]);
   }
   if (options.out_dir == "none") {
     options.out_dir.clear();

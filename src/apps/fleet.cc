@@ -4,8 +4,11 @@
 #include <memory>
 #include <utility>
 
+#include <cmath>
+
 #include "src/fault/fault_injector.h"
 #include "src/net/link.h"
+#include "src/scenario/library.h"
 #include "src/odyssey/server.h"
 #include "src/odyssey/viceroy.h"
 #include "src/odyssey/warden.h"
@@ -57,9 +60,24 @@ struct Device {
   std::unique_ptr<odscope::OnlineMonitor> monitor;
   std::unique_ptr<odenergy::GoalDirector> director;
   std::unique_ptr<odutil::Rng> rng;  // Workload stream (object choice, jitter).
+  // Behavior timeline gating the fetch loop (scenario_diversity); null
+  // means always-on.
+  const odscenario::Scenario* scenario = nullptr;
   int fetches = 0;
   int outstanding = 0;
+  int scenario_skipped_ticks = 0;
 };
+
+// Where `elapsed` falls on `scenario`'s timeline, wrapped modulo the
+// scenario duration: fleet runs outlive a single behavior day.
+odsim::SimDuration ScenarioPhaseTime(const odscenario::Scenario& scenario,
+                                     odsim::SimDuration elapsed) {
+  const double duration = scenario.Duration().seconds();
+  if (duration <= 0.0) {
+    return odsim::SimDuration::Zero();
+  }
+  return odsim::SimDuration::Seconds(std::fmod(elapsed.seconds(), duration));
+}
 
 }  // namespace
 
@@ -103,6 +121,12 @@ FleetResult RunFleetScenario(const FleetOptions& options) {
         odscope::OnlineMonitorConfig{.period = options.monitor_period},
         monitor_seed);
     d->rng = std::make_unique<odutil::Rng>(workload_seed);
+    if (options.scenario_diversity) {
+      const std::vector<odscenario::Scenario>& library =
+          odscenario::ScenarioLibrary();
+      d->scenario = &library[(options.seed + static_cast<uint64_t>(i)) %
+                             library.size()];
+    }
     devices.push_back(std::move(d));
   }
 
@@ -147,7 +171,19 @@ FleetResult RunFleetScenario(const FleetOptions& options) {
     if (d.director->outcome() != odenergy::GoalOutcome::kRunning) {
       return;
     }
-    if (d.outstanding < options.max_outstanding) {
+    // Behavior gating: fetch only where the device's scenario is active
+    // and has coverage.  The tick keeps rescheduling through inactive
+    // stretches (and keeps drawing its jitter, so the workload stream
+    // stays aligned with the always-on loop's schedule).
+    bool behave = true;
+    if (d.scenario != nullptr) {
+      odsim::SimDuration t = ScenarioPhaseTime(*d.scenario, sim.Now() - start);
+      behave = d.scenario->ActiveAt(t) && d.scenario->CoverageAt(t);
+      if (!behave) {
+        ++d.scenario_skipped_ticks;
+      }
+    }
+    if (behave && d.outstanding < options.max_outstanding) {
       int level = d.app->current_fidelity();
       const FleetLevelSpec& spec = FleetLevels()[level];
       int object = d.rng->UniformInt(0, options.shared_objects - 1);
@@ -206,6 +242,7 @@ FleetResult RunFleetScenario(const FleetOptions& options) {
     dev.cache_hits = d->warden->cache_hits();
     dev.failed_fetches = d->warden->failed_fetches();
     dev.overload_clamps = d->viceroy->overload_clamps();
+    dev.scenario_skipped_ticks = d->scenario_skipped_ticks;
 
     result.goal_met_count += dev.goal_met ? 1 : 0;
     result.mean_final_fidelity += dev.final_fidelity;
@@ -215,6 +252,7 @@ FleetResult RunFleetScenario(const FleetOptions& options) {
     result.total_rejected_fetches += dev.rejected_fetches;
     result.total_device_cache_hits += dev.cache_hits;
     result.devices_overload_clamped += dev.overload_clamps > 0 ? 1 : 0;
+    result.total_scenario_skipped_ticks += dev.scenario_skipped_ticks;
     result.devices.push_back(dev);
   }
   result.goal_attainment =

@@ -97,6 +97,15 @@ struct FleetOptions {
   // skips the period instead of piling more onto a slow service.
   int max_outstanding = 4;
 
+  // Per-device behavior diversity: assign each device a scenario from the
+  // named library by seed-indexed rotation (library[(seed + i) % size])
+  // and gate its fetch loop on that behavior timeline — the device fetches
+  // only where its scenario is active and has coverage, wrapping modulo
+  // the scenario duration for runs longer than the scenario.  Off (the
+  // default) keeps the uniform always-on fetch loop, byte-identical to the
+  // pre-scenario fleet.
+  bool scenario_diversity = false;
+
   // Per-device adaptation machinery, tuned down for scale (coarser monitor
   // and evaluation cadence than the single-client testbed; no timeline).
   odenergy::GoalDirectorConfig director{
@@ -129,6 +138,9 @@ struct FleetDeviceResult {
   int cache_hits = 0;
   int failed_fetches = 0;
   int overload_clamps = 0;
+  // Fetch ticks suppressed by the device's behavior timeline (idle or
+  // coverage-gap stretch); 0 unless scenario_diversity is on.
+  int scenario_skipped_ticks = 0;
 };
 
 struct FleetResult {
@@ -149,6 +161,7 @@ struct FleetResult {
   int total_rejected_fetches = 0;
   int total_device_cache_hits = 0;
   int devices_overload_clamped = 0;
+  int total_scenario_skipped_ticks = 0;
 
   // -- Server-side aggregates -------------------------------------------------
   int server_completed = 0;

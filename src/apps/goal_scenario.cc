@@ -110,7 +110,10 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
   // Workload.
   CompositeApp composite(&bed.sim(), &bed.speech(), &bed.web(), &bed.map());
   std::unique_ptr<BurstyWorkload> bursty;
-  if (options.bursty) {
+  std::function<void()> stop_workload;
+  if (options.workload_factory) {
+    stop_workload = options.workload_factory(bed);
+  } else if (options.bursty) {
     bursty = std::make_unique<BurstyWorkload>(&bed.sim(), &bed.video(),
                                               &bed.speech(), &bed.web(),
                                               &bed.map(), &bed.rng());
@@ -157,6 +160,9 @@ GoalScenarioResult RunGoalScenario(const GoalScenarioOptions& options) {
   bed.video().StopLooping();
   if (bursty != nullptr) {
     bursty->Stop();
+  }
+  if (stop_workload) {
+    stop_workload();
   }
 
   GoalScenarioResult result;

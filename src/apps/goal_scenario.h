@@ -39,6 +39,14 @@ struct GoalScenarioOptions {
   bool bursty = false;
   odsim::SimDuration composite_period = odsim::SimDuration::Seconds(25);
 
+  // Generic workload hook: when set, replaces the built-in workloads above.
+  // Called after Settle() with the run's TestBed; drives whatever it likes
+  // through the apps and returns a stop function the scenario invokes at
+  // teardown.  The scenario layer (odscenario::ApplyScenarioWorkload)
+  // installs its driver here — keeping goal_scenario free of a dependency
+  // on the DSL.
+  std::function<std::function<void()>(TestBed&)> workload_factory;
+
   // Optional mid-run goal revision (Section 5.4: +30 min at the end of the
   // first hour).
   std::optional<odsim::SimDuration> extend_at;

@@ -134,7 +134,9 @@ void VideoPlayer::StopLooping() { looping_ = false; }
 
 void VideoPlayer::PlayChunk() {
   double remaining = segment_seconds_ - position_seconds_;
-  if (remaining <= 1e-9) {
+  // Sub-microsecond tails are unrepresentable in integer sim time (the
+  // chunk timer would round to zero); treat them as finished.
+  if (remaining < 5e-7) {
     FinishPlayback();
     return;
   }
@@ -178,14 +180,29 @@ void VideoPlayer::PlayChunk() {
     double area = config.window_scale * config.window_scale;
     double render = kVideoCal.xserver_busy_full_window * area * config.rate_scale *
                     chunk * rng_->Uniform(0.98, 1.02);
+    // A short tail chunk can cost less than a microsecond of decode or
+    // render CPU, which rounds to zero in integer sim time — and the
+    // simulator (correctly) rejects zero-duration work.  Stages that round
+    // to nothing complete inline instead.
+    odsim::SimDuration decode_work = odsim::SimDuration::Seconds(decode);
+    odsim::SimDuration render_work = odsim::SimDuration::Seconds(render);
     ++outstanding_chunks_;
-    sim->SubmitWork(
-        xanim_pid_, decode_proc_, odsim::SimDuration::Seconds(decode),
-        [this, sim, render] {
-          sim->SubmitWork(xserver_pid_, render_proc_,
-                          odsim::SimDuration::Seconds(render),
-                          [this] { --outstanding_chunks_; });
-        });
+    auto finish_render = [this] { --outstanding_chunks_; };
+    if (decode_work > odsim::SimDuration::Zero()) {
+      sim->SubmitWork(xanim_pid_, decode_proc_, decode_work,
+                      [this, sim, render_work, finish_render] {
+                        if (render_work > odsim::SimDuration::Zero()) {
+                          sim->SubmitWork(xserver_pid_, render_proc_,
+                                          render_work, finish_render);
+                        } else {
+                          finish_render();
+                        }
+                      });
+    } else if (render_work > odsim::SimDuration::Zero()) {
+      sim->SubmitWork(xserver_pid_, render_proc_, render_work, finish_render);
+    } else {
+      finish_render();
+    }
   }
 
   position_seconds_ += chunk;

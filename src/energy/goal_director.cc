@@ -111,20 +111,33 @@ void GoalDirector::LogFidelityChange(odyssey::AdaptiveApplication* app,
 }
 
 void GoalDirector::EnterDrift(odsim::SimTime now) {
+  // Retroactive correction: the divergence accumulated before the verdict
+  // landed.  The window covers its own span; the entry hold accumulated
+  // out-of-band time beyond it, so the overhang is charged at the
+  // window's excess rate.  The accumulator is capped at the hold by
+  // construction (the verdict fires the sample it crosses), so churny
+  // paths cannot inflate the charge-back.
+  double excess = sentinel_->WindowExcessJoules();
+  if (config_.drift_sentinel.window_seconds > 0.0) {
+    double overhang =
+        diverged_accum_seconds_ - config_.drift_sentinel.window_seconds;
+    if (overhang > 0.0) {
+      excess += overhang * excess / config_.drift_sentinel.window_seconds;
+    }
+  }
   drifting_ = true;
   ++drift_entries_;
   drift_entered_ = now;
   drift_recovery_streak_ = 0;
+  diverged_accum_seconds_ = 0.0;
+  inband_accum_seconds_ = 0.0;
+  suspect_since_.reset();
   if (!first_drift_detected_.has_value()) {
     first_drift_detected_ = now;
   }
   if (health_ != ControllerHealth::kSafeMode) {
     health_ = ControllerHealth::kGaugeDrift;
   }
-  // Retroactive correction: the divergence accumulated inside the sentinel
-  // window predates the verdict; charge it back now, then drop the window
-  // so it cannot be charged twice.
-  double excess = sentinel_->WindowExcessJoules();
   drift_correction_joules_ += config_.drift_sentinel.reweight * excess;
   OD_LOG_WARN(
       "goal director: gauge drift at t=%.1fs — window gauge %.1f J vs "
@@ -141,6 +154,9 @@ void GoalDirector::ExitDrift(odsim::SimTime now, const char* reason) {
   drifting_ = false;
   drift_seconds_ += (now - drift_entered_).seconds();
   drift_recovery_streak_ = 0;
+  diverged_accum_seconds_ = 0.0;
+  inband_accum_seconds_ = 0.0;
+  suspect_since_.reset();
   if (health_ == ControllerHealth::kGaugeDrift) {
     health_ = ControllerHealth::kHealthy;
   }
@@ -170,7 +186,10 @@ void GoalDirector::EnterSafeMode(odsim::SimTime now, const char* reason) {
 }
 
 void GoalDirector::ExitSafeMode(odsim::SimTime now) {
-  health_ = ControllerHealth::kHealthy;
+  // A drift verdict convicted from safe mode's valid samples outlives the
+  // safe mode that corroborated it.
+  health_ = drifting_ ? ControllerHealth::kGaugeDrift
+                      : ControllerHealth::kHealthy;
   safe_mode_seconds_ += (now - safe_mode_entered_).seconds();
   consecutive_invalid_ = 0;
   identical_streak_ = 0;
@@ -260,15 +279,53 @@ void GoalDirector::OnPowerSample(odsim::SimTime now, double watts) {
     // comparison window turns merely *suspicious* (half the band) — the
     // verdict needs a window's worth of evidence, and a model that kept
     // absorbing readings during that interval would have chased part of
-    // the drift before the freeze landed.
-    bool confident = learned_->converged_once();
+    // the drift before the freeze landed.  The pre-verdict freeze carries
+    // a budget, though: a real drift convicts well inside it, so
+    // suspicion that outlives the budget is the model lagging a workload
+    // shift, and training must resume before frozen prediction error
+    // ratchets into a false verdict.
+    // Confidence has two legs: the model converged at some point, and the
+    // state combination the machine holds is one the model has actually
+    // trained on (min_feature_excitation_seconds).  A window leaning on an
+    // extrapolated mix indicts the model, not the gauge — while a real
+    // gauge drift needs no state change at all, so the excitation gate
+    // costs detection nothing.  (The pre-OnSample read uses the previous
+    // interval's excitation — a 100 ms skew on a continuous property.)
+    auto excited = [this] {
+      return learned_->last_state_excitation_seconds() >=
+             config_.drift_sentinel.min_feature_excitation_seconds;
+    };
+    // Suspicion additionally requires the proven-accuracy latch: until
+    // the sentinel has witnessed one judgeable in-band window, high
+    // divergence means the fit is still settling, and freezing it would
+    // pin that honest error in place long enough to convict it.  Like
+    // the verdict itself, suspicion is excess-side only — a deficit
+    // cannot convict (see the entry branch below), so freezing on one
+    // would only delay the model learning a post-adaptation mix.
+    if (sentinel_.has_value() && sentinel_->WindowJudgeable() &&
+        !sentinel_->Diverged()) {
+      sentinel_proven_ = true;
+    }
+    bool suspicious = learned_->converged_once() && excited() &&
+                      sentinel_proven_ && sentinel_.has_value() &&
+                      sentinel_->WindowExcessJoules() > 0.0 &&
+                      sentinel_->WindowDivergence() >
+                          0.5 * config_.drift_sentinel.divergence_band;
+    if (suspicious) {
+      if (!suspect_since_.has_value()) {
+        suspect_since_ = now;
+      }
+    } else {
+      suspect_since_.reset();
+    }
     bool train = !drifting_ && health_ != ControllerHealth::kSafeMode;
-    if (train && confident && sentinel_.has_value() &&
-        sentinel_->WindowDivergence() >
-            0.5 * config_.drift_sentinel.divergence_band) {
+    if (train && suspicious &&
+        (now - *suspect_since_).seconds() <=
+            config_.drift_sentinel.freeze_budget_seconds) {
       train = false;
     }
     double predicted = learned_->OnSample(now, watts, train);
+    bool confident = learned_->converged_once() && excited();
 
     if (config_.learned_primary_when_converged && !learned_handoff_done_ &&
         learned_->converged_once()) {
@@ -281,8 +338,13 @@ void GoalDirector::OnPowerSample(odsim::SimTime now, double watts) {
           now.seconds(), handoff_measured_joules_);
     }
 
-    if (sentinel_.has_value() && !learned_handoff_done_ &&
-        health_ != ControllerHealth::kSafeMode) {
+    // The cross-check runs on every *valid* sample, safe mode included: a
+    // gauge whose scale error also trips the plausibility bars spends the
+    // whole fault bouncing through safe mode, and the valid troughs that
+    // leak through are the only evidence there is.  The sentinel judges
+    // the gauge, not the controller — safe mode corroborates distrust, it
+    // does not stand the cross-check down.
+    if (sentinel_.has_value() && !learned_handoff_done_) {
       if (drifting_) {
         // Per-sample discount: the learned model is the believed rate; the
         // gauge's excess is charged back to the residual as it accrues.
@@ -303,9 +365,50 @@ void GoalDirector::OnPowerSample(odsim::SimTime now, double watts) {
       } else {
         sentinel_->AddInterval(now, period, watts * period, predicted * period,
                                confident);
-        if (sentinel_->Diverged()) {
-          EnterDrift(now);
-          demand_watts = predicted;
+        // Entry hysteresis: the hold's worth of out-of-band time must
+        // *accumulate* — longer than the window itself — before the
+        // verdict lands.  A workload-transition error lump slides out of
+        // the window before the hold fills and the in-band window behind
+        // it zeroes the count; only a divergence that keeps renewing (a
+        // real scale error) convicts.  An unjudgeable window — safe-mode
+        // resets, convergence gaps — is evidence of nothing and leaves
+        // the count standing, so a gauge bad enough to bounce the
+        // controller through safe mode still convicts across the gaps.
+        // Only *excess*-side divergence (gauge above model) accumulates
+        // toward a verdict.  The occupancy features carry no fidelity
+        // term, so any fidelity drop — an adaptation decision or the safe
+        // clamp — cuts real power while the model keeps predicting
+        // full-fidelity watts: the gauge reads below the model and the
+        // deficit indicts the feature blind spot, not the gauge.  An
+        // under-reading gauge is therefore indistinguishable from normal
+        // adaptation at this layer and the director does not convict on
+        // it (the DriftSentinel primitive itself stays symmetric); every
+        // scale error that inflates the drain estimate — the direction
+        // that burns the goal — shows up on the excess side.
+        bool accumulable = sentinel_->WindowExcessJoules() > 0.0;
+        if (sentinel_->Diverged() && accumulable) {
+          diverged_accum_seconds_ += period;
+          inband_accum_seconds_ = 0.0;
+          if (diverged_accum_seconds_ >=
+              config_.drift_sentinel.entry_hold_seconds) {
+            EnterDrift(now);
+            demand_watts = predicted;
+          }
+        } else if (sentinel_->WindowJudgeable()) {
+          diverged_accum_seconds_ = 0.0;
+          inband_accum_seconds_ = 0.0;
+        } else if (diverged_accum_seconds_ > 0.0) {
+          // Freshness horizon: unjudgeable windows leave the count
+          // standing only so long as the divergence keeps renewing within
+          // a window's span of *sampled* time.  Warm-up wobble — blips
+          // separated by long unjudgeable stretches — ages out; safe-mode
+          // gaps contribute no samples on this path, so a churn-bounced
+          // drift is unaffected.
+          inband_accum_seconds_ += period;
+          if (inband_accum_seconds_ >= config_.drift_sentinel.window_seconds) {
+            diverged_accum_seconds_ = 0.0;
+            inband_accum_seconds_ = 0.0;
+          }
         }
       }
     }

@@ -282,6 +282,24 @@ class GoalDirector {
   LearnedEstimator* learned_ = nullptr;
   std::optional<DriftSentinel> sentinel_;
   bool drifting_ = false;
+  // When the comparison window first turned suspicious (past half the
+  // band, continuously).  Unset whenever the window is back under the
+  // threshold.
+  std::optional<odsim::SimTime> suspect_since_;
+  // Latched once the sentinel has seen a judgeable *in-band* window: the
+  // model has demonstrated it can match a healthy gauge.  Until then,
+  // suspicion must not freeze training — freezing a still-converging fit
+  // pins its honest error in place and ratchets it into a false verdict.
+  bool sentinel_proven_ = false;
+  // Accumulated seconds the window has spent out of band (past the full
+  // band) since the last judgeable in-band window.  Survives safe-mode
+  // churn on purpose: an implausible gauge corroborates drift, and the
+  // window resets it forces would otherwise restart a continuous entry
+  // clock forever.
+  double diverged_accum_seconds_ = 0.0;
+  // Sampled (non-safe-mode) seconds since the last out-of-band window;
+  // ages the accumulator out when divergence stops renewing.
+  double inband_accum_seconds_ = 0.0;
   int drift_entries_ = 0;
   int drift_recovery_streak_ = 0;
   double drift_seconds_ = 0.0;

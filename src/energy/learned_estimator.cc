@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "src/util/check.h"
 
@@ -24,13 +25,38 @@ double LearnedEstimator::OnSample(odsim::SimTime now, double gauge_watts,
   if (window_seconds > 0.0) {
     learned_joules_ += predicted * window_seconds;
   }
+  std::vector<double> snapshot = probe_.SnapshotFeatures();
+  uint64_t combination = 0;
+  for (size_t i = 1; i < snapshot.size() && i < 64; ++i) {
+    if (snapshot[i] > 0.5) {
+      combination |= uint64_t{1} << i;
+    }
+  }
+  CombinationRecord& record = combination_seconds_[combination];
+  // Decay on twice the RLS memory (samples-to-seconds via this window),
+  // measured on the model's *training* clock: combos refreshed at even a
+  // modest duty cycle stay judged, combos the forgetting has flushed drop
+  // back below the confidence bar — but a model whose training is frozen
+  // (drift verdict, safe mode, suspicion) forgets nothing, so excitation
+  // must not rot while the clock is stopped.
+  if (window_seconds > 0.0 && record.seconds > 0.0) {
+    double tau = 2.0 * window_seconds /
+                 std::max(1e-6, 1.0 - model_.config().forgetting);
+    record.seconds *=
+        std::exp(-(trained_seconds_total_ - record.trained_at) / tau);
+  }
+  record.trained_at = trained_seconds_total_;
   if (train && std::isfinite(gauge_watts)) {
     // The gauge reading is a snapshot of machine power at the sampling
     // instant, so training pairs it with the snapshot state indicators —
     // regressing an instantaneous target on window averages attenuates
     // every coefficient for a component that switches within the window.
-    model_.Observe(probe_.SnapshotFeatures(), gauge_watts);
+    model_.Observe(snapshot, gauge_watts);
+    record.seconds += window_seconds;
+    trained_seconds_total_ += window_seconds;
+    record.trained_at = trained_seconds_total_;
   }
+  last_state_excitation_seconds_ = record.seconds;
   if (!convergence_marked_ && model_.converged()) {
     convergence_marked_ = true;
     joules_at_convergence_ = learned_joules_;
@@ -90,7 +116,9 @@ void DriftSentinel::AddInterval(odsim::SimTime now, double dt_seconds,
   window_gauge_joules_ += gauge_joules;
   window_learned_joules_ += learned_joules;
   if (model_confident) {
-    ++confident_intervals_;
+    confident_seconds_ += dt_seconds;
+    confident_gauge_joules_ += gauge_joules;
+    confident_learned_joules_ += learned_joules;
   }
   while (!window_.empty() &&
          window_seconds_ - window_.front().seconds >= config_.window_seconds) {
@@ -99,7 +127,9 @@ void DriftSentinel::AddInterval(odsim::SimTime now, double dt_seconds,
     window_gauge_joules_ -= old.gauge_joules;
     window_learned_joules_ -= old.learned_joules;
     if (old.confident) {
-      --confident_intervals_;
+      confident_seconds_ -= old.seconds;
+      confident_gauge_joules_ -= old.gauge_joules;
+      confident_learned_joules_ -= old.learned_joules;
     }
     window_.pop_front();
   }
@@ -110,22 +140,28 @@ double DriftSentinel::WindowExcessJoules() const {
 }
 
 double DriftSentinel::WindowDivergence() const {
-  double reference = std::max(window_learned_joules_, 1e-9);
-  return std::abs(window_gauge_joules_ - window_learned_joules_) / reference;
+  // Confident intervals only: extrapolation error on barely-trained state
+  // mixes indicts the model, not the gauge, so it is excluded from the
+  // evidence rather than folded into it.
+  double reference = std::max(confident_learned_joules_, 1e-9);
+  return std::abs(confident_gauge_joules_ - confident_learned_joules_) /
+         reference;
+}
+
+bool DriftSentinel::WindowJudgeable() const {
+  // The window spans its configured length, a quorum of it is confident,
+  // and the confident intervals integrate enough energy to compare (an
+  // unconverged model diverges from everything — its intervals are not
+  // evidence).
+  return window_seconds_ >= config_.window_seconds &&
+         confident_seconds_ >=
+             config_.min_confident_fraction * window_seconds_ &&
+         confident_learned_joules_ >= config_.min_window_joules &&
+         !window_.empty();
 }
 
 bool DriftSentinel::Diverged() const {
-  // Judgeable: the window spans its configured length, integrates enough
-  // energy to compare, and the model was confident throughout (one
-  // unconverged interval in the window voids the comparison — the learned
-  // side of it is garbage).
-  if (window_seconds_ < config_.window_seconds ||
-      window_learned_joules_ < config_.min_window_joules ||
-      confident_intervals_ != static_cast<int>(window_.size()) ||
-      window_.empty()) {
-    return false;
-  }
-  return WindowDivergence() > config_.divergence_band;
+  return WindowJudgeable() && WindowDivergence() > config_.divergence_band;
 }
 
 void DriftSentinel::ResetWindow() {
@@ -133,7 +169,9 @@ void DriftSentinel::ResetWindow() {
   window_seconds_ = 0.0;
   window_gauge_joules_ = 0.0;
   window_learned_joules_ = 0.0;
-  confident_intervals_ = 0;
+  confident_seconds_ = 0.0;
+  confident_gauge_joules_ = 0.0;
+  confident_learned_joules_ = 0.0;
 }
 
 }  // namespace odenergy

@@ -21,8 +21,10 @@
 #ifndef SRC_ENERGY_LEARNED_ESTIMATOR_H_
 #define SRC_ENERGY_LEARNED_ESTIMATOR_H_
 
+#include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/power/learned_model.h"
@@ -66,6 +68,16 @@ class LearnedEstimator {
   // which is the symptom, not a reason to stand down.
   bool converged_once() const { return convergence_marked_; }
   double last_predicted_watts() const { return last_predicted_watts_; }
+  // Recency-weighted *trained* seconds of the state combination the
+  // machine held at the last OnSample().  Tracked per combination, not per
+  // feature: a collinear fit predicts accurately on the mixes it has
+  // trained on and can extrapolate wildly on a novel mix of individually
+  // well-excited states.  Decayed on the model's own forgetting timescale:
+  // a combination the RLS has not been refreshed on lately is one it has
+  // forgotten, however long it trained on it once.
+  double last_state_excitation_seconds() const {
+    return last_state_excitation_seconds_;
+  }
 
   const odpower::LearnedModel& model() const { return model_; }
   odpower::UtilizationProbe& probe() { return probe_; }
@@ -98,6 +110,19 @@ class LearnedEstimator {
   double joules_at_convergence_ = 0.0;
   bool convergence_marked_ = false;
   double last_predicted_watts_ = 0.0;
+  // Recency-decayed trained seconds per active-state combination (bitmask
+  // over features).  `trained_at` is the value of trained_seconds_total_
+  // when the record was last refreshed: decay advances on the model's own
+  // training clock, not wall time, because RLS forgetting only moves when
+  // Observe() runs — a frozen model forgets nothing, so its excitation
+  // must not rot while training is suspended.
+  struct CombinationRecord {
+    double seconds = 0.0;
+    double trained_at = 0.0;
+  };
+  std::unordered_map<uint64_t, CombinationRecord> combination_seconds_;
+  double trained_seconds_total_ = 0.0;
+  double last_state_excitation_seconds_ = 0.0;
 };
 
 struct DriftSentinelConfig {
@@ -111,6 +136,38 @@ struct DriftSentinelConfig {
   double divergence_band = 0.10;
   // Windows integrating less than this are too small to judge.
   double min_window_joules = 5.0;
+  // A verdict requires this much *accumulated* out-of-band time, cleared
+  // whenever a judgeable window comes back in band.  Kept longer than
+  // window_seconds on purpose: the error lump a workload transition
+  // injects (the model lags the new mix for a few samples) leaves the
+  // sliding window after window_seconds and the in-band window that
+  // follows zeroes the count, so only a divergence that keeps renewing
+  // itself — a real scale error — reaches the hold.  Accumulation (not a
+  // continuous streak) matters under churn: a gauge bad enough to also
+  // trip the plausibility bars bounces the controller through safe mode,
+  // and every safe-mode reset would restart a continuous clock forever.
+  double entry_hold_seconds = 25.0;
+  // The pre-verdict training freeze (armed at half the band) expires
+  // after this much continuous suspicion.  A real drift convicts well
+  // inside the budget; a workload mix the model simply has not learned
+  // yet must eventually be learned — an unbounded freeze ratchets honest
+  // prediction error into a false drift verdict.
+  double freeze_budget_seconds = 60.0;
+  // Intervals whose active-state combination the model has trained on for
+  // less than this do not count as confident evidence: when the model has
+  // barely seen a mix of states, its extrapolation — not the gauge — is
+  // the suspect.  A gauge drift needs no state change at all to show up,
+  // so gating on excitation costs detection nothing.
+  double min_feature_excitation_seconds = 20.0;
+  // A judgeable window needs at least this fraction of its span covered
+  // by confident intervals.  The divergence verdict is computed over the
+  // confident intervals *only* — an interval on a barely-trained state
+  // mix indicts the model, not the gauge, so it is excluded from the
+  // evidence instead of voiding the whole window: a real scale error
+  // shows up identically on every mix, so the confident subset still
+  // sees it, while extrapolation error lives exactly in the excluded
+  // intervals.
+  double min_confident_fraction = 0.5;
   // Consecutive in-band samples before a drift verdict lifts.
   int recovery_samples = 50;
   // Fraction of the gauge/learned disagreement charged back to the
@@ -133,10 +190,18 @@ class DriftSentinel {
   // Current window divergence verdict: true when the window is judgeable
   // and out of band.
   bool Diverged() const;
-  // Signed gauge-minus-learned energy over the current window.
+  // The window spans its configured length, a quorum of it is covered by
+  // confident intervals, and those intervals integrate enough energy to
+  // compare.  A judgeable in-band window is positive evidence of gauge
+  // health; an unjudgeable one says nothing either way.
+  bool WindowJudgeable() const;
+  // Signed gauge-minus-learned energy over the current window (all
+  // intervals — the correction charge-back wants the whole span, since a
+  // real drift biases the unconfident intervals too).
   double WindowExcessJoules() const;
   double WindowGaugeJoules() const { return window_gauge_joules_; }
   double WindowLearnedJoules() const { return window_learned_joules_; }
+  // Relative divergence over the confident intervals only.
   double WindowDivergence() const;
 
   // Drops the window (on drift entry/exit and safe-mode entry, so a stale
@@ -157,7 +222,9 @@ class DriftSentinel {
   double window_seconds_ = 0.0;
   double window_gauge_joules_ = 0.0;
   double window_learned_joules_ = 0.0;
-  int confident_intervals_ = 0;
+  double confident_seconds_ = 0.0;
+  double confident_gauge_joules_ = 0.0;
+  double confident_learned_joules_ = 0.0;
 };
 
 }  // namespace odenergy

@@ -1,5 +1,6 @@
 #include "src/fault/chaos.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/check.h"
@@ -57,13 +58,65 @@ FaultPlan GenerateChaosPlan(uint64_t seed, const ChaosPlanConfig& config) {
     FaultEvent event;
     event.kind = kAllKinds[rng.UniformInt(
         0, static_cast<int>(std::size(kAllKinds)) - 1)];
-    event.at = odsim::SimDuration::Seconds(
-        Round3(rng.Uniform(0.0, config.horizon_seconds)));
+    // Duration first, then a start that keeps the whole window inside the
+    // horizon — a window past the horizon is dead weight the run never
+    // replays against.
     event.duration = odsim::SimDuration::Seconds(Round3(rng.Uniform(
         config.min_duration_seconds, config.max_duration_seconds)));
+    double latest_start =
+        std::max(0.0, config.horizon_seconds - event.duration.seconds());
+    event.at =
+        odsim::SimDuration::Seconds(Round3(rng.Uniform(0.0, latest_start)));
     event.magnitude = DrawMagnitude(event.kind, rng);
     plan.events.push_back(event);
   }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+FaultPlan GenerateScenarioChaosPlan(uint64_t seed,
+                                    const FaultPlan& environment,
+                                    const ScenarioChaosConfig& config) {
+  OD_CHECK(config.min_noise_events >= 0 &&
+           config.max_noise_events >= config.min_noise_events);
+  OD_CHECK(config.min_duration_seconds > 0.0 &&
+           config.max_duration_seconds >= config.min_duration_seconds);
+  OD_CHECK(config.gauge_noise_band > 0.0 && config.gauge_noise_band < 1.0);
+  // A distinct stream from the random generator: the same seed must not
+  // yield correlated random-mode and scenario-mode plans.
+  odutil::Rng rng(seed ^ 0x5c40c5ULL);
+  FaultPlan plan = environment;
+  constexpr FaultKind kNoiseKinds[] = {
+      FaultKind::kSampleDropout,
+      FaultKind::kStaleTelemetry,
+      FaultKind::kGaugeDrift,
+      FaultKind::kGaugeRamp,
+  };
+  int events = rng.UniformInt(config.min_noise_events, config.max_noise_events);
+  for (int i = 0; i < events; ++i) {
+    FaultEvent event;
+    event.kind = kNoiseKinds[rng.UniformInt(
+        0, static_cast<int>(std::size(kNoiseKinds)) - 1)];
+    event.duration = odsim::SimDuration::Seconds(Round3(rng.Uniform(
+        config.min_duration_seconds, config.max_duration_seconds)));
+    double latest_start =
+        std::max(0.0, config.horizon_seconds - event.duration.seconds());
+    event.at =
+        odsim::SimDuration::Seconds(Round3(rng.Uniform(0.0, latest_start)));
+    if (event.kind == FaultKind::kGaugeDrift ||
+        event.kind == FaultKind::kGaugeRamp) {
+      event.magnitude = Round3(rng.Uniform(1.0 - config.gauge_noise_band,
+                                           1.0 + config.gauge_noise_band));
+    }
+    plan.events.push_back(event);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
   return plan;
 }
 

@@ -81,52 +81,65 @@ std::string FormatNumber(double value) {
   return buffer;
 }
 
-bool ParseEvent(const std::string& text, FaultEvent* event, std::string* error) {
-  auto fail = [&](const std::string& why) {
+// `line` / `column` locate the event's first character in the original
+// spec; sub-token failures offset the column to the token itself.
+bool ParseEvent(const std::string& text, int line, int column,
+                FaultEvent* event, std::string* error) {
+  auto fail = [&](size_t offset, const std::string& token,
+                  const std::string& why) {
     if (error != nullptr) {
-      *error = "bad fault event '" + text + "': " + why;
+      *error = SpecError(line, column + static_cast<int>(offset), token, why);
     }
     return false;
   };
   size_t at_pos = text.find('@');
   if (at_pos == std::string::npos) {
-    return fail("expected kind@start+duration[=magnitude]");
+    return fail(0, text, "expected kind@start+duration[=magnitude]");
   }
-  const KindInfo* info = FindKind(text.substr(0, at_pos));
+  const std::string kind_text = text.substr(0, at_pos);
+  const KindInfo* info = FindKind(kind_text);
   if (info == nullptr) {
-    return fail(
-        "unknown kind "
-        "(bandwidth|outage|loss|stall|disk|dropout|stale|nan|gauge|ramp)");
+    return fail(0, kind_text,
+                "unknown kind "
+                "(bandwidth|outage|loss|stall|disk|dropout|stale|nan|gauge|"
+                "ramp)");
   }
   size_t plus_pos = text.find('+', at_pos + 1);
   if (plus_pos == std::string::npos) {
-    return fail("expected '+duration'");
+    return fail(at_pos + 1, text.substr(at_pos + 1), "expected '+duration'");
   }
   size_t eq_pos = text.find('=', plus_pos + 1);
   double start = 0.0;
   double duration = 0.0;
-  if (!ParseDouble(text.substr(at_pos + 1, plus_pos - at_pos - 1), &start) ||
-      start < 0.0) {
-    return fail("start must be a nonnegative number of seconds");
+  const std::string start_text = text.substr(at_pos + 1, plus_pos - at_pos - 1);
+  if (!ParseDouble(start_text, &start) || start < 0.0) {
+    return fail(at_pos + 1, start_text,
+                "start must be a nonnegative number of seconds");
   }
-  std::string duration_text =
+  const std::string duration_text =
       eq_pos == std::string::npos
           ? text.substr(plus_pos + 1)
           : text.substr(plus_pos + 1, eq_pos - plus_pos - 1);
   if (!ParseDouble(duration_text, &duration) || duration <= 0.0) {
-    return fail("duration must be a positive number of seconds");
+    return fail(plus_pos + 1, duration_text,
+                "duration must be a positive number of seconds");
   }
   double magnitude = info->default_magnitude;
   if (eq_pos != std::string::npos) {
+    const std::string magnitude_text = text.substr(eq_pos + 1);
     if (!info->takes_magnitude) {
-      return fail(std::string(info->name) + " takes no magnitude");
+      return fail(eq_pos, "=" + magnitude_text,
+                  std::string(info->name) + " takes no magnitude");
     }
-    if (!ParseDouble(text.substr(eq_pos + 1), &magnitude)) {
-      return fail("magnitude must be a number");
+    if (!ParseDouble(magnitude_text, &magnitude)) {
+      return fail(eq_pos + 1, magnitude_text, "magnitude must be a number");
     }
-  }
-  if (!MagnitudeValid(info->kind, magnitude)) {
-    return fail("magnitude out of range for " + std::string(info->name));
+    if (!MagnitudeValid(info->kind, magnitude)) {
+      return fail(eq_pos + 1, magnitude_text,
+                  "magnitude out of range for " + std::string(info->name));
+    }
+  } else if (!MagnitudeValid(info->kind, magnitude)) {
+    return fail(0, text, "magnitude out of range for " + std::string(info->name));
   }
   event->kind = info->kind;
   event->at = odsim::SimDuration::Seconds(start);
@@ -136,6 +149,17 @@ bool ParseEvent(const std::string& text, FaultEvent* event, std::string* error) 
 }
 
 }  // namespace
+
+std::string SpecError(int line, int column, const std::string& token,
+                      const std::string& why) {
+  std::string message =
+      "line " + std::to_string(line) + ", col " + std::to_string(column) +
+      ": " + why;
+  if (!token.empty()) {
+    message += " near '" + token + "'";
+  }
+  return message;
+}
 
 const char* FaultKindName(FaultKind kind) { return Info(kind).name; }
 
@@ -175,18 +199,35 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
                       std::string* error) {
   FaultPlan parsed;
   size_t pos = 0;
+  int line = 1;
+  int column = 1;
   while (pos < spec.size()) {
-    size_t sep = spec.find(';', pos);
+    size_t sep = spec.find_first_of(";\n", pos);
     if (sep == std::string::npos) {
       sep = spec.size();
     }
     std::string piece = spec.substr(pos, sep - pos);
+    // Surrounding whitespace is separator decoration, not token content;
+    // keep the column pointing at the event's first character.
+    size_t lead = piece.find_first_not_of(" \t");
+    if (lead == std::string::npos) {
+      piece.clear();
+    } else {
+      piece = piece.substr(lead, piece.find_last_not_of(" \t") - lead + 1);
+    }
     if (!piece.empty()) {
       FaultEvent event;
-      if (!ParseEvent(piece, &event, error)) {
+      if (!ParseEvent(piece, line, column + static_cast<int>(lead), &event,
+                      error)) {
         return false;
       }
       parsed.events.push_back(event);
+    }
+    if (sep < spec.size() && spec[sep] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      column += static_cast<int>(sep - pos) + 1;
     }
     pos = sep + 1;
   }

@@ -9,7 +9,7 @@
 // provenance:
 //
 //   event   := kind '@' start '+' duration [ '=' magnitude ]
-//   plan    := event ( ';' event )*
+//   plan    := event ( ( ';' | newline ) event )*
 //
 // with start/duration in (fractional) seconds relative to Arm().  Example:
 //
@@ -91,11 +91,21 @@ struct FaultPlan {
   // Canonical spec string; round-trips through Parse.  Empty plan -> "".
   std::string ToString() const;
 
-  // Parses the spec grammar.  On failure returns false and, when `error` is
-  // non-null, a one-line description of the first offending event.  An
+  // Parses the spec grammar.  Events are separated by ';' or newlines (so a
+  // plan can ride in a flag or in a file).  On failure returns false and,
+  // when `error` is non-null, a position-annotated description of the first
+  // problem ("line L, col C: <why> near '<token>'" — see SpecError).  An
   // empty spec parses to an empty plan.
   static bool Parse(const std::string& spec, FaultPlan* plan, std::string* error);
 };
+
+// Formats a position-annotated spec-grammar error: "line L, col C: <why>
+// near '<token>'".  Shared by the fault-plan and scenario grammars so their
+// diagnostics read identically; both surface it through odbench with exit
+// code 64.  Line and column are 1-based; an empty token drops the "near"
+// clause.
+std::string SpecError(int line, int column, const std::string& token,
+                      const std::string& why);
 
 }  // namespace odfault
 

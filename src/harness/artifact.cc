@@ -71,6 +71,9 @@ JsonValue ProvenanceToJson(const Provenance& provenance) {
   if (!provenance.fault_plan.empty()) {
     prov.Set("fault_plan", provenance.fault_plan);
   }
+  if (!provenance.scenario.empty()) {
+    prov.Set("scenario", provenance.scenario);
+  }
   JsonValue calibration = JsonValue::MakeObject();
   for (const auto& [key, value] : provenance.calibration) {
     calibration.Set(key, value);
@@ -95,6 +98,9 @@ Provenance ProvenanceFromJson(const JsonValue* json) {
   }
   if (const JsonValue* fault_plan = json->Find("fault_plan")) {
     provenance.fault_plan = fault_plan->AsString();
+  }
+  if (const JsonValue* scenario = json->Find("scenario")) {
+    provenance.scenario = scenario->AsString();
   }
   if (const JsonValue* calibration = json->Find("calibration")) {
     for (const auto& [key, value] : calibration->object()) {

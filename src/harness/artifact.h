@@ -73,6 +73,10 @@ struct Provenance {
   // for clean runs and omitted from the JSON so pre-fault artifacts stay
   // byte-identical.
   std::string fault_plan;
+  // The user-behavior scenario(s) (odscenario grammar, canonical spelling)
+  // the run's workload replayed; empty for fixed-workload runs and omitted
+  // from the JSON so pre-scenario artifacts stay byte-identical.
+  std::string scenario;
   // Calibration constants in registration order (see
   // SetProvenanceCalibration); empty when no application layer registered.
   std::vector<std::pair<std::string, double>> calibration;

@@ -156,6 +156,13 @@ std::vector<std::string> ProvenanceHints(const Provenance& a,
     hints.push_back("fault_plan: " + shown(a.fault_plan) + " vs " +
                     shown(b.fault_plan));
   }
+  if (a.scenario != b.scenario) {
+    auto shown = [](const std::string& scenario) {
+      return scenario.empty() ? std::string("(none)") : scenario;
+    };
+    hints.push_back("scenario: " + shown(a.scenario) + " vs " +
+                    shown(b.scenario));
+  }
   std::map<std::string, double> b_calibration(b.calibration.begin(),
                                               b.calibration.end());
   std::set<std::string> seen;

@@ -40,6 +40,11 @@ struct RunOptions {
   // to fault-aware experiments; empty = each experiment's own default.
   // Experiments that honor it stamp the plan into artifact provenance.
   std::string fault_plan;
+  // Named scenario (see src/scenario/library.h) offered to scenario-aware
+  // experiments; empty = run every scenario the experiment covers.
+  // Experiments that honor it stamp the canonical scenario text into
+  // artifact provenance.
+  std::string scenario;
   // Per-experiment wall-clock budget for the forked run-all path, in
   // seconds; 0 disables.  A child that exceeds it is SIGKILLed, reported
   // as rc 124 in the registry-order replay, and its jobserver tokens are

@@ -1,0 +1,126 @@
+// Drives a Scenario's behavior timeline through a TestBed.
+//
+// Each phase kind maps onto the idiom the apps already speak (the
+// BurstyWorkload chain pattern): video phases play clip segments
+// back-to-back until the window closes; web/map/speech phases issue
+// requests at the phase's per-minute rate with a busy guard; composite
+// phases run the four-app composite iteration on the phase's period
+// (deferring politely while another channel holds an app); sync phases
+// tick a small background fetch; burst phases run the Section 5.4
+// stochastic workload.  Gap phases are environment, not behavior — they
+// reach the run as the scenario's DerivedFaultPlan() windows, wired
+// through ApplyScenarioWorkload below.
+//
+// The driver owns its RNG (derived from the run seed), so the same
+// (scenario, seed) pair replays the identical timeline — byte-identical
+// artifacts, jobs-independent.
+
+#ifndef SRC_SCENARIO_DRIVER_H_
+#define SRC_SCENARIO_DRIVER_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "src/apps/bursty.h"
+#include "src/apps/composite.h"
+#include "src/apps/goal_scenario.h"
+#include "src/apps/testbed.h"
+#include "src/scenario/scenario.h"
+#include "src/util/rng.h"
+
+namespace odscenario {
+
+class ScenarioDriver {
+ public:
+  // What the timeline actually did — recorded per run for artifact
+  // breakdowns and determinism checks.
+  struct Counters {
+    int video_segments = 0;
+    int pages = 0;
+    int maps = 0;
+    int utterances = 0;
+    int composite_iterations = 0;
+    // Composite starts postponed because another channel held an app (the
+    // composite iteration calls apps without busy guards, so the driver
+    // waits instead of crashing into OD_CHECK(!busy_)).
+    int composite_deferrals = 0;
+    int sync_fetches = 0;
+    int burst_starts = 0;
+  };
+
+  ScenarioDriver(odapps::TestBed* bed, Scenario scenario, uint64_t seed);
+
+  ScenarioDriver(const ScenarioDriver&) = delete;
+  ScenarioDriver& operator=(const ScenarioDriver&) = delete;
+
+  // Schedules every phase relative to the simulator's current time.
+  void Start();
+  // Stops driving: no new work is issued; in-flight requests complete.
+  void Stop();
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  // Rate-channel indices (web/map/speech share the drive loop).
+  enum Channel { kWeb = 0, kMap = 1, kSpeech = 2, kChannels = 3 };
+
+  void Activate(const ScenarioPhase& phase);
+  void DriveVideo();
+  void DriveRate(Channel channel);
+  void DriveComposite();
+  void DriveSync();
+  void EnsureBurst(double switch_probability, odsim::SimTime until);
+
+  odapps::TestBed* bed_;
+  Scenario scenario_;
+  odutil::Rng rng_;
+  std::unique_ptr<odapps::CompositeApp> composite_;
+  std::unique_ptr<odapps::BurstyWorkload> bursty_;
+
+  bool running_ = false;
+  Counters counters_;
+
+  odsim::SimTime video_until_;
+  bool video_chain_ = false;
+  int next_clip_ = 0;
+
+  std::array<odsim::SimTime, kChannels> until_ = {};
+  std::array<double, kChannels> per_minute_ = {0.0, 0.0, 0.0};
+  std::array<bool, kChannels> chain_ = {false, false, false};
+  std::array<int, kChannels> next_object_ = {0, 0, 0};
+
+  odsim::SimTime composite_until_;
+  odsim::SimDuration composite_period_ = odsim::SimDuration::Seconds(25);
+  bool composite_chain_ = false;
+
+  odsim::SimTime sync_until_;
+  odsim::SimDuration sync_period_ = odsim::SimDuration::Seconds(60);
+  bool sync_chain_ = false;
+
+  odsim::SimTime burst_until_;
+  bool burst_running_ = false;
+};
+
+// Counters handed back from a scenario-driven goal run (the driver lives
+// inside RunGoalScenario; this is how its record escapes).
+struct ScenarioWorkloadStats {
+  ScenarioDriver::Counters counters;
+};
+
+// Installs `scenario` as the goal run's workload: sets
+// GoalScenarioOptions::workload_factory to construct and start a
+// ScenarioDriver on the run's TestBed (seeded from options->seed, so set
+// the seed first), and — when `derive_environment` is true — appends the
+// scenario's gap windows (DerivedFaultPlan) to options->fault_plan so the
+// behavior and its environment arrive as one artifact.  Pass
+// derive_environment = false when the caller already folded the gap
+// windows into the plan (the scenario-mode chaos generator does).
+void ApplyScenarioWorkload(const Scenario& scenario,
+                           odapps::GoalScenarioOptions* options,
+                           std::shared_ptr<ScenarioWorkloadStats> stats = nullptr,
+                           bool derive_environment = true);
+
+}  // namespace odscenario
+
+#endif  // SRC_SCENARIO_DRIVER_H_

@@ -1,0 +1,84 @@
+#include "src/scenario/library.h"
+
+namespace odscenario {
+
+const std::vector<Scenario>& ScenarioLibrary() {
+  static const std::vector<Scenario> kLibrary = [] {
+    std::vector<Scenario> library;
+
+    // The commute: podcast video on the bus, a tunnel (total outage), then
+    // arrival — browsing, a voice exchange, a weak-coverage stretch at the
+    // office edge, and maps to find the meeting room.  Background sync
+    // ticks the whole way.
+    library.push_back(ScenarioBuilder("commuter_day")
+                          .Video(0, 240)
+                          .Gap(180, 120)
+                          .Web(300, 180, 6)
+                          .Speech(420, 120, 4)
+                          .Gap(540, 60, 0.3)
+                          .Map(600, 180)
+                          .Sync(0, 900, 120)
+                          .Build());
+
+    // Pure Section 5.4 burstiness: apps flip on and off each minute while
+    // a slow sync runs underneath.
+    library.push_back(ScenarioBuilder("bursty_morning")
+                          .Burst(0, 600)
+                          .Sync(0, 600, 150)
+                          .Build());
+
+    // The phone in the bag: nothing in the foreground, one small sync
+    // fetch a minute.  Deliberately adaptation-free — the
+    // schedule-insensitive trace rung the fig19 golden pins.
+    library.push_back(ScenarioBuilder("background_sync")
+                          .Idle(0, 600)
+                          .Sync(0, 600, 60)
+                          .Build());
+
+    // An evening of video with a mid-show browse for the cast list.
+    library.push_back(ScenarioBuilder("video_evening")
+                          .Video(0, 720)
+                          .Web(300, 120, 3)
+                          .Build());
+
+    // The office mix: the paper's composite iteration on its 25 s cadence
+    // with a long video window riding along — the goal scenario's workload
+    // shape, expressed in the DSL.
+    library.push_back(ScenarioBuilder("office_mix")
+                          .Composite(0, 600)
+                          .Video(120, 360)
+                          .Build());
+
+    // Cafe wifi: heavy browsing and maps, a brief weak-signal dip when the
+    // espresso machine runs, then a voice call, sync underneath.
+    library.push_back(ScenarioBuilder("coffee_shop")
+                          .Web(0, 300, 8)
+                          .Map(120, 240, 4)
+                          .Gap(280, 40, 0.2)
+                          .Speech(360, 120, 6)
+                          .Sync(0, 600, 90)
+                          .Build());
+
+    return library;
+  }();
+  return kLibrary;
+}
+
+const Scenario* FindScenario(const std::string& name) {
+  for (const Scenario& scenario : ScenarioLibrary()) {
+    if (scenario.name == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  for (const Scenario& scenario : ScenarioLibrary()) {
+    names.push_back(scenario.name);
+  }
+  return names;
+}
+
+}  // namespace odscenario

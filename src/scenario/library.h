@@ -1,0 +1,32 @@
+// The committed scenario library: six named, deterministic user-behavior
+// timelines spanning the shapes ARENA argues energy claims must cover —
+// commuting (coverage gaps), bursty interaction, background sync, media
+// consumption, office multi-app mixes, and cafe browsing.  `odbench run
+// scenario_sweep` runs all of them (or one, via --scenario NAME); the
+// chaos soak draws scenario-derived fault plans from them; fleet-scale
+// simulation assigns them per device (seed-indexed) for behavioral
+// diversity.
+
+#ifndef SRC_SCENARIO_LIBRARY_H_
+#define SRC_SCENARIO_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+
+namespace odscenario {
+
+// All library scenarios, in a fixed, documented order (stable across
+// platforms: seed-indexed assignment depends on it).
+const std::vector<Scenario>& ScenarioLibrary();
+
+// Lookup by name; nullptr when absent.
+const Scenario* FindScenario(const std::string& name);
+
+// The library names, in library order (for --scenario validation messages).
+std::vector<std::string> ScenarioNames();
+
+}  // namespace odscenario
+
+#endif  // SRC_SCENARIO_LIBRARY_H_

@@ -9,6 +9,7 @@
 #include "src/apps/experiments.h"
 #include "src/apps/testbed.h"
 #include "src/fault/fault_plan.h"
+#include "src/scenario/library.h"
 #include "src/serve/shared_service.h"
 
 namespace odapps {
@@ -132,6 +133,72 @@ TEST(FleetScenarioTest, FleetOfOneThroughProviderMatchesPrivateServers) {
     auto it = shared.by_component.find(name);
     ASSERT_NE(it, shared.by_component.end()) << name;
     EXPECT_DOUBLE_EQ(joules, it->second) << name;
+  }
+}
+
+// Scenario diversity assigns each device a behavior timeline from the
+// named library by seed-indexed rotation and gates its fetch loop on it.
+// With one device per library entry, the commuter's tunnel (a coverage
+// gap) and the coffee shop's weak-signal dip must suppress fetch ticks,
+// while the always-active behaviors (background_sync, video_evening) skip
+// nothing — so skip counts differ across the fleet.
+TEST(FleetScenarioTest, ScenarioDiversityGatesFetchLoopsPerDevice) {
+  const size_t library_size = odscenario::ScenarioLibrary().size();
+  FleetOptions options;
+  options.clients = static_cast<int>(library_size);
+  options.seed = 3;
+  options.goal = odsim::SimDuration::Seconds(600);
+  options.fetch_period = odsim::SimDuration::Seconds(5);
+  options.scenario_diversity = true;
+
+  FleetResult result = RunFleetScenario(options);
+
+  EXPECT_GT(result.total_fetches, 0);
+  EXPECT_GT(result.total_scenario_skipped_ticks, 0);
+  int devices_with_skips = 0;
+  int devices_without_skips = 0;
+  for (const FleetDeviceResult& device : result.devices) {
+    (device.scenario_skipped_ticks > 0 ? devices_with_skips
+                                       : devices_without_skips)++;
+  }
+  EXPECT_GT(devices_with_skips, 0);
+  EXPECT_GT(devices_without_skips, 0);
+}
+
+TEST(FleetScenarioTest, ScenarioDiversityReproducesExactly) {
+  FleetOptions options;
+  options.clients = 8;  // Wraps past the library: assignment is modular.
+  options.seed = 5;
+  options.goal = odsim::SimDuration::Seconds(300);
+  options.scenario_diversity = true;
+
+  FleetResult a = RunFleetScenario(options);
+  FleetResult b = RunFleetScenario(options);
+  EXPECT_EQ(a.total_fetches, b.total_fetches);
+  EXPECT_EQ(a.total_scenario_skipped_ticks, b.total_scenario_skipped_ticks);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].fetches, b.devices[i].fetches);
+    EXPECT_EQ(a.devices[i].scenario_skipped_ticks,
+              b.devices[i].scenario_skipped_ticks);
+    EXPECT_DOUBLE_EQ(a.devices[i].consumed_joules,
+                     b.devices[i].consumed_joules);
+  }
+}
+
+TEST(FleetScenarioTest, ScenarioDiversityOffLeavesTheFleetUnchanged) {
+  // The flag must be strictly additive: a default-constructed fleet and an
+  // explicit scenario_diversity=false fleet are the same program, and
+  // neither records a skipped tick.
+  FleetOptions options;
+  options.clients = 3;
+  options.seed = 11;
+  options.goal = odsim::SimDuration::Seconds(60);
+
+  FleetResult off = RunFleetScenario(options);
+  EXPECT_EQ(off.total_scenario_skipped_ticks, 0);
+  for (const FleetDeviceResult& device : off.devices) {
+    EXPECT_EQ(device.scenario_skipped_ticks, 0);
   }
 }
 

@@ -69,5 +69,158 @@ TEST(ChaosPlanTest, EventuallyCoversEveryKind) {
   EXPECT_EQ(seen.size(), 10u);  // All kinds reachable, telemetry included.
 }
 
+TEST(ChaosPlanTest, WholeWindowsStayInsideTheHorizon) {
+  // Not just the start: start + duration <= horizon, so no window is dead
+  // weight past the end of the run it disturbs.
+  ChaosPlanConfig config;
+  config.horizon_seconds = 120.0;
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    for (const FaultEvent& event : GenerateChaosPlan(seed, config).events) {
+      EXPECT_LE(event.at.seconds() + event.duration.seconds(),
+                config.horizon_seconds + 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosPlanTest, EventsAreOrderedByStart) {
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    const FaultPlan plan = GenerateChaosPlan(seed);
+    for (size_t i = 1; i < plan.events.size(); ++i) {
+      EXPECT_LE(plan.events[i - 1].at, plan.events[i].at) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosPlanTest, SameKindWindowsMayOverlap) {
+  // Pins the overlap contract: the generator does not de-conflict windows,
+  // even of the same kind — the injector nests and restores.  If this
+  // stops finding an overlapping same-kind pair, the generator's
+  // distribution changed and the soak's coverage narrowed.
+  bool found = false;
+  for (uint64_t seed = 0; seed < 500 && !found; ++seed) {
+    const FaultPlan plan = GenerateChaosPlan(seed);
+    for (size_t i = 0; i < plan.events.size() && !found; ++i) {
+      for (size_t j = i + 1; j < plan.events.size() && !found; ++j) {
+        if (plan.events[i].kind == plan.events[j].kind &&
+            plan.events[j].at < plan.events[i].at + plan.events[i].duration) {
+          found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChaosPlanTest, SeedToPlanMappingIsByteStable) {
+  // The seed -> plan mapping is part of the repro contract: a soak failure
+  // log from any platform or build names a seed, and these exact plans
+  // must come back for it.  Regenerating on purpose?  Update the strings.
+  EXPECT_EQ(GenerateChaosPlan(1).ToString(),
+            "bandwidth@33.99+18.616=0.176;stall@131.554+58.707;"
+            "outage@206.323+28.775");
+  EXPECT_EQ(GenerateChaosPlan(42).ToString(),
+            "ramp@29.869+41.127=1.623;outage@46.201+52.852;"
+            "nan@61.409+10.782;dropout@63.232+30.889;"
+            "bandwidth@155.134+25.176=0.247;bandwidth@160.629+17.212=0.234");
+  EXPECT_EQ(GenerateChaosPlan(0xC0FFEEULL).ToString(),
+            "nan@152.311+32.495;gauge@153.493+27.227=0.413;"
+            "bandwidth@156.859+37.505=0.221;ramp@161.173+13.401=1.235");
+}
+
+// -- Scenario-derived plans --------------------------------------------------
+
+FaultPlan TestEnvironment() {
+  FaultPlan environment;
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse("outage@30+30;bandwidth@80+20=0.25",
+                               &environment, &error))
+      << error;
+  return environment;
+}
+
+TEST(ScenarioChaosPlanTest, SameSeedSamePlanAndDistinctFromRandomMode) {
+  const FaultPlan environment = TestEnvironment();
+  for (uint64_t seed : {0ULL, 7ULL, 0xC0FFEEULL}) {
+    FaultPlan a = GenerateScenarioChaosPlan(seed, environment);
+    FaultPlan b = GenerateScenarioChaosPlan(seed, environment);
+    EXPECT_EQ(a.ToString(), b.ToString()) << "seed " << seed;
+    // A distinct RNG stream: the same seed must not yield the random-mode
+    // plan with the environment bolted on.
+    EXPECT_NE(a.ToString(),
+              environment.ToString() + ";" + GenerateChaosPlan(seed).ToString());
+  }
+}
+
+TEST(ScenarioChaosPlanTest, KeepsEveryEnvironmentWindowAndAddsOnlyTelemetry) {
+  const FaultPlan environment = TestEnvironment();
+  ScenarioChaosConfig config;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const FaultPlan plan = GenerateScenarioChaosPlan(seed, environment, config);
+    EXPECT_GE(plan.events.size(),
+              environment.events.size() +
+                  static_cast<size_t>(config.min_noise_events));
+    EXPECT_LE(plan.events.size(),
+              environment.events.size() +
+                  static_cast<size_t>(config.max_noise_events));
+    size_t environment_seen = 0;
+    for (const FaultEvent& event : plan.events) {
+      bool is_environment = false;
+      for (const FaultEvent& env : environment.events) {
+        if (event.kind == env.kind && event.at == env.at &&
+            event.duration == env.duration &&
+            event.magnitude == env.magnitude) {
+          is_environment = true;
+          break;
+        }
+      }
+      if (is_environment) {
+        ++environment_seen;
+        continue;
+      }
+      // Everything layered on top corrupts only the observation path.
+      EXPECT_TRUE(event.kind == FaultKind::kSampleDropout ||
+                  event.kind == FaultKind::kStaleTelemetry ||
+                  event.kind == FaultKind::kGaugeDrift ||
+                  event.kind == FaultKind::kGaugeRamp)
+          << "seed " << seed;
+      EXPECT_LE(event.at.seconds() + event.duration.seconds(),
+                config.horizon_seconds + 1e-9)
+          << "seed " << seed;
+      if (event.kind == FaultKind::kGaugeDrift ||
+          event.kind == FaultKind::kGaugeRamp) {
+        EXPECT_GE(event.magnitude, 1.0 - config.gauge_noise_band - 1e-9);
+        EXPECT_LE(event.magnitude, 1.0 + config.gauge_noise_band + 1e-9);
+      }
+    }
+    EXPECT_EQ(environment_seen, environment.events.size()) << "seed " << seed;
+    for (size_t i = 1; i < plan.events.size(); ++i) {
+      EXPECT_LE(plan.events[i - 1].at, plan.events[i].at) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ScenarioChaosPlanTest, GeneratedPlansRoundTripThroughTheGrammar) {
+  const FaultPlan environment = TestEnvironment();
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const FaultPlan plan = GenerateScenarioChaosPlan(seed, environment);
+    FaultPlan reparsed;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::Parse(plan.ToString(), &reparsed, &error))
+        << "seed " << seed << ": " << error;
+    EXPECT_EQ(reparsed.ToString(), plan.ToString()) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioChaosPlanTest, SeedToPlanMappingIsByteStable) {
+  const FaultPlan environment = TestEnvironment();
+  EXPECT_EQ(GenerateScenarioChaosPlan(1, environment).ToString(),
+            "dropout@29.869+5.953;outage@30+30;bandwidth@80+20=0.25;"
+            "stale@125.654+13.248");
+  EXPECT_EQ(GenerateScenarioChaosPlan(42, environment).ToString(),
+            "ramp@6.205+13.466=1;outage@30+30;bandwidth@80+20=0.25;"
+            "gauge@205.553+7.365=1.014");
+}
+
 }  // namespace
 }  // namespace odfault

@@ -116,6 +116,41 @@ TEST(FaultPlanTest, ErrorNamesTheOffendingEvent) {
             std::string::npos);
 }
 
+TEST(FaultPlanTest, NewlinesSeparateEventsLikeSemicolons) {
+  FaultPlan plan = MustParse("outage@0+1\nloss@2+1=0.3\n\n  disk@4+1=2\n");
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.ToString(), "outage@0+1;loss@2+1=0.3;disk@4+1=2");
+}
+
+// Every rejection names the line, the column, and the offending token, so
+// a bad --fault-plan flag is a one-glance fix (same diagnostic shape as
+// the scenario grammar).
+TEST(FaultPlanTest, ErrorsCarryLineColumnAndToken) {
+  struct Case {
+    const char* spec;
+    const char* expected_position;
+    const char* expected_token;
+  };
+  const Case cases[] = {
+      {"meteor@0+1", "line 1, col 1", "'meteor'"},
+      {"outage@5", "line 1, col 8", "'5'"},
+      {"outage@-1+5", "line 1, col 8", "'-1'"},
+      {"outage@5+0", "line 1, col 10", "'0'"},
+      {"outage@0+1=0.5", "line 1, col 11", "'=0.5'"},
+      {"bandwidth@0+1=1.5", "line 1, col 15", "'1.5'"},
+      {"gauge@0+1=x", "line 1, col 11", "'x'"},
+      {"outage@0+1;meteor@5+1", "line 1, col 12", "'meteor'"},
+      {"outage@0+1\n  meteor@5+1", "line 2, col 3", "'meteor'"},
+  };
+  for (const Case& c : cases) {
+    std::string error = ParseError(c.spec);
+    EXPECT_NE(error.find(c.expected_position), std::string::npos)
+        << c.spec << " -> " << error;
+    EXPECT_NE(error.find(c.expected_token), std::string::npos)
+        << c.spec << " -> " << error;
+  }
+}
+
 TEST(FaultPlanTest, KindNamesMatchTheGrammar) {
   EXPECT_STREQ(FaultKindName(FaultKind::kBandwidth), "bandwidth");
   EXPECT_STREQ(FaultKindName(FaultKind::kOutage), "outage");

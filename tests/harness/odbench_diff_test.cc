@@ -205,6 +205,30 @@ TEST(OdbenchDiffTest, FreshTracedRunMatchesTraceGolden) {
   EXPECT_EQ(scalar_diff.exit_code, 0) << scalar_diff.output;
 }
 
+TEST(OdbenchDiffTest, Fig19SyncRungMatchesTraceGolden) {
+  // The fig19 trace golden pins only the background_sync rung: with a
+  // budget generous enough that the director never adapts, the profile is
+  // a pure function of the scenario's behavior trace — unlike the 20/26-
+  // minute rungs, whose profiles reshape with every controller tuning.
+  const std::string out_dir = testing::TempDir() + "/odbench_trace_fig19";
+  CommandResult run =
+      RunCommand("run fig19_goal_timeline --trace --compact --out " + out_dir);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  CommandResult trace_diff = RunCommand(
+      "diff --traces " + TraceGolden("fig19_goal_timeline") + " " + out_dir +
+      "/fig19_goal_timeline.trace.json --rtol 1e-9 --max-shift 0.05");
+  EXPECT_EQ(trace_diff.exit_code, 0) << trace_diff.output;
+
+  std::ifstream in(out_dir + "/fig19_goal_timeline.trace.json");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string document = buffer.str();
+  EXPECT_NE(document.find("\"goal_sync\""), std::string::npos);
+  // The schedule-sensitive goal rungs must stay out of the hard golden.
+  EXPECT_EQ(document.find("\"goal_1200\""), std::string::npos);
+  EXPECT_EQ(document.find("\"goal_1560\""), std::string::npos);
+}
+
 TEST(OdbenchDiffTest, TraceDiffUsageAndUnreadableExits) {
   EXPECT_EQ(RunCommand("diff --traces only_one.trace.json").exit_code, 64);
   CommandResult missing = RunCommand("diff --traces " +

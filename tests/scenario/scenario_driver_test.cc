@@ -1,0 +1,164 @@
+// The scenario driver: deterministic replay (same seed, same timeline,
+// same counters, same residual), polite sharing of apps that crash on
+// concurrent use, gap windows arriving as environment, and the
+// zero-duration submission edge cases the driver's fractional windows
+// flushed out of the video pipeline.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/data_objects.h"
+#include "src/apps/experiments.h"
+#include "src/apps/goal_scenario.h"
+#include "src/apps/testbed.h"
+#include "src/scenario/driver.h"
+#include "src/scenario/library.h"
+#include "src/scenario/scenario.h"
+
+namespace {
+
+using odscenario::Scenario;
+using odscenario::ScenarioBuilder;
+
+struct ScenarioRun {
+  odapps::GoalScenarioResult result;
+  odscenario::ScenarioDriver::Counters counters;
+};
+
+ScenarioRun RunScenario(const Scenario& scenario, uint64_t seed,
+                        double initial_joules = 0.0) {
+  odapps::GoalScenarioOptions options;
+  options.seed = seed;
+  options.goal = scenario.Duration();
+  // Default: a generous budget so adaptation noise does not perturb the
+  // behavior-counter assertions.
+  options.initial_joules = initial_joules > 0.0
+                               ? initial_joules
+                               : 15.0 * scenario.Duration().seconds();
+  auto stats = std::make_shared<odscenario::ScenarioWorkloadStats>();
+  odscenario::ApplyScenarioWorkload(scenario, &options, stats);
+  ScenarioRun run;
+  run.result = odapps::RunGoalScenario(options);
+  run.counters = stats->counters;
+  return run;
+}
+
+TEST(ScenarioDriver, SameSeedReplaysIdentically) {
+  const Scenario* scenario = odscenario::FindScenario("coffee_shop");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRun a = RunScenario(*scenario, 71);
+  ScenarioRun b = RunScenario(*scenario, 71);
+  EXPECT_EQ(a.counters.pages, b.counters.pages);
+  EXPECT_EQ(a.counters.maps, b.counters.maps);
+  EXPECT_EQ(a.counters.utterances, b.counters.utterances);
+  EXPECT_EQ(a.counters.sync_fetches, b.counters.sync_fetches);
+  EXPECT_EQ(a.counters.video_segments, b.counters.video_segments);
+  EXPECT_EQ(a.result.residual_joules, b.result.residual_joules);
+  EXPECT_EQ(a.result.elapsed_seconds, b.result.elapsed_seconds);
+  EXPECT_EQ(a.result.total_adaptations, b.result.total_adaptations);
+}
+
+TEST(ScenarioDriver, RateChannelsHitTheirCadence) {
+  Scenario scenario =
+      ScenarioBuilder("cadence").Web(0, 120, 10).Sync(0, 120, 30).Build();
+  ScenarioRun run = RunScenario(scenario, 5);
+  // 10 pages/min over 2 minutes, minus slack for fetches that outlast
+  // their 6 s spacing; 4 sync ticks at t=0,30,60,90.
+  EXPECT_GE(run.counters.pages, 12);
+  EXPECT_LE(run.counters.pages, 20);
+  EXPECT_EQ(run.counters.sync_fetches, 4);
+  EXPECT_EQ(run.counters.video_segments, 0);
+  EXPECT_EQ(run.counters.composite_iterations, 0);
+}
+
+TEST(ScenarioDriver, IdleScenarioIssuesNoWork) {
+  Scenario scenario = ScenarioBuilder("nothing").Idle(0, 120).Build();
+  ScenarioRun run = RunScenario(scenario, 3);
+  EXPECT_EQ(run.counters.pages, 0);
+  EXPECT_EQ(run.counters.maps, 0);
+  EXPECT_EQ(run.counters.utterances, 0);
+  EXPECT_EQ(run.counters.video_segments, 0);
+  EXPECT_EQ(run.counters.sync_fetches, 0);
+  EXPECT_EQ(run.counters.burst_starts, 0);
+  EXPECT_TRUE(run.result.goal_met);
+}
+
+TEST(ScenarioDriver, CompositeDefersWhileAnotherChannelHoldsAnApp) {
+  // The composite iteration drives speech/web/map without busy guards;
+  // overlapping it with a busy speech channel must defer, not crash into
+  // OD_CHECK(!busy_).
+  Scenario scenario = ScenarioBuilder("contended")
+                          .Composite(0, 120, 20)
+                          .Speech(0, 120, 10)
+                          .Build();
+  ScenarioRun run = RunScenario(scenario, 11);
+  EXPECT_GT(run.counters.composite_iterations, 0);
+  EXPECT_GT(run.counters.utterances, 0);
+}
+
+TEST(ScenarioDriver, BackToBackSameKindPhasesChainCleanly) {
+  // The second window starts the instant the first ends (same timestamp);
+  // the chain must hand over without double-driving the app.
+  Scenario scenario =
+      ScenarioBuilder("handover").Web(0, 60, 6).Web(60, 60, 6).Build();
+  ScenarioRun run = RunScenario(scenario, 13);
+  EXPECT_GE(run.counters.pages, 8);
+  EXPECT_LE(run.counters.pages, 12);
+}
+
+TEST(ScenarioDriver, GapWindowsArriveAsEnvironment) {
+  Scenario scenario = ScenarioBuilder("tunnel")
+                          .Web(0, 120, 6)
+                          .Gap(30, 30)
+                          .Gap(80, 20, 0.25)
+                          .Build();
+  odapps::GoalScenarioOptions options;
+  options.seed = 9;
+  odscenario::ApplyScenarioWorkload(scenario, &options);
+  EXPECT_EQ(options.fault_plan.ToString(),
+            "outage@30+30;bandwidth@80+20=0.25");
+  // Scenario-mode chaos already folds the gaps into its plan; the opt-out
+  // must leave the options' plan untouched.
+  odapps::GoalScenarioOptions chaos_options;
+  chaos_options.seed = 9;
+  odscenario::ApplyScenarioWorkload(scenario, &chaos_options, nullptr,
+                                    /*derive_environment=*/false);
+  EXPECT_TRUE(chaos_options.fault_plan.empty());
+}
+
+TEST(ScenarioDriver, BurstPhaseStartsAndStopsTheBurstyWorkload) {
+  Scenario scenario = ScenarioBuilder("burst").Burst(0, 120, 0.3).Build();
+  ScenarioRun run = RunScenario(scenario, 17);
+  EXPECT_EQ(run.counters.burst_starts, 1);
+}
+
+// Regression (found by fractional scenario windows): a video segment whose
+// tail chunk rounds to under a microsecond of decode or render CPU used to
+// abort on the simulator's zero-duration work check.  The stage must
+// complete inline instead, and the segment must finish.
+TEST(VideoPlayerEdge, SubMicrosecondTailChunkCompletes) {
+  odapps::TestBed bed(odapps::TestBed::Options{.seed = 7});
+  odapps::Settle(bed);
+  bool done = false;
+  bed.video().PlaySegment(odapps::StandardVideoClips()[0],
+                          odsim::SimDuration::Micros(500001),
+                          [&done] { done = true; });
+  bed.sim().RunUntil(bed.sim().Now() + odsim::SimDuration::Seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(bed.video().playing());
+}
+
+// A whole-segment duration under a microsecond is likewise unrepresentable
+// in integer sim time: it must finish immediately rather than submit
+// zero-duration work or recurse forever.
+TEST(VideoPlayerEdge, SubMicrosecondSegmentFinishesImmediately) {
+  odapps::TestBed bed(odapps::TestBed::Options{.seed = 7});
+  odapps::Settle(bed);
+  bool done = false;
+  bed.video().PlaySegment(odapps::StandardVideoClips()[0],
+                          odsim::SimDuration::Micros(0),
+                          [&done] { done = true; });
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(bed.video().playing());
+}
+
+}  // namespace
